@@ -1,0 +1,152 @@
+// Ablation: what do FDA's two design ingredients actually buy?
+//
+//  (a) agreement (the eager echo of Fig. 6) — without it, a failure-sign
+//      lost to an inconsistent omission whose sender then crashes leaves
+//      the survivors split on who is alive;
+//  (b) remote-frame clustering (wired-AND merge of identical frames) —
+//      without it, the echo costs one frame per recipient instead of one.
+//
+// Sweep over victim-subset sizes and group sizes; report inconsistency
+// rates and frame counts.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace canely;
+
+/// One trial: node 1 signals failure of node 0; the first failure-sign
+/// suffers an inconsistent omission at `n_victims` receivers and node 1
+/// crashes immediately after.  Returns the number of survivors notified
+/// (out of n-2: nodes 2..n-1).
+int trial(std::size_t n, std::size_t n_victims, bool use_fda) {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  Params params;
+  params.n = n;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<Node>(
+        bus, static_cast<can::NodeId>(i), params));
+  }
+
+  can::NodeSet victims;
+  for (std::size_t v = 0; v < n_victims; ++v) {
+    victims.insert(static_cast<can::NodeId>(2 + v));
+  }
+  can::ScriptedFaults faults;
+  faults.inconsistent_once(
+      [](const can::TxContext& ctx) {
+        const auto mid = Mid::decode(ctx.frame);
+        return mid.has_value() && mid->type == MsgType::kFda;
+      },
+      victims);
+  bus.set_fault_injector(&faults);
+  bus.set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() && mid->type == MsgType::kFda) {
+      bus.set_observer({});
+      engine.schedule_after(sim::Time::ns(1), [&] { nodes[1]->crash(); });
+    }
+  });
+
+  int notified = 0;
+  for (std::size_t i = 2; i < n; ++i) {
+    nodes[i]->fda().set_nty_handler([&notified](can::NodeId) { ++notified; });
+    if (!use_fda) {
+      // "Naive" mode: deliver on reception but DO NOT echo — emulated by
+      // counting raw indications instead of running the FDA recipient
+      // rule.  We model it by watching the driver directly.
+    }
+  }
+  if (use_fda) {
+    nodes[1]->fda().fda_can_req(0);
+  } else {
+    // Naive signalling: one plain failure-sign remote frame, no echo —
+    // disable the FDA recipient rule at EVERY node (node 0 included, or
+    // its endpoint would echo on the others' behalf).
+    notified = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes[i]->driver().on_rtr_ind(
+          MsgType::kFda, [&notified, i](const Mid&, bool own) {
+            if (!own && i >= 2) ++notified;
+          });
+    }
+    nodes[1]->driver().can_rtr_req(Mid{MsgType::kFda, 0, 0});
+  }
+  engine.run_until(sim::Time::ms(10));
+  return notified;
+}
+
+/// Frames consumed by one FDA execution among n nodes, with/without
+/// wired-AND clustering of the echo.
+std::pair<std::uint64_t, std::uint64_t> clustering_cost(std::size_t n,
+                                                        bool clustering) {
+  sim::Engine engine;
+  can::BusConfig cfg;
+  cfg.clustering = clustering;
+  can::Bus bus{engine, cfg};
+  Params params;
+  params.n = n;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<Node>(
+        bus, static_cast<can::NodeId>(i), params));
+  }
+  nodes[1]->fda().fda_can_req(0);
+  engine.run_until(sim::Time::ms(20));
+  return {bus.stats().ok, bus.stats().bits_total};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation A — agreement: survivors notified after an "
+               "inconsistent\nfailure-sign omission + sender crash "
+               "(8 nodes, 6 survivors):\n\n";
+  std::cout << "  victims | naive signalling | FDA (Fig. 6)\n";
+  std::cout << "  --------+------------------+-------------\n";
+  bool agreement_ok = true;
+  for (std::size_t v = 1; v <= 5; ++v) {
+    const int naive = trial(8, v, /*use_fda=*/false);
+    const int fda = trial(8, v, /*use_fda=*/true);
+    std::cout << "     " << v << "    |       " << naive << " of 6       |   "
+              << fda << " of 6\n";
+    if (fda != 6) agreement_ok = false;
+    if (naive != static_cast<int>(6 - v)) agreement_ok = false;
+  }
+  std::cout << "\n  -> naive signalling loses exactly the victims; FDA "
+               "recovers all of them.\n";
+
+  std::cout << "\nAblation B — clustering: cost of one FDA execution vs "
+               "group size:\n\n";
+  std::cout << "  nodes | clustered frames (bits) | unclustered frames "
+               "(bits)\n";
+  std::cout << "  ------+-------------------------+-----------------------"
+               "---\n";
+  bool clustering_ok = true;
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    const auto [f_on, b_on] = clustering_cost(n, true);
+    const auto [f_off, b_off] = clustering_cost(n, false);
+    std::cout << "   " << std::setw(3) << n << "  |        " << std::setw(2)
+              << f_on << " (" << std::setw(5) << b_on << ")      |        "
+              << std::setw(2) << f_off << " (" << std::setw(5) << b_off
+              << ")\n";
+    if (f_on != 2) clustering_ok = false;          // original + merged echo
+    if (f_off != n) clustering_ok = false;         // original + n-1 echoes
+  }
+  std::cout << "\n  -> with the wired-AND merge the echo is O(1); without "
+               "it, O(n) —\n     the bandwidth lever Fig. 10's FDA budget "
+               "rests on.\n";
+
+  const bool ok = agreement_ok && clustering_ok;
+  std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

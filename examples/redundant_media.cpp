@@ -1,0 +1,74 @@
+// Media redundancy demo ([17]): a medium partition that would split a
+// single-medium bus into two mutually-suspicious islands is fully masked
+// by the "Columbus' egg" replicated-media scheme.
+//
+//   $ ./examples/redundant_media
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "media/redundancy.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+/// Run one scenario and report whether the 6-node view survived a
+/// partition of medium 0 between nodes {0,1,2} and {3,4,5}.
+bool run(std::size_t media_count) {
+  using namespace canely;
+  sim::Engine engine;
+  can::Bus bus{engine};
+  Params params;
+  params.n = 6;
+
+  media::MediaSet media{media_count};
+  media::RedundantMedia msu{media};
+  bus.set_reception_filter(&msu);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (can::NodeId id = 0; id < 6; ++id) {
+    nodes.push_back(std::make_unique<Node>(bus, id, params));
+  }
+  for (auto& n : nodes) n->join();
+  engine.run_until(sim::Time::ms(400));
+
+  std::cout << "  formed view: " << nodes[0]->view() << "\n";
+  std::cout << "  cutting medium 0 between {0,1,2} and {3,4,5}...\n";
+  media.partition_medium(0, can::NodeSet{0, 1, 2});
+  engine.run_until(engine.now() + sim::Time::sec(1));
+
+  const can::NodeSet full = can::NodeSet::first_n(6);
+  bool consistent = true;
+  for (auto& n : nodes) {
+    if (n->view() != full) consistent = false;
+  }
+  std::cout << "  after 1 s: view at node 0 = " << nodes[0]->view()
+            << ", node 5 = " << nodes[5]->view() << "\n";
+  std::cout << "  frames lost to the partition: " << msu.total_losses()
+            << "\n";
+  if (media_count > 1) {
+    std::cout << "  medium 0 quarantined at node 3: "
+              << (msu.quarantined(3, 0) ? "yes" : "no (no disagreement seen)")
+              << "\n";
+  }
+  return consistent;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== single medium (the failure mode §4 must assume away) ===\n";
+  const bool single = run(1);
+  std::cout << (single ? "  view survived (!?)\n"
+                       : "  view broke apart, as expected without redundancy\n");
+
+  std::cout << "\n=== dual media (Columbus' egg scheme of [17]) ===\n";
+  const bool dual = run(2);
+  std::cout << (dual ? "  SUCCESS: partition fully masked\n"
+                     : "  FAILURE: view broke despite redundancy\n");
+
+  return (!single && dual) ? 0 : 1;
+}

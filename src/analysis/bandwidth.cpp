@@ -1,0 +1,55 @@
+#include "analysis/bandwidth.hpp"
+
+namespace canely::analysis {
+
+BandwidthModel::BandwidthModel(BandwidthParams params) : p_{params} {
+  c_rtr_ = static_cast<double>(
+      can::max_frame_bits_on_wire(0, p_.format, /*remote=*/true) +
+      can::kIntermissionBits);
+  c_rhv_ = static_cast<double>(
+      can::max_frame_bits_on_wire(p_.rhv_bytes(), p_.format) +
+      can::kIntermissionBits);
+}
+
+double BandwidthModel::life_sign_bits() const {
+  return static_cast<double>(p_.b) * c_rtr_;
+}
+
+double BandwidthModel::fda_bits_per_failure() const {
+  // Failure-sign + clustered echo + up to j unclustered copies when
+  // inconsistent omissions force re-dissemination.
+  return (2.0 + p_.j) * c_rtr_;
+}
+
+double BandwidthModel::rha_bits(std::size_t events) const {
+  // (j+1) circulating copies of the final vector, plus per request: the
+  // join/leave remote frame and one RHV re-send caused by the narrowing.
+  return (p_.j + 1.0) * c_rhv_ +
+         static_cast<double>(events) * (c_rtr_ + c_rhv_);
+}
+
+BandwidthBreakdown BandwidthModel::no_changes() const {
+  return BandwidthBreakdown{life_sign_bits(), 0.0, 0.0};
+}
+
+BandwidthBreakdown BandwidthModel::crash_failures() const {
+  return BandwidthBreakdown{life_sign_bits(),
+                            static_cast<double>(p_.f) * fda_bits_per_failure(),
+                            0.0};
+}
+
+BandwidthBreakdown BandwidthModel::single_join_leave() const {
+  // Conservative pile-up, as in the paper: the f failures of scenario 2
+  // also occur in the cycle that processes the join/leave event.
+  return BandwidthBreakdown{life_sign_bits(),
+                            static_cast<double>(p_.f) * fda_bits_per_failure(),
+                            rha_bits(1)};
+}
+
+BandwidthBreakdown BandwidthModel::multiple_join_leave(std::size_t c) const {
+  return BandwidthBreakdown{life_sign_bits(),
+                            static_cast<double>(p_.f) * fda_bits_per_failure(),
+                            rha_bits(c)};
+}
+
+}  // namespace canely::analysis

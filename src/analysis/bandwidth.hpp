@@ -1,0 +1,95 @@
+#pragma once
+// Analytic model of the CAN bandwidth consumed by the site membership
+// protocol suite (paper §6.5, Figure 10).
+//
+// The paper evaluates, per membership cycle Tm, the fraction of bus
+// bandwidth spent by the suite under "extremely harsh" conservative
+// assumptions: every micro-protocol consumes its maximum, and multiple
+// event classes pile up in the same cycle.  Figure 10's four curves are:
+//
+//   1. no membership changes  — only the b explicit life-signs;
+//   2. f crash failures       — plus f worst-case FDA executions;
+//   3. one join/leave event   — plus one RHA execution;
+//   4. multiple join/leave    — plus an RHA execution folding c requests.
+//
+// Reconstructed cost model (the paper defers the closed form to [16]):
+//
+//   life-signs : b frames of C_rtr per cycle
+//   FDA        : per failure, the failure-sign + its clustered echo, and
+//                up to j additional copies when inconsistent omissions
+//                defeat clustering  ->  (2 + j) * C_rtr
+//   RHA        : (j+1) copies of the final RHV value, plus per request
+//                one join/leave remote frame and one extra RHV re-send
+//                (vector narrowing)  ->  (j+1)*C_rhv + e*(C_rtr + C_rhv)
+//
+// Frame lengths are worst-case (maximum bit stuffing), in bit-times, so
+// utilization is independent of the configured bit rate.
+
+#include <cstddef>
+
+#include "can/bitstream.hpp"
+
+namespace canely::analysis {
+
+struct BandwidthParams {
+  std::size_t n{32};  ///< system size (Fig. 10: n = 32)
+  std::size_t b{8};   ///< nodes issuing explicit life-signs (Fig. 10: b = 8)
+  std::size_t f{4};   ///< crash failures per cycle bound (Fig. 10: f = 4)
+  int j{2};           ///< inconsistent omission degree (LCAN4)
+  /// Identifier format of protocol frames.  The reproduction uses 29-bit
+  /// identifiers (type/ref/node do not fit 11 bits with n = 32); the
+  /// paper's own stack packs the mid into base-format identifiers, so the
+  /// model accepts both for comparison.
+  can::IdFormat format{can::IdFormat::kExtended};
+  /// RHV payload bytes: ceil(n / 8).
+  [[nodiscard]] std::size_t rhv_bytes() const { return (n + 7) / 8; }
+};
+
+/// Bandwidth (in bit-times per cycle) and utilization for one scenario.
+struct BandwidthBreakdown {
+  double life_sign_bits{0};
+  double fda_bits{0};
+  double rha_bits{0};
+  [[nodiscard]] double total_bits() const {
+    return life_sign_bits + fda_bits + rha_bits;
+  }
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(BandwidthParams params = {});
+
+  /// Worst-case cost of the explicit life-signs per cycle.
+  [[nodiscard]] double life_sign_bits() const;
+
+  /// Worst-case cost of one FDA execution.
+  [[nodiscard]] double fda_bits_per_failure() const;
+
+  /// Worst-case cost of one RHA execution folding `events` join/leave
+  /// requests (including the request frames themselves).
+  [[nodiscard]] double rha_bits(std::size_t events) const;
+
+  /// The four Figure 10 scenarios.  `tm_bits` is the membership cycle
+  /// expressed in bit-times (Tm * bit rate).
+  [[nodiscard]] BandwidthBreakdown no_changes() const;
+  [[nodiscard]] BandwidthBreakdown crash_failures() const;       // + f FDA
+  [[nodiscard]] BandwidthBreakdown single_join_leave() const;    // + RHA(1)
+  [[nodiscard]] BandwidthBreakdown multiple_join_leave(std::size_t c) const;
+
+  /// Utilization of a scenario for a given cycle length in bit-times.
+  [[nodiscard]] static double utilization(const BandwidthBreakdown& bd,
+                                          double tm_bits) {
+    return bd.total_bits() / tm_bits;
+  }
+
+  /// Worst-case frame lengths used by the model (bit-times, incl. IFS).
+  [[nodiscard]] double c_rtr() const { return c_rtr_; }
+  [[nodiscard]] double c_rhv() const { return c_rhv_; }
+
+ private:
+  BandwidthParams p_;
+  double c_rtr_;  ///< life-sign / failure-sign / join / leave remote frame
+  double c_rhv_;  ///< RHV signal data frame
+};
+
+}  // namespace canely::analysis

@@ -1,0 +1,91 @@
+#include "analysis/inaccessibility.hpp"
+
+#include <algorithm>
+
+namespace canely::analysis {
+
+namespace {
+// Error signaling bounds (ISO 11898): an error flag of 6 bits may be
+// superposed by other nodes' flags up to 12 bits, followed by an 8-bit
+// delimiter.
+constexpr std::size_t kErrMin = can::kErrorFlagBits + can::kErrorDelimiterBits;
+constexpr std::size_t kErrMax =
+    can::kErrorFlagMaxBits + can::kErrorDelimiterBits;
+constexpr std::size_t kOverload =
+    can::kOverloadFlagBits + can::kOverloadDelimiterBits;
+}  // namespace
+
+InaccessibilityModel::InaccessibilityModel(InaccessibilityParams params)
+    : p_{params},
+      frame_max_{can::max_frame_bits_on_wire(p_.max_dlc, p_.format) +
+                 can::kIntermissionBits} {}
+
+std::size_t InaccessibilityModel::worst_single_error_bits() const {
+  // The error hits the last bit of a maximum-length frame: the whole
+  // frame is wasted, error signaling follows (worst superposition), and
+  // the frame is retransmitted.  The retransmission itself is counted in
+  // the burst aggregate, not here — a single-error inaccessibility ends
+  // when the bus resumes useful service, i.e. at the start of the
+  // retransmission.
+  return frame_max_ + kErrMax + can::kIntermissionBits;
+}
+
+std::vector<InaccessibilityScenario>
+InaccessibilityModel::single_fault_scenarios() const {
+  const std::size_t frame = frame_max_;
+  std::vector<InaccessibilityScenario> v;
+  // Error detected right after SOF vs at the last bit of the frame.
+  v.push_back({"bit error", kErrMin, frame + kErrMax + can::kIntermissionBits});
+  // A stuff error is detected within 6 bits of the offending run.
+  v.push_back({"stuff error", kErrMin, frame + kErrMax + can::kIntermissionBits});
+  // CRC errors are detected at the ACK delimiter — near frame end.
+  v.push_back({"CRC error",
+               frame - can::kEofBits + kErrMin,
+               frame + kErrMax + can::kIntermissionBits});
+  // Form error: fixed-form field violated (CRC delimiter, ACK, EOF).
+  v.push_back({"form error", kErrMin, frame + kErrMax + can::kIntermissionBits});
+  // ACK error: detected at the ACK slot.
+  v.push_back({"ACK error",
+               kErrMin,
+               frame + kErrMax + can::kIntermissionBits});
+  // Overload: up to two consecutive overload frames may follow a frame.
+  v.push_back({"overload frame", kOverload, 2 * kOverload});
+  // Error-passive transmitter additionally suspends for 8 bit-times.
+  v.push_back({"error-passive transmitter",
+               kErrMin + can::kSuspendTransmissionBits,
+               frame + kErrMax + can::kSuspendTransmissionBits +
+                   can::kIntermissionBits});
+  return v;
+}
+
+InaccessibilityScenario InaccessibilityModel::burst(int k) const {
+  // k consecutive transmissions destroyed back to back: each costs the
+  // worst single error; the final successful retransmission is service
+  // again, so it is excluded.
+  const std::size_t unit = worst_single_error_bits();
+  return {"multiple errors (burst of " + std::to_string(k) + ")",
+          static_cast<std::size_t>(k) * kErrMin,
+          static_cast<std::size_t>(k) * unit};
+}
+
+InaccessibilityScenario InaccessibilityModel::standard_can_bounds() const {
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (const auto& s : single_fault_scenarios()) {
+    lo = std::min(lo, s.min_bits);
+    hi = std::max(hi, s.max_bits);
+  }
+  hi = std::max(hi, burst(p_.burst_k_standard).max_bits);
+  return {"standard CAN", lo, hi};
+}
+
+InaccessibilityScenario InaccessibilityModel::canely_bounds() const {
+  std::size_t lo = SIZE_MAX, hi = 0;
+  for (const auto& s : single_fault_scenarios()) {
+    lo = std::min(lo, s.min_bits);
+    hi = std::max(hi, s.max_bits);
+  }
+  hi = std::max(hi, burst(p_.burst_k_canely).max_bits);
+  return {"CANELy", lo, hi};
+}
+
+}  // namespace canely::analysis

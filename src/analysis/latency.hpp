@@ -1,0 +1,55 @@
+#pragma once
+// Analytic latency bounds for the CANELy failure detection and membership
+// services (the "membership: tens of ms latency" row of Fig. 11).
+//
+// Failure detection (crash -> every correct node notified):
+//
+//   T_detect <= Th + Ttd + (n-1) * skew + T_fda
+//
+//   Th        the victim's heartbeat period: its last life-sign may have
+//             been sent right before the crash;
+//   Ttd       MCAN4 delay bound on that life-sign (already inside the
+//             surveillance timers);
+//   skew      per-observer surveillance skew (Params::fd_skew_quantum) —
+//             the worst observer is the last to suspect, but FDA's
+//             agreed sign usually arrives first;
+//   T_fda     one failure-sign broadcast + clustered echo, each within
+//             Ttd under load (and the sign outranks all other traffic).
+//
+// Join latency (request -> every member installed the new view):
+//
+//   T_join <= Ttd + Tm + Trha
+//
+//   the JOIN frame needs up to Ttd; it then waits for the next cycle
+//   boundary (up to Tm); the RHA execution takes Trha.
+//
+// Leave latency: same bound (leaves ride the same cycle machinery).
+
+#include <cstddef>
+
+#include "canely/params.hpp"
+#include "sim/time.hpp"
+
+namespace canely::analysis {
+
+struct LatencyBounds {
+  sim::Time detection;  ///< crash -> last correct node notified
+  sim::Time join;       ///< msh-can.req(JOIN) -> view installed
+  sim::Time leave;      ///< msh-can.req(LEAVE) -> view installed
+};
+
+/// Worst-case bounds for a deployment with parameters `p` and `n` nodes.
+[[nodiscard]] inline LatencyBounds latency_bounds(const Params& p,
+                                                  std::size_t n) {
+  const sim::Time skew_total =
+      p.fd_skew_quantum * static_cast<std::int64_t>(n > 0 ? n - 1 : 0);
+  const sim::Time t_fda = p.tx_delay_bound * 2;  // sign + clustered echo
+  LatencyBounds b;
+  b.detection =
+      p.heartbeat_period + p.tx_delay_bound + skew_total + t_fda;
+  b.join = p.tx_delay_bound + p.membership_cycle + p.rha_timeout;
+  b.leave = b.join;
+  return b;
+}
+
+}  // namespace canely::analysis

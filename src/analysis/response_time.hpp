@@ -1,0 +1,87 @@
+#pragma once
+// Worst-case CAN message response-time analysis (Tindell & Burns [20],
+// as cited by MCAN4 in the paper: "bounded transmission delay ... depends
+// on message latency classes and offered load bounds").
+//
+// Classic fixed-priority non-preemptive analysis:
+//
+//   R_m = J_m + w_m + C_m
+//   w_m = B_m + E(w_m + C_m) +
+//         sum_{k in hp(m)} ceil((w_m + J_k + tau_bit) / T_k) * C_k
+//
+// where B_m is the longest lower-priority frame (non-preemption blocking),
+// J is queuing jitter, C the worst-case transmission time, and E(t) an
+// optional error-overhead function: with at most `k` faults per interval
+// Trd (MCAN3), E(t) = (ceil(t / Trd) * k) * (C_err + C_max).
+//
+// The failure detector's Ttd bound (Params::tx_delay_bound) should be the
+// worst R over the message set plus the inaccessibility bound Tina.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "can/bitstream.hpp"
+#include "sim/time.hpp"
+
+namespace canely::analysis {
+
+/// One periodic message stream in the analyzed set.
+struct MessageSpec {
+  std::string name;
+  std::uint32_t priority{};     ///< arbitration value; lower wins
+  std::size_t dlc{};            ///< payload bytes 0..8
+  can::IdFormat format{can::IdFormat::kBase};
+  bool remote{false};
+  sim::Time period{};           ///< T
+  sim::Time jitter{};           ///< J (release jitter)
+  sim::Time deadline{};         ///< D (== period if zero)
+};
+
+/// Fault hypothesis for the error-overhead term.
+struct ErrorHypothesis {
+  int omissions_k{0};           ///< MCAN3 bound; 0 = fault-free analysis
+  sim::Time reference_interval{sim::Time::ms(10)};  ///< Trd
+};
+
+struct ResponseTime {
+  std::string name;
+  sim::Time c;                  ///< worst-case transmission time
+  sim::Time b;                  ///< blocking
+  sim::Time r;                  ///< worst-case response time
+  bool schedulable{true};
+};
+
+class ResponseTimeAnalysis {
+ public:
+  ResponseTimeAnalysis(std::vector<MessageSpec> messages,
+                       std::int64_t bit_rate_bps,
+                       ErrorHypothesis errors = {});
+
+  /// Per-message worst-case response times (sorted by priority).
+  [[nodiscard]] const std::vector<ResponseTime>& results() const {
+    return results_;
+  }
+
+  /// The largest response time over the whole set — a sound Ttd_normal
+  /// for MCAN4 when every protocol frame outranks application traffic.
+  [[nodiscard]] std::optional<sim::Time> worst_response() const;
+
+  /// Total utilization of the message set (must be < 1 to converge).
+  [[nodiscard]] double utilization() const { return utilization_; }
+
+  [[nodiscard]] bool all_schedulable() const;
+
+ private:
+  void analyze();
+  [[nodiscard]] sim::Time tx_time(const MessageSpec& m) const;
+
+  std::vector<MessageSpec> msgs_;  // sorted by priority
+  std::int64_t bit_rate_;
+  ErrorHypothesis errors_;
+  std::vector<ResponseTime> results_;
+  double utilization_{0};
+};
+
+}  // namespace canely::analysis

@@ -1,0 +1,174 @@
+#pragma once
+// CANopen network management baselines (paper §6.6; CiA DS-301 / [1]).
+//
+// The industry-standard CAN Application Layer detects node failures with
+// either of two schemes, both reproduced here over the same simulated bus
+// as CANELy:
+//
+//  * Node guarding (master/slave): one NMT master cyclically polls each
+//    slave with a remote frame (COB-ID 0x700 + node); the slave answers
+//    with its state and a toggle bit.  A missing answer raises a *local*
+//    node-guarding event at the master only.
+//  * Heartbeat (producer/consumer): each producer broadcasts its state
+//    every producer_time; each consumer monitors each producer with its
+//    own consumer_time watchdog.  Detection is local and unsynchronized —
+//    different consumers notice at different times, and nothing
+//    reconciles their views.
+//
+// The paper's criticism — centralized nature, no fault-tolerant agreement
+// on failures, no site membership — is exactly what the comparison
+// benchmark measures: detection latency spread across observers and the
+// bandwidth cost of the polling traffic.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "sim/timer.hpp"
+
+namespace canely::baselines {
+
+/// CANopen COB-ID base for NMT error control (node guarding + heartbeat).
+inline constexpr std::uint32_t kErrorControlBase = 0x700;
+/// NMT command COB-ID (module control services).
+inline constexpr std::uint32_t kNmtCommand = 0x000;
+
+/// CiA-301 NMT slave states.
+enum class NmtState : std::uint8_t {
+  kBootUp = 0x00,
+  kStopped = 0x04,
+  kOperational = 0x05,
+  kPreOperational = 0x7F,
+};
+
+/// NMT command specifiers (CiA-301 §7.2.8.2).
+enum class NmtCommand : std::uint8_t {
+  kStart = 0x01,
+  kStop = 0x02,
+  kEnterPreOperational = 0x80,
+  kResetNode = 0x81,
+};
+
+/// NMT slave / heartbeat producer: boots into pre-operational, obeys NMT
+/// module-control commands, answers guard polls, emits heartbeats with
+/// its current state.
+class CanopenSlave final : public can::ControllerClient {
+ public:
+  CanopenSlave(can::Bus& bus, can::NodeId id, sim::TimerService& timers);
+
+  /// Emit the CiA-301 boot-up message (state 0x00 on the error-control
+  /// COB-ID) and enter pre-operational.
+  void boot();
+
+  [[nodiscard]] NmtState state() const { return state_; }
+
+  /// Enable heartbeat production every `producer_time`.
+  void start_heartbeat(sim::Time producer_time);
+
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] can::NodeId id() const { return controller_.node(); }
+  [[nodiscard]] can::Controller& controller() { return controller_; }
+
+  // ControllerClient
+  void on_rx(const can::Frame& frame, bool own) override;
+  void on_tx_confirm(const can::Frame&) override {}
+
+ private:
+  void heartbeat_tick();
+
+  can::Controller controller_;
+  sim::TimerService& timers_;
+  bool toggle_{false};
+  bool crashed_{false};
+  NmtState state_{NmtState::kOperational};
+  sim::Time producer_time_{sim::Time::zero()};
+};
+
+/// NMT master command sender (module control: start/stop/pre-op/reset).
+class CanopenNmtMaster final : public can::ControllerClient {
+ public:
+  CanopenNmtMaster(can::Bus& bus, can::NodeId id);
+
+  /// Send an NMT command to `target` (0 = all nodes).
+  void command(NmtCommand cmd, can::NodeId target);
+
+  [[nodiscard]] can::Controller& controller() { return controller_; }
+
+  // ControllerClient
+  void on_rx(const can::Frame&, bool) override {}
+  void on_tx_confirm(const can::Frame&) override {}
+
+ private:
+  can::Controller controller_;
+};
+
+/// NMT master performing node guarding over a set of slaves.
+class CanopenMaster final : public can::ControllerClient {
+ public:
+  /// `on_failure(node, when)` fires when a guarded slave misses its
+  /// answer deadline (a *local* event — only the master learns).
+  using FailureHandler = std::function<void(can::NodeId)>;
+
+  CanopenMaster(can::Bus& bus, can::NodeId id, sim::TimerService& timers,
+                sim::Time guard_time, sim::Time response_timeout);
+
+  /// Begin cyclic guarding of `slaves`.
+  void start_guarding(const std::vector<can::NodeId>& slaves);
+
+  void set_failure_handler(FailureHandler handler) {
+    on_failure_ = std::move(handler);
+  }
+
+  [[nodiscard]] can::Controller& controller() { return controller_; }
+
+  // ControllerClient
+  void on_rx(const can::Frame& frame, bool own) override;
+  void on_tx_confirm(const can::Frame&) override {}
+
+ private:
+  void poll_next();
+
+  can::Controller controller_;
+  sim::TimerService& timers_;
+  sim::Time guard_time_;
+  sim::Time response_timeout_;
+  FailureHandler on_failure_;
+  std::vector<can::NodeId> slaves_;
+  std::size_t next_{0};
+  std::array<bool, can::kMaxNodes> answered_{};
+  std::array<bool, can::kMaxNodes> declared_{};
+};
+
+/// Heartbeat consumer: watches producers, local timeouts only.
+class HeartbeatConsumer final : public can::ControllerClient {
+ public:
+  using FailureHandler = std::function<void(can::NodeId)>;
+
+  HeartbeatConsumer(can::Bus& bus, can::NodeId id, sim::TimerService& timers);
+
+  /// Watch `producer` with the given consumer time (> its producer time).
+  void watch(can::NodeId producer, sim::Time consumer_time);
+
+  void set_failure_handler(FailureHandler handler) {
+    on_failure_ = std::move(handler);
+  }
+
+  [[nodiscard]] can::Controller& controller() { return controller_; }
+
+  // ControllerClient
+  void on_rx(const can::Frame& frame, bool own) override;
+  void on_tx_confirm(const can::Frame&) override {}
+
+ private:
+  can::Controller controller_;
+  sim::TimerService& timers_;
+  FailureHandler on_failure_;
+  std::array<sim::TimerId, can::kMaxNodes> watch_{};
+  std::array<sim::Time, can::kMaxNodes> consumer_time_{};
+};
+
+}  // namespace canely::baselines

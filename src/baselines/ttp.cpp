@@ -1,0 +1,66 @@
+#include "baselines/ttp.hpp"
+
+namespace canely::baselines {
+
+TtpCluster::TtpCluster(sim::Engine& engine, TtpParams params)
+    : engine_{engine}, params_{params},
+      crashed_(params.n, false), view_(params.n) {
+  for (auto& v : view_) v = can::NodeSet::first_n(params_.n);
+}
+
+void TtpCluster::start() {
+  if (running_) return;
+  running_ = true;
+  engine_.schedule_after(params_.slot_time, [this] { run_slot(0); });
+}
+
+void TtpCluster::crash(can::NodeId node) { crashed_[node] = true; }
+
+void TtpCluster::restart(can::NodeId node) {
+  crashed_[node] = false;
+  view_[node] = can::NodeSet{node};  // relearns by listening
+}
+
+void TtpCluster::run_slot(std::size_t slot) {
+  if (!running_) return;
+  const auto sender = static_cast<can::NodeId>(slot);
+  const bool channel_ok = params_.channel_a_ok || params_.channel_b_ok;
+  const bool heard = !crashed_[sender] && channel_ok &&
+                     view_[sender].contains(sender);
+  // End of slot: every live receiver updates its membership vector; the
+  // sender itself keeps its own entry alive by transmitting.
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (crashed_[i] || i == slot) continue;
+    const bool was_member = view_[i].contains(sender);
+    if (heard) {
+      view_[i].insert(sender);
+    } else if (was_member) {
+      view_[i].erase(sender);
+      if (on_failure_) {
+        on_failure_(static_cast<can::NodeId>(i), sender);
+      }
+    }
+  }
+  // The sender also observes the acknowledgment of its successors; a
+  // silent (crashed) node simply stops updating its view.
+  const std::size_t next = (slot + 1) % params_.n;
+  if (next == 0) ++rounds_;
+  engine_.schedule_after(params_.slot_time, [this, next] { run_slot(next); });
+}
+
+bool TtpCluster::views_consistent() const {
+  bool first = true;
+  can::NodeSet ref;
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    if (crashed_[i]) continue;
+    if (first) {
+      ref = view_[i];
+      first = false;
+    } else if (view_[i] != ref) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace canely::baselines

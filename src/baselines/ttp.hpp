@@ -1,0 +1,97 @@
+#pragma once
+// TTP/C-style TDMA membership baseline (paper §2, Fig. 1 and Fig. 11;
+// Kopetz & Grünsteidl [10], Kopetz et al. [11]).
+//
+// A minimal model of the Time-Triggered Protocol's membership service,
+// sufficient for the comparison rows of Figures 1 and 11:
+//
+//  * fail-silent nodes, a TDMA round of n slots (one per node), two
+//    replicated channels (a slot succeeds if either channel carries it);
+//  * every frame carries the sender's membership vector; receivers check
+//    agreement (modelled via direct comparison — TTP encodes the vector
+//    in the CRC);
+//  * a node that stays silent in its slot is removed from every receiver's
+//    membership at the end of that slot: detection latency is at most one
+//    TDMA round + one slot;
+//  * media access is conflict-free, so bandwidth is fixed by the schedule
+//    regardless of load — the flip side of CAN's event-triggered
+//    flexibility.
+//
+// The model drives the shared discrete-event engine directly (TTP is not
+// a CAN upper layer; it replaces the MAC), which is precisely the
+// substitution DESIGN.md documents for the TTP hardware column.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "can/types.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::baselines {
+
+struct TtpParams {
+  std::size_t n{4};                    ///< nodes == slots per round
+  sim::Time slot_time{sim::Time::us(200)};
+  bool channel_a_ok{true};             ///< replicated channel health
+  bool channel_b_ok{true};
+};
+
+/// A TTP cluster: engine-driven slotted rounds with implicit membership.
+class TtpCluster {
+ public:
+  /// Fires at `observer` when it removes `failed` from its membership.
+  using FailureHandler =
+      std::function<void(can::NodeId observer, can::NodeId failed)>;
+
+  TtpCluster(sim::Engine& engine, TtpParams params);
+
+  /// Start the TDMA schedule.
+  void start();
+
+  void crash(can::NodeId node);
+  [[nodiscard]] bool crashed(can::NodeId node) const {
+    return crashed_[node];
+  }
+
+  /// Reintegrate a previously crashed node: it restarts with a minimal
+  /// view ({itself}), transmits in its slot again, and relearns the
+  /// membership by listening for one TDMA round, while the others
+  /// re-admit it the first time its slot is heard.
+  void restart(can::NodeId node);
+
+  /// Change replicated-channel health at runtime (a slot succeeds while
+  /// either channel carries it).
+  void set_channels(bool a_ok, bool b_ok) {
+    params_.channel_a_ok = a_ok;
+    params_.channel_b_ok = b_ok;
+  }
+
+  /// Membership view held by `node`.
+  [[nodiscard]] can::NodeSet membership(can::NodeId node) const {
+    return view_[node];
+  }
+
+  /// True when all live nodes hold identical membership vectors.
+  [[nodiscard]] bool views_consistent() const;
+
+  void set_failure_handler(FailureHandler handler) {
+    on_failure_ = std::move(handler);
+  }
+
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] const TtpParams& params() const { return params_; }
+
+ private:
+  void run_slot(std::size_t slot);
+
+  sim::Engine& engine_;
+  TtpParams params_;
+  FailureHandler on_failure_;
+  std::vector<bool> crashed_;
+  std::vector<can::NodeSet> view_;
+  std::uint64_t rounds_{0};
+  bool running_{false};
+};
+
+}  // namespace canely::baselines

@@ -1,0 +1,43 @@
+#include "broadcast/edcan.hpp"
+
+namespace canely::broadcast {
+
+EdcanBroadcast::EdcanBroadcast(CanDriver& driver) : driver_{driver} {
+  driver_.on_data_ind(MsgType::kEdcan,
+                      [this](const Mid& mid,
+                             std::span<const std::uint8_t> data,
+                             bool own) { on_data_ind(mid, data, own); });
+}
+
+std::uint8_t EdcanBroadcast::broadcast(std::span<const std::uint8_t> data) {
+  const std::uint8_t seq = next_seq_++;
+  const Mid mid{MsgType::kEdcan, seq, driver_.node()};
+  nreq_[MsgKey{driver_.node(), seq}.packed()] += 1;
+  driver_.can_data_req(mid, data);
+  return seq;
+}
+
+void EdcanBroadcast::on_data_ind(const Mid& mid,
+                                 std::span<const std::uint8_t> data,
+                                 bool /*own*/) {
+  const MsgKey key{mid.node, mid.ref};
+  int& ndup = ndup_[key.packed()];
+  ndup += 1;
+  if (ndup != 1) return;  // duplicate: absorbed
+  // First copy: deliver, then eagerly retransmit the identical frame so
+  // any victim of an inconsistent omission receives it even if the
+  // original sender crashes.  (Recipients' copies cluster on the bus.)
+  if (deliver_) deliver_(mid.node, mid.ref, data);
+  int& nreq = nreq_[key.packed()];
+  nreq += 1;
+  if (nreq == 1) {
+    driver_.can_data_req(mid, data);  // identical mid + data => clusters
+  }
+}
+
+int EdcanBroadcast::copies_seen(can::NodeId sender, std::uint8_t seq) const {
+  const auto it = ndup_.find(MsgKey{sender, seq}.packed());
+  return it == ndup_.end() ? 0 : it->second;
+}
+
+}  // namespace canely::broadcast

@@ -1,0 +1,71 @@
+#pragma once
+// EDCAN — "Eager Diffusion" reliable broadcast on CAN (Rufino et al.,
+// FTCS-28 [18]; paper §2, §6.2).
+//
+// The native CAN layer only gives *best-effort* agreement (LCAN2): an
+// inconsistent omission followed by a sender crash leaves some correct
+// nodes without the message.  EDCAN fixes this eagerly: every recipient of
+// the first copy of a message immediately requests retransmission of the
+// *identical* frame.  On the wired-AND bus the simultaneous copies cluster
+// into (typically) one physical frame, so the fault-free cost is two
+// frames per broadcast, independent of group size.  The FDA micro-protocol
+// of the paper (Fig. 6) is a simplified, single-shot EDCAN.
+//
+// Message identity: mid{EDCAN, seq, sender}; duplicates are filtered per
+// (sender, seq).  The 8-bit sequence number wraps; dedup state for a
+// sender resets when a gap larger than half the space is observed.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "can/types.hpp"
+#include "canely/driver.hpp"
+
+namespace canely::broadcast {
+
+/// Dedup key for (sender, seq) message identities.
+struct MsgKey {
+  can::NodeId sender;
+  std::uint8_t seq;
+  [[nodiscard]] constexpr std::uint16_t packed() const {
+    return static_cast<std::uint16_t>((sender << 8) | seq);
+  }
+};
+
+/// Eager-diffusion reliable broadcast endpoint (one per node).
+class EdcanBroadcast {
+ public:
+  /// Delivery: original sender, sequence number, payload.
+  using DeliverHandler = std::function<void(
+      can::NodeId from, std::uint8_t seq, std::span<const std::uint8_t>)>;
+
+  explicit EdcanBroadcast(CanDriver& driver);
+  EdcanBroadcast(const EdcanBroadcast&) = delete;
+  EdcanBroadcast& operator=(const EdcanBroadcast&) = delete;
+
+  /// Reliably broadcast up to 8 bytes.  Returns the sequence number used.
+  std::uint8_t broadcast(std::span<const std::uint8_t> data);
+
+  void set_deliver_handler(DeliverHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Diagnostics: copies observed for a message (tests assert clustering).
+  [[nodiscard]] int copies_seen(can::NodeId sender, std::uint8_t seq) const;
+
+ private:
+  void on_data_ind(const Mid& mid, std::span<const std::uint8_t> data,
+                   bool own);
+
+  CanDriver& driver_;
+  DeliverHandler deliver_;
+  std::uint8_t next_seq_{0};
+  std::unordered_map<std::uint16_t, int> ndup_;  // copies seen per message
+  std::unordered_map<std::uint16_t, int> nreq_;  // own tx requests per message
+};
+
+}  // namespace canely::broadcast

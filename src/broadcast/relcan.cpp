@@ -1,0 +1,73 @@
+#include "broadcast/relcan.hpp"
+
+#include "broadcast/edcan.hpp"  // MsgKey
+
+namespace canely::broadcast {
+
+RelcanBroadcast::RelcanBroadcast(CanDriver& driver, sim::TimerService& timers,
+                                 sim::Time confirm_timeout)
+    : driver_{driver}, timers_{timers}, confirm_timeout_{confirm_timeout} {
+  driver_.on_data_ind(MsgType::kRelcanData,
+                      [this](const Mid& mid,
+                             std::span<const std::uint8_t> data,
+                             bool own) { on_data_ind(mid, data, own); });
+  driver_.on_rtr_ind(MsgType::kRelcanConfirm,
+                     [this](const Mid& mid, bool /*own*/) {
+                       on_confirm_ind(mid);
+                     });
+  driver_.on_data_cnf(MsgType::kRelcanData,
+                      [this](const Mid& mid) { on_data_cnf(mid); });
+}
+
+std::uint8_t RelcanBroadcast::broadcast(std::span<const std::uint8_t> data) {
+  const std::uint8_t seq = next_seq_++;
+  driver_.can_data_req(Mid{MsgType::kRelcanData, seq, driver_.node()}, data);
+  return seq;
+}
+
+void RelcanBroadcast::on_data_ind(const Mid& mid,
+                                  std::span<const std::uint8_t> data,
+                                  bool own) {
+  const std::uint16_t key = MsgKey{mid.node, mid.ref}.packed();
+  int& ndup = ndup_[key];
+  ndup += 1;
+  if (ndup != 1) return;
+  if (deliver_) deliver_(mid.node, mid.ref, data);
+  if (own) return;  // the sender itself confirms via .cnf, not a timer
+  // Buffer and arm the confirm watchdog.
+  Pending& p = pending_[key];
+  p.data.assign(data.begin(), data.end());
+  p.timer = timers_.start_alarm(confirm_timeout_, [this, key] {
+    on_timeout(key);
+  });
+}
+
+void RelcanBroadcast::on_data_cnf(const Mid& mid) {
+  // Sender side: the CAN layer confirmed the data frame; issue CONFIRM.
+  if (mid.node != driver_.node()) return;
+  driver_.can_rtr_req(Mid{MsgType::kRelcanConfirm, mid.ref, mid.node});
+}
+
+void RelcanBroadcast::on_confirm_ind(const Mid& mid) {
+  const std::uint16_t key = MsgKey{mid.node, mid.ref}.packed();
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  it->second.confirmed = true;
+  timers_.cancel_alarm(it->second.timer);
+  pending_.erase(it);
+}
+
+void RelcanBroadcast::on_timeout(std::uint16_t key) {
+  // No CONFIRM: the sender may have crashed after an inconsistent
+  // omission.  Eagerly diffuse the buffered copy (identical frames from
+  // all suspecting recipients cluster).
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  ++fallbacks_;
+  const Mid mid{MsgType::kRelcanData, static_cast<std::uint8_t>(key & 0xFF),
+                static_cast<can::NodeId>(key >> 8)};
+  driver_.can_data_req(mid, it->second.data);
+  pending_.erase(it);
+}
+
+}  // namespace canely::broadcast

@@ -1,0 +1,72 @@
+#pragma once
+// RELCAN — lazy reliable broadcast on CAN ([18]; paper §2).
+//
+// Where EDCAN pays an eager second frame on *every* broadcast, RELCAN is
+// optimistic: the sender transmits the data frame, and once the CAN layer
+// confirms it (can-data.cnf) it transmits a short CONFIRM remote frame.
+// Recipients deliver the data immediately (at-least-once); a recipient
+// that saw the data but no CONFIRM within a timeout suspects the sender
+// crashed mid-protocol — possibly leaving an inconsistent omission behind
+// — and falls back to eager diffusion of the buffered message.
+//
+// Fault-free cost: one data frame + one 0-byte remote frame.  The fallback
+// costs one extra data frame per suspecting recipient (clustered).
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "can/types.hpp"
+#include "canely/driver.hpp"
+#include "canely/params.hpp"
+#include "sim/timer.hpp"
+
+namespace canely::broadcast {
+
+/// Lazy reliable broadcast endpoint (one per node).
+class RelcanBroadcast {
+ public:
+  using DeliverHandler = std::function<void(
+      can::NodeId from, std::uint8_t seq, std::span<const std::uint8_t>)>;
+
+  RelcanBroadcast(CanDriver& driver, sim::TimerService& timers,
+                  sim::Time confirm_timeout = sim::Time::ms(2));
+  RelcanBroadcast(const RelcanBroadcast&) = delete;
+  RelcanBroadcast& operator=(const RelcanBroadcast&) = delete;
+
+  /// Reliably broadcast up to 8 bytes; returns the sequence number.
+  std::uint8_t broadcast(std::span<const std::uint8_t> data);
+
+  void set_deliver_handler(DeliverHandler handler) {
+    deliver_ = std::move(handler);
+  }
+
+  /// Diagnostics: number of eager fallbacks triggered at this node.
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> data;
+    sim::TimerId timer{sim::kNullTimer};
+    bool confirmed{false};
+  };
+
+  void on_data_ind(const Mid& mid, std::span<const std::uint8_t> data,
+                   bool own);
+  void on_confirm_ind(const Mid& mid);
+  void on_data_cnf(const Mid& mid);
+  void on_timeout(std::uint16_t key);
+
+  CanDriver& driver_;
+  sim::TimerService& timers_;
+  sim::Time confirm_timeout_;
+  DeliverHandler deliver_;
+  std::uint8_t next_seq_{0};
+  std::unordered_map<std::uint16_t, int> ndup_;
+  std::unordered_map<std::uint16_t, Pending> pending_;
+  std::uint64_t fallbacks_{0};
+};
+
+}  // namespace canely::broadcast

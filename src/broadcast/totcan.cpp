@@ -1,0 +1,75 @@
+#include "broadcast/totcan.hpp"
+
+#include "broadcast/edcan.hpp"  // MsgKey
+
+namespace canely::broadcast {
+
+TotcanBroadcast::TotcanBroadcast(CanDriver& driver, sim::TimerService& timers,
+                                 sim::Time accept_timeout)
+    : driver_{driver}, timers_{timers}, accept_timeout_{accept_timeout} {
+  driver_.on_data_ind(MsgType::kTotcanData,
+                      [this](const Mid& mid,
+                             std::span<const std::uint8_t> data,
+                             bool own) { on_data_ind(mid, data, own); });
+  driver_.on_data_cnf(MsgType::kTotcanData,
+                      [this](const Mid& mid) { on_data_cnf(mid); });
+  driver_.on_rtr_ind(MsgType::kTotcanAccept,
+                     [this](const Mid& mid, bool /*own*/) {
+                       on_accept_ind(mid);
+                     });
+}
+
+std::uint8_t TotcanBroadcast::broadcast(std::span<const std::uint8_t> data) {
+  const std::uint8_t seq = next_seq_++;
+  driver_.can_data_req(Mid{MsgType::kTotcanData, seq, driver_.node()}, data);
+  return seq;
+}
+
+void TotcanBroadcast::on_data_ind(const Mid& mid,
+                                  std::span<const std::uint8_t> data,
+                                  bool /*own*/) {
+  // Phase 1: buffer, do not deliver; delivery order is the ACCEPT order.
+  const std::uint16_t key = MsgKey{mid.node, mid.ref}.packed();
+  if (buffered_.contains(key) || accept_ndup_.contains(key)) return;  // dup
+  Buffered& b = buffered_[key];
+  b.data.assign(data.begin(), data.end());
+  b.timer = timers_.start_alarm(accept_timeout_, [this, key] {
+    on_discard_timeout(key);
+  });
+}
+
+void TotcanBroadcast::on_data_cnf(const Mid& mid) {
+  // Sender side, phase 2: the data frame is on every live controller;
+  // serialize delivery by broadcasting ACCEPT.
+  if (mid.node != driver_.node()) return;
+  driver_.can_rtr_req(Mid{MsgType::kTotcanAccept, mid.ref, mid.node});
+}
+
+void TotcanBroadcast::on_accept_ind(const Mid& mid) {
+  const std::uint16_t key = MsgKey{mid.node, mid.ref}.packed();
+  int& ndup = ++accept_ndup_[key];
+  if (ndup != 1) return;
+  // Deliver in ACCEPT arrival order (identical at all correct nodes).
+  if (auto it = buffered_.find(key); it != buffered_.end()) {
+    timers_.cancel_alarm(it->second.timer);
+    ++delivered_;
+    if (deliver_) deliver_(mid.node, mid.ref, it->second.data);
+    buffered_.erase(it);
+  }
+  // Eagerly echo the ACCEPT so its delivery is all-or-none.
+  int& nreq = ++accept_nreq_[key];
+  if (nreq == 1 && mid.node != driver_.node()) {
+    driver_.can_rtr_req(mid);
+  }
+}
+
+void TotcanBroadcast::on_discard_timeout(std::uint16_t key) {
+  // No ACCEPT within the timeout: the sender crashed before phase 2.
+  // Discard — every correct node does the same.
+  auto it = buffered_.find(key);
+  if (it == buffered_.end()) return;
+  ++discarded_;
+  buffered_.erase(it);
+}
+
+}  // namespace canely::broadcast

@@ -1,0 +1,203 @@
+#include "can/bitstream.hpp"
+
+namespace canely::can {
+namespace {
+
+void push_bit(std::vector<std::uint8_t>& bits, bool recessive) {
+  bits.push_back(recessive ? 1 : 0);
+}
+
+void push_field(std::vector<std::uint8_t>& bits, std::uint32_t value,
+                int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    push_bit(bits, (value >> i) & 1);
+  }
+}
+
+}  // namespace
+
+std::uint16_t crc15(std::span<const std::uint8_t> bits) {
+  // ISO 11898-1 CRC: polynomial 0x4599, 15-bit register, no reflection.
+  std::uint16_t crc = 0;
+  for (std::uint8_t b : bits) {
+    const std::uint16_t crc_next =
+        static_cast<std::uint16_t>((b & 1) ^ ((crc >> 14) & 1));
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (crc_next) crc ^= 0x4599;
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> raw_bits(const Frame& frame) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(128);
+
+  push_bit(bits, false);  // SOF (dominant)
+  if (frame.format == IdFormat::kBase) {
+    push_field(bits, frame.id & 0x7FF, 11);  // identifier
+    push_bit(bits, frame.remote);            // RTR
+    push_bit(bits, false);                   // IDE (dominant = base)
+    push_bit(bits, false);                   // r0
+  } else {
+    push_field(bits, (frame.id >> 18) & 0x7FF, 11);  // base identifier
+    push_bit(bits, true);                            // SRR (recessive)
+    push_bit(bits, true);                            // IDE (recessive = ext)
+    push_field(bits, frame.id & 0x3FFFF, 18);        // identifier extension
+    push_bit(bits, frame.remote);                    // RTR
+    push_bit(bits, false);                           // r1
+    push_bit(bits, false);                           // r0
+  }
+  push_field(bits, frame.dlc & 0xF, 4);  // DLC
+  if (!frame.remote) {
+    for (std::size_t i = 0; i < frame.dlc; ++i) {
+      push_field(bits, frame.data[i], 8);
+    }
+  }
+  const std::uint16_t crc = crc15(bits);
+  push_field(bits, crc, 15);
+  return bits;
+}
+
+std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size() + bits.size() / 4);
+  int run = 0;
+  int last = -1;
+  for (std::uint8_t b : bits) {
+    out.push_back(b);
+    if (b == last) {
+      ++run;
+    } else {
+      last = b;
+      run = 1;
+    }
+    if (run == 5) {
+      const std::uint8_t complement = b ? 0 : 1;
+      out.push_back(complement);
+      last = complement;
+      run = 1;
+    }
+  }
+  return out;
+}
+
+std::size_t count_stuff_bits(std::span<const std::uint8_t> bits) {
+  std::size_t stuffed = 0;
+  int run = 0;
+  int last = -1;
+  for (std::uint8_t b : bits) {
+    if (b == last) {
+      ++run;
+    } else {
+      last = b;
+      run = 1;
+    }
+    if (run == 5) {
+      ++stuffed;
+      last = b ? 0 : 1;  // the inserted complement starts a new run
+      run = 1;
+    }
+  }
+  return stuffed;
+}
+
+std::size_t frame_bits_on_wire(const Frame& frame) {
+  const auto bits = raw_bits(frame);
+  return bits.size() + count_stuff_bits(bits) + kFrameTailBits;
+}
+
+std::optional<std::vector<std::uint8_t>> destuff(
+    std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out;
+  out.reserve(bits.size());
+  int run = 0;
+  int last = -1;
+  bool skip_next = false;
+  for (std::uint8_t b : bits) {
+    if (skip_next) {
+      // This position holds a stuff bit; it must complement the run.
+      if (b == last) return std::nullopt;  // stuff error
+      skip_next = false;
+      last = b;
+      run = 1;
+      continue;
+    }
+    out.push_back(b);
+    if (b == last) {
+      if (++run == 5) skip_next = true;
+    } else {
+      last = b;
+      run = 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sequential bit reader over an unstuffed sequence.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bits) : bits_{bits} {}
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t consumed() const { return pos_; }
+
+  std::uint32_t take(int width) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      if (pos_ >= bits_.size()) {
+        ok_ = false;
+        return 0;
+      }
+      v = (v << 1) | bits_[pos_++];
+    }
+    return v;
+  }
+
+ private:
+  std::span<const std::uint8_t> bits_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace
+
+std::optional<Frame> decode_raw_bits(std::span<const std::uint8_t> bits) {
+  BitReader r{bits};
+  if (r.take(1) != 0) return std::nullopt;  // SOF must be dominant
+
+  Frame f;
+  const std::uint32_t base_id = r.take(11);
+  const std::uint32_t rtr_or_srr = r.take(1);
+  const std::uint32_t ide = r.take(1);
+  if (ide == 0) {
+    f.format = IdFormat::kBase;
+    f.id = base_id;
+    f.remote = rtr_or_srr != 0;
+    r.take(1);  // r0
+  } else {
+    if (rtr_or_srr != 1) return std::nullopt;  // SRR must be recessive
+    f.format = IdFormat::kExtended;
+    const std::uint32_t ext = r.take(18);
+    f.id = (base_id << 18) | ext;
+    f.remote = r.take(1) != 0;
+    r.take(2);  // r1, r0
+  }
+  const std::uint32_t dlc = r.take(4);
+  if (dlc > kMaxData) return std::nullopt;  // classic CAN caps at 8
+  f.dlc = static_cast<std::uint8_t>(dlc);
+  if (!f.remote) {
+    for (std::size_t i = 0; i < f.dlc; ++i) {
+      f.data[i] = static_cast<std::uint8_t>(r.take(8));
+    }
+  }
+  if (!r.ok()) return std::nullopt;
+  // CRC covers everything read so far; verify against the trailing 15.
+  const std::uint16_t expect = crc15(bits.subspan(0, r.consumed()));
+  const auto got = static_cast<std::uint16_t>(r.take(15));
+  if (!r.ok() || got != expect) return std::nullopt;
+  if (r.consumed() != bits.size()) return std::nullopt;  // trailing junk
+  return f;
+}
+
+}  // namespace canely::can

@@ -1,0 +1,317 @@
+#include "can/bus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace canely::can {
+
+Bus::Bus(sim::Engine& engine, BusConfig config, const sim::Tracer* tracer)
+    : engine_{engine}, config_{config}, tracer_{tracer} {}
+
+void Bus::attach(Controller& controller) {
+  if (controller_for(controller.node()) != nullptr) {
+    throw std::logic_error("Bus::attach: duplicate node id");
+  }
+  controllers_.push_back(&controller);
+}
+
+void Bus::detach(Controller& controller) {
+  std::erase(controllers_, &controller);
+}
+
+Controller* Bus::controller_for(NodeId node) const {
+  for (Controller* c : controllers_) {
+    if (c->node() == node) return c;
+  }
+  return nullptr;
+}
+
+void Bus::on_tx_request() {
+  if (!transmitting_) schedule_arbitration();
+}
+
+void Bus::schedule_arbitration() {
+  if (arbitration_scheduled_) return;
+  arbitration_scheduled_ = true;
+  engine_.schedule_after(sim::Time::zero(), [this] {
+    arbitration_scheduled_ = false;
+    begin_arbitration();
+  });
+}
+
+void Bus::begin_arbitration() {
+  if (transmitting_) return;
+
+  // Collect the head-of-queue frame of every live controller.
+  // Error-passive controllers in their suspend-transmission window do
+  // not contend (ISO 11898); if they are the only candidates, retry the
+  // arbitration when the earliest suspension lapses.
+  const Frame* winner = nullptr;
+  Controller* primary = nullptr;
+  sim::Time earliest_suspended = sim::Time::max();
+  for (Controller* c : controllers_) {
+    const Frame* f = c->peek_tx();
+    if (f == nullptr) continue;
+    if (c->suspended_until() > engine_.now()) {
+      earliest_suspended = std::min(earliest_suspended, c->suspended_until());
+      continue;
+    }
+    if (winner == nullptr || f->arbitration_key() < winner->arbitration_key() ||
+        (f->arbitration_key() == winner->arbitration_key() &&
+         c->node() < primary->node())) {
+      winner = f;
+      primary = c;
+    }
+  }
+  if (winner == nullptr) {
+    if (earliest_suspended != sim::Time::max()) {
+      engine_.schedule_at(earliest_suspended, [this] {
+        if (!arbitration_scheduled_) begin_arbitration();
+      });
+    }
+    return;  // bus stays idle
+  }
+
+  // Identify co-transmitters: same arbitration key.  Identical frames
+  // merge on the wired-AND medium; same key with different content is a
+  // genuine collision (two nodes own the same identifier — a protocol
+  // configuration error CAN detects as a bit error).
+  NodeSet co;
+  bool collision = false;
+  for (Controller* c : controllers_) {
+    const Frame* f = c->peek_tx();
+    if (f == nullptr) continue;
+    if (c->suspended_until() > engine_.now()) continue;
+    if (f->arbitration_key() != winner->arbitration_key()) continue;
+    if (!(*f == *winner)) {
+      collision = true;
+      co.insert(c->node());
+      continue;
+    }
+    if (config_.clustering || c == primary) {
+      co.insert(c->node());
+    }
+  }
+
+  NodeSet receivers;
+  for (Controller* c : controllers_) {
+    if (c->alive() && !co.contains(c->node())) receivers.insert(c->node());
+  }
+
+  const Frame frame = *winner;  // copy: the queue entry may be popped later
+  const int attempt = primary->head_attempts();
+  const sim::Time start = engine_.now();
+  const std::size_t frame_bits = frame_bits_on_wire(frame);
+
+  Verdict verdict;
+  if (collision) {
+    // Both transmitters detect the mismatch early; model as a destroyed
+    // frame of roughly the arbitration+control field length.
+    verdict = Verdict::global_error(static_cast<std::int32_t>(
+        frame.format == IdFormat::kBase ? 19 : 39));
+  } else {
+    TxContext ctx{frame,   primary->node(), co,
+                  receivers, attempt,        start, tx_index_};
+    verdict = injector_ != nullptr ? injector_->judge(ctx) : Verdict::ok();
+    verdict.victims = verdict.victims.intersected(receivers);
+    if (verdict.kind == FaultKind::kNone && receivers.empty()) {
+      verdict.kind = FaultKind::kAckError;  // nobody left to acknowledge
+    }
+    if (verdict.kind == FaultKind::kInconsistentOmission &&
+        verdict.victims.empty()) {
+      verdict.kind = FaultKind::kNone;  // no victims => clean broadcast
+    }
+  }
+  ++tx_index_;
+
+  std::size_t bits = 0;
+  switch (verdict.kind) {
+    case FaultKind::kNone:
+      bits = frame_bits + kIntermissionBits;
+      break;
+    case FaultKind::kGlobalError: {
+      std::size_t pos = verdict.error_bit < 0
+                            ? frame_bits - 1
+                            : std::min<std::size_t>(
+                                  static_cast<std::size_t>(verdict.error_bit),
+                                  frame_bits - 1);
+      bits = pos + 1 + config_.error_signal_bits + kIntermissionBits;
+      break;
+    }
+    case FaultKind::kInconsistentOmission:
+      // The fault hits the last-but-one bit: the whole frame plus error
+      // signaling occupies the bus.
+      bits = frame_bits + config_.error_signal_bits + kIntermissionBits;
+      break;
+    case FaultKind::kAckError:
+      bits = frame_bits + config_.error_signal_bits + kIntermissionBits;
+      break;
+  }
+  if (collision) {
+    bits = static_cast<std::size_t>(verdict.error_bit) + 1 +
+           config_.error_signal_bits + kIntermissionBits;
+  }
+  // Overload frames (ISO 11898: at most two back to back) stretch the
+  // interframe space before the next arbitration.
+  const int overloads = std::min(verdict.overloads, 2);
+  bits += static_cast<std::size_t>(overloads) *
+          (kOverloadFlagBits + kOverloadDelimiterBits);
+  stats_.overload_frames += static_cast<std::uint64_t>(overloads);
+
+  transmitting_ = true;
+  const bool was_collision = collision;
+  engine_.schedule_after(
+      bit() * static_cast<std::int64_t>(bits),
+      [this, frame, co, receivers, verdict, start, bits, attempt,
+       was_collision] {
+        transmitting_ = false;
+        if (was_collision) {
+          // Penalize all contenders and count the wasted bus time.
+          for (NodeId id : co) {
+            if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+              c->bus_tx_failed(frame, false);
+            }
+          }
+          for (NodeId id : receivers) {
+            if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+              c->bus_rx_error();
+            }
+          }
+          ++stats_.attempts;
+          ++stats_.collisions;
+          stats_.bits_total += bits;
+          stats_.bits_wasted += bits;
+          if (observer_) {
+            auto observer = observer_;  // may replace/clear itself mid-call
+            observer(TxRecord{start, engine_.now(), frame, *co.begin(), co,
+                              {}, TxOutcome::kCollision, bits, attempt});
+          }
+          schedule_arbitration();
+          return;
+        }
+        complete_transmission(frame, co, receivers, verdict, start, bits,
+                              attempt);
+      });
+}
+
+void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
+                                Verdict verdict, sim::Time start,
+                                std::size_t bits, int attempt) {
+  // Nodes may have crashed mid-frame; deliver only to the living.  If
+  // every co-transmitter died mid-frame the frame was cut short: treat as
+  // a global error with no retransmission (the sender is gone) — this is
+  // precisely how an inconsistent omission becomes an inconsistent
+  // *message* omission when the sender fails before retransmitting (§6.1).
+  NodeSet co_alive;
+  for (NodeId id : co) {
+    Controller* c = controller_for(id);
+    if (c != nullptr && c->alive()) co_alive.insert(id);
+  }
+  if (co_alive.empty()) {
+    verdict.kind = FaultKind::kGlobalError;
+  }
+
+  TxRecord rec;
+  rec.start = start;
+  rec.end = engine_.now();
+  rec.frame = frame;
+  rec.transmitter = *co.begin();
+  rec.co_transmitters = co;
+  rec.bits = bits;
+  rec.attempt = attempt;
+
+  ++stats_.attempts;
+  stats_.bits_total += bits;
+
+  switch (verdict.kind) {
+    case FaultKind::kNone: {
+      rec.outcome = TxOutcome::kOk;
+      ++stats_.ok;
+      stats_.bits_good += bits;
+      // Confirm first (pops the queue head), then indicate to everyone,
+      // own transmissions included (§5, Fig. 4).
+      for (NodeId id : co_alive) {
+        controller_for(id)->bus_tx_succeeded(frame);
+      }
+      for (Controller* c : controllers_) {
+        if (!c->alive()) continue;
+        const bool own = co_alive.contains(c->node());
+        if (!own && filter_ != nullptr &&
+            !filter_->receives(rec.transmitter, c->node(), frame)) {
+          continue;  // media partition hid the frame from this node
+        }
+        c->bus_rx_deliver(frame, own);
+        rec.delivered_to.insert(c->node());
+      }
+      break;
+    }
+    case FaultKind::kGlobalError: {
+      rec.outcome = TxOutcome::kError;
+      ++stats_.errors;
+      stats_.bits_wasted += bits;
+      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, false);
+      for (NodeId id : receivers) {
+        if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+          c->bus_rx_error();
+        }
+      }
+      break;
+    }
+    case FaultKind::kInconsistentOmission: {
+      rec.outcome = TxOutcome::kInconsistent;
+      ++stats_.inconsistent;
+      stats_.bits_wasted += bits;
+      // Transmitters observed the error flag in the EOF: they retransmit.
+      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, false);
+      // Non-victim receivers accepted the frame before the late error.
+      for (NodeId id : receivers) {
+        Controller* c = controller_for(id);
+        if (c == nullptr || !c->alive()) continue;
+        if (verdict.victims.contains(id)) {
+          c->bus_rx_error();
+        } else if (filter_ == nullptr ||
+                   filter_->receives(rec.transmitter, id, frame)) {
+          c->bus_rx_deliver(frame, false);
+          rec.delivered_to.insert(id);
+        }
+      }
+      break;
+    }
+    case FaultKind::kAckError: {
+      rec.outcome = TxOutcome::kAckError;
+      ++stats_.ack_errors;
+      stats_.bits_wasted += bits;
+      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, true);
+      break;
+    }
+  }
+
+  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kDebug)) {
+    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "bus",
+                  sim::cat_str(frame, " from ", int{rec.transmitter},
+                               " outcome=", static_cast<int>(rec.outcome),
+                               " bits=", bits));
+  }
+  if (observer_) {
+    // Invoke a copy: the observer may replace/clear itself mid-call.
+    auto observer = observer_;
+    observer(rec);
+  }
+
+  // Anything still pending (including the retransmission just scheduled)?
+  for (Controller* c : controllers_) {
+    if (c->peek_tx() != nullptr) {
+      schedule_arbitration();
+      break;
+    }
+  }
+}
+
+void Bus::trace(std::string text) const {
+  if (tracer_ != nullptr) {
+    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "bus",
+                  std::move(text));
+  }
+}
+
+}  // namespace canely::can

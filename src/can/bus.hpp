@@ -1,0 +1,141 @@
+#pragma once
+// Single-channel CAN bus model.
+//
+// Frame-level simulation with bit-accurate timing: arbitration happens at
+// frame granularity (the lowest identifier wins — deterministic collision
+// resolution, §3), but every duration is computed from the frame's real
+// serialized, bit-stuffed length.  The wired-AND physical layer is
+// modelled where it matters to the paper:
+//
+//  * identical remote frames transmitted simultaneously merge ("cluster")
+//    into a single physical frame — FDA and RHA depend on this to save
+//    bandwidth (§6.2);
+//  * a dominant error flag from any node destroys the frame for all, and
+//    CAN retransmits automatically;
+//  * errors hitting the last-but-one bit at a subset of nodes produce the
+//    inconsistent-omission failure mode of [18] (see fault.hpp).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "can/bitstream.hpp"
+#include "can/controller.hpp"
+#include "can/fault.hpp"
+#include "can/frame.hpp"
+#include "can/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace canely::can {
+
+struct BusConfig {
+  /// Data rate; 1 Mbps => 1 us bit-time, 40 m bus (§3).
+  std::int64_t bit_rate_bps{1'000'000};
+  /// Wired-AND merging of identical simultaneous remote frames.  Disabled
+  /// only by the clustering ablation benchmark.
+  bool clustering{true};
+  /// Bits of error signaling appended to a destroyed frame
+  /// (error flag + error delimiter).
+  std::size_t error_signal_bits{kErrorFlagBits + kErrorDelimiterBits};
+};
+
+enum class TxOutcome : std::uint8_t {
+  kOk,
+  kError,          ///< globally destroyed; retransmission follows
+  kInconsistent,   ///< accepted by a subset only; retransmission follows
+  kAckError,       ///< nobody acknowledged
+  kCollision,      ///< same identifier, different content (protocol bug)
+};
+
+/// One completed transmission attempt, as seen on the wire.
+struct TxRecord {
+  sim::Time start;
+  sim::Time end;
+  Frame frame;
+  NodeId transmitter{};       ///< lowest-numbered co-transmitter
+  NodeSet co_transmitters;
+  NodeSet delivered_to;       ///< receivers that accepted the frame
+  TxOutcome outcome{TxOutcome::kOk};
+  std::size_t bits{};         ///< bus time consumed, incl. error signaling
+  int attempt{};              ///< retransmission ordinal, 0-based
+};
+
+struct BusStats {
+  std::uint64_t attempts{0};
+  std::uint64_t ok{0};
+  std::uint64_t errors{0};
+  std::uint64_t inconsistent{0};
+  std::uint64_t ack_errors{0};
+  std::uint64_t collisions{0};
+  std::uint64_t overload_frames{0};
+  std::uint64_t bits_total{0};   ///< all bus-busy bits (frames + errors + IFS)
+  std::uint64_t bits_good{0};    ///< bits of successfully delivered frames
+  std::uint64_t bits_wasted{0};  ///< partial frames + error signaling
+};
+
+/// Hook for the media-redundancy layer: may veto delivery on a per
+/// (transmitter, receiver) basis — modelling partitions of individual
+/// media — without the transmitter noticing (the subtle inconsistency
+/// studied in [22]).
+class ReceptionFilter {
+ public:
+  virtual ~ReceptionFilter() = default;
+  virtual bool receives(NodeId tx, NodeId rx, const Frame& frame) = 0;
+};
+
+/// The shared broadcast channel.
+class Bus {
+ public:
+  explicit Bus(sim::Engine& engine, BusConfig config = {},
+               const sim::Tracer* tracer = nullptr);
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const BusConfig& config() const { return config_; }
+  [[nodiscard]] sim::Time bit() const { return sim::bit_time(config_.bit_rate_bps); }
+
+  /// Fault injection / media hooks (non-owning; may be null).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_reception_filter(ReceptionFilter* filter) { filter_ = filter; }
+
+  /// Observer invoked after every completed transmission attempt; the
+  /// benchmarks classify records by protocol type to split bandwidth.
+  void set_observer(std::function<void(const TxRecord&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  [[nodiscard]] bool busy() const { return transmitting_; }
+
+  // -- controller registration (Controller ctor/dtor use these) ------------
+  void attach(Controller& controller);
+  void detach(Controller& controller);
+  [[nodiscard]] Controller* controller_for(NodeId node) const;
+
+  /// A controller signals that it has (new) pending transmit work.
+  void on_tx_request();
+
+ private:
+  void schedule_arbitration();
+  void begin_arbitration();
+  void complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
+                             Verdict verdict, sim::Time start,
+                             std::size_t bits, int attempt);
+  void trace(std::string text) const;
+
+  sim::Engine& engine_;
+  BusConfig config_;
+  const sim::Tracer* tracer_;
+  FaultInjector* injector_{nullptr};
+  ReceptionFilter* filter_{nullptr};
+  std::function<void(const TxRecord&)> observer_;
+  std::vector<Controller*> controllers_;
+  BusStats stats_;
+  std::uint64_t tx_index_{0};
+  bool transmitting_{false};
+  bool arbitration_scheduled_{false};
+};
+
+}  // namespace canely::can

@@ -1,0 +1,153 @@
+#include "can/controller.hpp"
+
+#include <algorithm>
+
+#include "can/bus.hpp"
+
+namespace canely::can {
+
+Controller::Controller(NodeId node, Bus& bus) : node_{node}, bus_{bus} {
+  bus_.attach(*this);
+}
+
+Controller::~Controller() { bus_.detach(*this); }
+
+void Controller::request_tx(const Frame& frame) {
+  if (!alive()) return;  // a mute controller silently drops requests
+  PendingTx tx{frame, 0, next_seq_++};
+  // Insert keeping (arbitration key, seq) order — priority-sorted transmit
+  // mailboxes, FIFO among equal identifiers.
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(), [&](const PendingTx& q) {
+        const auto qk = q.frame.arbitration_key();
+        const auto nk = tx.frame.arbitration_key();
+        return qk > nk;
+      });
+  queue_.insert(pos, std::move(tx));
+  bus_.on_tx_request();
+}
+
+std::size_t Controller::abort_matching(
+    const std::function<bool(const Frame&)>& match) {
+  // "Has effect only on pending requests" (Fig. 4): the queue head is
+  // abortable too in this model because an in-flight transmission works on
+  // a *copy* of the frame — matching real controllers, where an abort
+  // during transmission takes effect only if the frame errors out.
+  const auto before = queue_.size();
+  std::erase_if(queue_, [&](const PendingTx& q) { return match(q.frame); });
+  return before - queue_.size();
+}
+
+void Controller::crash() {
+  crashed_ = true;
+  queue_.clear();
+}
+
+const Frame* Controller::peek_tx() const {
+  if (!alive() || queue_.empty()) return nullptr;
+  return &queue_.front().frame;
+}
+
+int Controller::head_attempts() const {
+  return queue_.empty() ? 0 : queue_.front().attempts;
+}
+
+void Controller::bus_tx_succeeded(const Frame& frame) {
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const PendingTx& q) { return q.frame == frame; });
+  if (it == queue_.end()) return;  // aborted while in flight
+  queue_.erase(it);
+  bump_tec(-1);
+  begin_suspend_if_passive();
+  if (client_ != nullptr) client_->on_tx_confirm(frame);
+}
+
+void Controller::bus_tx_failed(const Frame& frame, bool ack_error) {
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [&](const PendingTx& q) { return q.frame == frame; });
+  if (it != queue_.end()) ++it->attempts;
+  // ISO 11898 exception: an error-passive transmitter seeing an ACK error
+  // does not increment TEC — otherwise a lone node would count itself out.
+  if (!(ack_error && state_ == ErrorState::kErrorPassive)) {
+    bump_tec(+8);
+  }
+  begin_suspend_if_passive();
+}
+
+void Controller::begin_suspend_if_passive() {
+  if (state_ == ErrorState::kErrorPassive) {
+    suspended_until_ =
+        bus_.engine().now() + bus_.bit() * kSuspendTransmissionBits;
+  }
+}
+
+void Controller::add_acceptance_filter(std::uint32_t code,
+                                       std::uint32_t mask) {
+  filters_.push_back(AcceptanceFilter{code, mask});
+}
+
+void Controller::clear_acceptance_filters() { filters_.clear(); }
+
+bool Controller::accepts(std::uint32_t id) const {
+  if (filters_.empty()) return true;
+  for (const AcceptanceFilter& f : filters_) {
+    if ((id & f.mask) == (f.code & f.mask)) return true;
+  }
+  return false;
+}
+
+void Controller::bus_rx_deliver(const Frame& frame, bool own) {
+  if (!own) bump_rec(-1);
+  // Acceptance filtering happens after the frame is validated (the
+  // controller still acknowledged it); own transmissions bypass filters,
+  // as real controllers' self-reception paths do.
+  if (!own && !accepts(frame.id)) return;
+  if (client_ != nullptr) client_->on_rx(frame, own);
+}
+
+void Controller::bus_rx_error() { bump_rec(+1); }
+
+void Controller::bump_tec(int delta) {
+  tec_ = std::clamp(tec_ + delta, 0, 256);
+  refresh_state();
+}
+
+void Controller::bump_rec(int delta) {
+  // On correct reception an error-passive receiver's REC re-arms to a
+  // value just below the passive threshold (ISO 11898 sets 119..127).
+  if (delta < 0 && rec_ > 127) {
+    rec_ = 119;
+  } else {
+    rec_ = std::clamp(rec_ + delta, 0, 255);
+  }
+  refresh_state();
+}
+
+void Controller::refresh_state() {
+  if (state_ == ErrorState::kBusOff) return;  // sticky without recovery
+  if (tec_ >= 256) {
+    state_ = ErrorState::kBusOff;
+    queue_.clear();  // fault confinement: the node falls silent
+    if (client_ != nullptr) client_->on_bus_off();
+    if (auto_recovery_) {
+      // ISO 11898: rejoin after 128 * 11 recessive bits (approximated as
+      // idle bus time — conservative under load, where recovery takes
+      // longer in reality too).
+      bus_.engine().schedule_after(
+          bus_.bit() * (128 * 11), [this] {
+            if (crashed_ || state_ != ErrorState::kBusOff) return;
+            tec_ = 0;
+            rec_ = 0;
+            state_ = ErrorState::kErrorActive;
+            if (client_ != nullptr) client_->on_bus_off_recovered();
+          });
+    }
+    return;
+  }
+  state_ = (tec_ >= 128 || rec_ >= 128) ? ErrorState::kErrorPassive
+                                        : ErrorState::kErrorActive;
+}
+
+}  // namespace canely::can

@@ -1,0 +1,180 @@
+#pragma once
+// CAN controller model with ISO 11898 fault confinement.
+//
+// One controller attaches each node to the bus.  It owns the node's
+// transmit queue (priority-ordered, like the mailbox arrays of real
+// controllers), delivers received frames to its client (the CANELy
+// driver), and implements the transmit/receive error counters whose
+// error-active / error-passive / bus-off state machine enforces the
+// paper's weak-fail-silent assumption (§3, §4): a babbling or broken
+// controller removes itself from the bus after a bounded number of
+// omissions.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "can/types.hpp"
+#include "sim/time.hpp"
+
+namespace canely::can {
+
+class Bus;
+
+enum class ErrorState : std::uint8_t {
+  kErrorActive,
+  kErrorPassive,
+  kBusOff,
+};
+
+/// Callbacks a controller delivers to the layer above (the driver).
+class ControllerClient {
+ public:
+  virtual ~ControllerClient() = default;
+
+  /// A valid frame was observed on the bus.  `own` is true when this node
+  /// (co-)transmitted it — the paper's §5 requires reception of own
+  /// transmissions for the `.nty` extension.
+  virtual void on_rx(const Frame& frame, bool own) = 0;
+
+  /// A previously queued transmit request completed successfully.
+  virtual void on_tx_confirm(const Frame& frame) = 0;
+
+  /// Fault confinement shut the controller down (TEC reached 256).
+  virtual void on_bus_off() {}
+
+  /// The controller finished bus-off recovery and is error-active again
+  /// (only with enable_bus_off_recovery).
+  virtual void on_bus_off_recovered() {}
+};
+
+/// A node's CAN controller.
+class Controller {
+ public:
+  /// Constructs and attaches to `bus`.  `node` must be unique on the bus.
+  Controller(NodeId node, Bus& bus);
+
+  /// Enable ISO 11898 bus-off recovery: after fault confinement silences
+  /// the controller, it rejoins error-active once it has observed 128
+  /// occurrences of 11 consecutive recessive bits (approximated as 128*11
+  /// idle bit-times).  Disabled by default — CANELy's weak-fail-silent
+  /// enforcement (§4) treats bus-off as a crash; recovery is an
+  /// application decision.
+  void enable_bus_off_recovery(bool enable) { auto_recovery_ = enable; }
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  void set_client(ControllerClient* client) { client_ = client; }
+
+  [[nodiscard]] NodeId node() const { return node_; }
+
+  // -- transmit side --------------------------------------------------------
+
+  /// Queue a frame for transmission.  Frames contend locally by
+  /// arbitration priority (FIFO among equal priorities), mirroring a
+  /// controller with priority-sorted transmit mailboxes.
+  void request_tx(const Frame& frame);
+
+  /// Abort pending (not in-flight) requests matching the predicate;
+  /// returns how many were dropped.  Implements `can-abort.req` (Fig. 4:
+  /// "has effect only on pending requests").
+  std::size_t abort_matching(const std::function<bool(const Frame&)>& match);
+
+  // -- acceptance filtering ---------------------------------------------------
+
+  /// Hardware-style acceptance filter: a received frame is delivered to
+  /// the client iff (id & mask) == (code & mask) for at least one
+  /// configured filter (both id formats share the filter bank, as in
+  /// simple controllers).  With no filters configured everything is
+  /// accepted.  Filtering is receive-side only; it does not affect the
+  /// node's participation in error signaling or acknowledgment.
+  void add_acceptance_filter(std::uint32_t code, std::uint32_t mask);
+  void clear_acceptance_filters();
+  [[nodiscard]] bool accepts(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t tx_queue_depth() const { return queue_.size(); }
+
+  // -- failure semantics ----------------------------------------------------
+
+  /// Fail-silent crash: the controller goes mute instantly and forever.
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// True when the controller takes part in bus traffic.
+  [[nodiscard]] bool alive() const {
+    return !crashed_ && state_ != ErrorState::kBusOff;
+  }
+
+  // -- fault confinement state ----------------------------------------------
+
+  [[nodiscard]] ErrorState error_state() const { return state_; }
+  [[nodiscard]] int tec() const { return tec_; }
+  [[nodiscard]] int rec() const { return rec_; }
+
+  /// ISO 11898 suspend transmission: an error-passive node must wait 8
+  /// extra bit-times after transmitting before contending again.  The bus
+  /// skips this controller in arbitrations before this instant.
+  [[nodiscard]] sim::Time suspended_until() const { return suspended_until_; }
+
+  // -- bus-facing interface (used by Bus only) --------------------------------
+
+  /// Head of the transmit queue, or nullptr when this controller has
+  /// nothing to offer in the next arbitration round.
+  [[nodiscard]] const Frame* peek_tx() const;
+
+  /// Retransmission attempts already made for the queue head.
+  [[nodiscard]] int head_attempts() const;
+
+  /// Bus: `frame` (queued here, wire-identical match) was transmitted
+  /// successfully.  Identified by content, NOT by queue position: a
+  /// higher-priority request may have been queued while this frame was in
+  /// flight, displacing it from the head.
+  void bus_tx_succeeded(const Frame& frame);
+
+  /// Bus: `frame`'s transmission failed; it stays queued for
+  /// retransmission.  TEC += 8 (or unchanged for an ACK error while
+  /// error-passive — ISO 11898 exception, so a lone node does not drive
+  /// itself bus-off).
+  void bus_tx_failed(const Frame& frame, bool ack_error);
+
+  /// Bus: deliver a valid frame (REC decrements on correct reception).
+  void bus_rx_deliver(const Frame& frame, bool own);
+
+  /// Bus: this node observed a frame error as a receiver (REC += 1).
+  void bus_rx_error();
+
+ private:
+  struct PendingTx {
+    Frame frame;
+    int attempts{0};
+    std::uint64_t seq{0};
+  };
+
+  void bump_tec(int delta);
+  void bump_rec(int delta);
+  void refresh_state();
+  void begin_suspend_if_passive();
+
+  struct AcceptanceFilter {
+    std::uint32_t code;
+    std::uint32_t mask;
+  };
+
+  NodeId node_;
+  Bus& bus_;
+  ControllerClient* client_{nullptr};
+  std::vector<AcceptanceFilter> filters_;
+  std::deque<PendingTx> queue_;  // kept sorted by (arbitration key, seq)
+  std::uint64_t next_seq_{1};
+  int tec_{0};
+  int rec_{0};
+  ErrorState state_{ErrorState::kErrorActive};
+  bool crashed_{false};
+  bool auto_recovery_{false};
+  sim::Time suspended_until_{sim::Time::zero()};
+};
+
+}  // namespace canely::can

@@ -1,0 +1,218 @@
+#pragma once
+// Fault injection for the CAN bus model.
+//
+// The system model of the paper (§4) assumes components are weak-fail-
+// silent with omission degree k (MCAN3), that some j <= k omissions are
+// *inconsistent* — not observed by all recipients (LCAN4) — and that nodes
+// crash.  The fault injector is where test suites and benchmarks inject
+// exactly those behaviours, deterministically or stochastically:
+//
+//  * kGlobalError        — the frame is destroyed for everybody (a node
+//                          signals an error flag); CAN retransmits.
+//  * kInconsistentOmission — a fault hits the last-but-one bit of the
+//                          frame at a subset of receivers ("victims"):
+//                          victims reject it, the rest accept it; the
+//                          transmitter retransmits, so non-victims see a
+//                          duplicate — unless the sender crashes first,
+//                          which yields an inconsistent message omission.
+//                          This is the failure mode FDA/RHA exist to fix.
+//  * kAckError           — nobody acknowledged (e.g. all peers crashed).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "can/frame.hpp"
+#include "can/types.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace canely::can {
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kGlobalError,
+  kInconsistentOmission,
+  kAckError,
+};
+
+/// The fate of one transmission attempt, decided by the fault injector.
+struct Verdict {
+  FaultKind kind{FaultKind::kNone};
+  /// For kInconsistentOmission: receivers that do NOT accept the frame.
+  NodeSet victims{};
+  /// For kGlobalError: bit offset where the error hit (the partial frame
+  /// up to this bit is wasted bus time). -1 = end of frame.
+  std::int32_t error_bit{-1};
+  /// Overload frames following this transmission (ISO 11898 allows up to
+  /// two): each delays the next arbitration by flag+delimiter bit-times —
+  /// one of the inaccessibility scenarios of [22].  Applies to any kind.
+  int overloads{0};
+
+  [[nodiscard]] static Verdict ok() { return {}; }
+  [[nodiscard]] static Verdict global_error(std::int32_t at_bit = -1) {
+    return Verdict{FaultKind::kGlobalError, {}, at_bit, 0};
+  }
+  [[nodiscard]] static Verdict inconsistent(NodeSet victims) {
+    return Verdict{FaultKind::kInconsistentOmission, victims, -1, 0};
+  }
+  [[nodiscard]] static Verdict with_overloads(int count) {
+    Verdict v;
+    v.overloads = count;
+    return v;
+  }
+};
+
+/// Everything an injector may key its decision on.
+struct TxContext {
+  const Frame& frame;
+  NodeId transmitter;       ///< primary transmitter (lowest co-transmitter id)
+  NodeSet co_transmitters;  ///< all nodes clustered on this physical frame
+  NodeSet receivers;        ///< powered nodes excluding co-transmitters
+  int attempt;              ///< 0 on first attempt, +1 per retransmission
+  sim::Time start;          ///< transmission start instant
+  std::uint64_t tx_index;   ///< global transmission attempt counter
+};
+
+/// Decides the fate of each transmission attempt.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual Verdict judge(const TxContext& ctx) = 0;
+};
+
+/// The default: a perfect channel.
+class NoFaults final : public FaultInjector {
+ public:
+  Verdict judge(const TxContext&) override { return Verdict::ok(); }
+};
+
+/// Deterministic, rule-based injection for tests and targeted scenarios.
+///
+/// Rules are consulted in insertion order; the first rule whose predicate
+/// matches (and that still has shots left) supplies the verdict.
+class ScriptedFaults final : public FaultInjector {
+ public:
+  using Predicate = std::function<bool(const TxContext&)>;
+
+  /// Add a rule firing at most `shots` times (default once).
+  ScriptedFaults& add(Predicate match, Verdict verdict, int shots = 1) {
+    rules_.push_back(Rule{std::move(match), verdict, shots});
+    return *this;
+  }
+
+  /// Convenience: destroy the n-th transmission attempt (0-based, global).
+  ScriptedFaults& kill_nth(std::uint64_t n) {
+    return add([n](const TxContext& c) { return c.tx_index == n; },
+               Verdict::global_error());
+  }
+
+  /// Convenience: first attempt matching `match` suffers an inconsistent
+  /// omission with the given victim set.
+  ScriptedFaults& inconsistent_once(Predicate match, NodeSet victims) {
+    return add(std::move(match), Verdict::inconsistent(victims));
+  }
+
+  Verdict judge(const TxContext& ctx) override {
+    for (auto& rule : rules_) {
+      if (rule.shots != 0 && rule.match(ctx)) {
+        if (rule.shots > 0) --rule.shots;
+        return rule.verdict;
+      }
+    }
+    return Verdict::ok();
+  }
+
+ private:
+  struct Rule {
+    Predicate match;
+    Verdict verdict;
+    int shots;  ///< remaining firings; negative = unlimited
+  };
+  std::vector<Rule> rules_;
+};
+
+/// Stochastic injection: each attempt independently suffers a global error
+/// with probability `p_global`, or an inconsistent omission with
+/// probability `p_inconsistent` (victims: a uniformly sized non-empty,
+/// non-full random subset of the receivers).
+class RandomFaults final : public FaultInjector {
+ public:
+  RandomFaults(sim::Rng rng, double p_global, double p_inconsistent)
+      : rng_{rng}, p_global_{p_global}, p_inconsistent_{p_inconsistent} {}
+
+  Verdict judge(const TxContext& ctx) override {
+    const double roll = rng_.uniform01();
+    if (roll < p_global_) {
+      return Verdict::global_error(
+          static_cast<std::int32_t>(rng_.below(64)));  // early-frame error
+    }
+    if (roll < p_global_ + p_inconsistent_ && !ctx.receivers.empty()) {
+      // Pick 1..|receivers| victims uniformly.
+      std::vector<NodeId> pool;
+      for (NodeId id : ctx.receivers) pool.push_back(id);
+      const std::size_t n_victims =
+          1 + static_cast<std::size_t>(rng_.below(pool.size()));
+      NodeSet victims;
+      for (std::size_t idx : rng_.sample(pool.size(), n_victims)) {
+        victims.insert(pool[idx]);
+      }
+      return Verdict::inconsistent(victims);
+    }
+    return Verdict::ok();
+  }
+
+ private:
+  sim::Rng rng_;
+  double p_global_;
+  double p_inconsistent_;
+};
+
+/// Inaccessibility bursts: every transmission starting inside one of the
+/// configured windows is destroyed (models EMI bursts / glitch storms,
+/// the phenomenon studied in [22] and bounded by MCAN3's interval Trd).
+class BurstFaults final : public FaultInjector {
+ public:
+  BurstFaults& add_window(sim::Time from, sim::Time to) {
+    windows_.push_back({from, to});
+    return *this;
+  }
+
+  Verdict judge(const TxContext& ctx) override {
+    for (const auto& w : windows_) {
+      if (ctx.start >= w.from && ctx.start < w.to) {
+        return Verdict::global_error(0);
+      }
+    }
+    return Verdict::ok();
+  }
+
+ private:
+  struct Window {
+    sim::Time from, to;
+  };
+  std::vector<Window> windows_;
+};
+
+/// Combines injectors: the first non-kNone verdict wins.
+class CompositeFaults final : public FaultInjector {
+ public:
+  CompositeFaults& add(FaultInjector& injector) {
+    children_.push_back(&injector);
+    return *this;
+  }
+
+  Verdict judge(const TxContext& ctx) override {
+    for (FaultInjector* child : children_) {
+      Verdict v = child->judge(ctx);
+      if (v.kind != FaultKind::kNone) return v;
+    }
+    return Verdict::ok();
+  }
+
+ private:
+  std::vector<FaultInjector*> children_;
+};
+
+}  // namespace canely::can

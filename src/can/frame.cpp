@@ -1,0 +1,78 @@
+#include "can/frame.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+namespace canely::can {
+
+Frame Frame::make_data(std::uint32_t id, std::span<const std::uint8_t> payload,
+                       IdFormat format) {
+  if (payload.size() > kMaxData) {
+    throw std::invalid_argument("CAN payload exceeds 8 bytes");
+  }
+  Frame f;
+  f.id = id;
+  f.format = format;
+  f.remote = false;
+  f.dlc = static_cast<std::uint8_t>(payload.size());
+  std::copy(payload.begin(), payload.end(), f.data.begin());
+  return f;
+}
+
+Frame Frame::make_remote(std::uint32_t id, std::uint8_t dlc, IdFormat format) {
+  if (dlc > kMaxData) {
+    throw std::invalid_argument("CAN DLC exceeds 8");
+  }
+  Frame f;
+  f.id = id;
+  f.format = format;
+  f.remote = true;
+  f.dlc = dlc;
+  return f;
+}
+
+std::uint64_t Frame::arbitration_key() const {
+  // Layout (MSB first), mirroring the order bits appear on the wire:
+  //   [base-11][SRR/RTR'][IDE][ext-18][RTR]
+  // For a base frame the 18 extension bits never reach the wire; filling
+  // them with zero preserves the dominant-wins ordering because the base
+  // frame has already won at the IDE bit.
+  const std::uint64_t base11 = (format == IdFormat::kBase)
+                                   ? (id & 0x7FF)
+                                   : ((id >> 18) & 0x7FF);
+  const std::uint64_t ide = (format == IdFormat::kExtended) ? 1 : 0;
+  const std::uint64_t srr_or_rtr =
+      (format == IdFormat::kExtended) ? 1 : (remote ? 1 : 0);
+  const std::uint64_t ext18 =
+      (format == IdFormat::kExtended) ? (id & 0x3FFFF) : 0;
+  const std::uint64_t rtr_ext =
+      (format == IdFormat::kExtended) ? (remote ? 1 : 0) : 0;
+  return (base11 << 21) | (srr_or_rtr << 20) | (ide << 19) | (ext18 << 1) |
+         rtr_ext;
+}
+
+bool operator==(const Frame& a, const Frame& b) {
+  if (a.id != b.id || a.format != b.format || a.remote != b.remote ||
+      a.dlc != b.dlc) {
+    return false;
+  }
+  if (a.remote) return true;  // remote frames carry no data
+  return std::equal(a.data.begin(), a.data.begin() + a.dlc, b.data.begin());
+}
+
+std::ostream& operator<<(std::ostream& os, const Frame& f) {
+  os << (f.format == IdFormat::kExtended ? "x" : "") << "0x" << std::hex
+     << f.id << std::dec << (f.remote ? " RTR" : "") << " dlc=" << int{f.dlc};
+  if (!f.remote && f.dlc > 0) {
+    os << " [";
+    for (std::size_t i = 0; i < f.dlc; ++i) {
+      os << (i ? " " : "") << std::hex << std::setw(2) << std::setfill('0')
+         << int{f.data[i]} << std::dec << std::setfill(' ');
+    }
+    os << "]";
+  }
+  return os;
+}
+
+}  // namespace canely::can

@@ -1,0 +1,113 @@
+#pragma once
+// Fundamental identifiers shared by the whole stack: node identifiers and
+// node sets.
+//
+// The paper's protocols manipulate sets of nodes constantly (membership
+// views R_F, joining/leaving sets R_J / R_L, reception history vectors
+// R_RHV, failed sets F_F).  CAN data frames carry at most 8 bytes, so a
+// 64-bit bitmap is both the natural wire format for an RHV and a cheap
+// value type in memory.  The stack therefore supports up to 64 nodes.
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+
+namespace canely::can {
+
+/// Identifier of a node/site on the bus.  Valid range [0, kMaxNodes).
+using NodeId = std::uint8_t;
+
+/// Upper bound on addressable nodes (RHV bitmap fits one CAN data field).
+inline constexpr std::size_t kMaxNodes = 64;
+
+/// A set of nodes, value-semantic, encoded as a 64-bit bitmap.
+///
+/// This is the in-memory and on-wire representation of the paper's
+/// reception history vector (RHV) and of every membership set.
+class NodeSet {
+ public:
+  constexpr NodeSet() = default;
+  constexpr NodeSet(std::initializer_list<NodeId> ids) {
+    for (NodeId id : ids) insert(id);
+  }
+
+  /// The set {0, 1, ..., n-1} — the paper's Omega for an n-node system.
+  [[nodiscard]] static constexpr NodeSet first_n(std::size_t n) {
+    NodeSet s;
+    s.bits_ = (n >= kMaxNodes) ? ~0ULL : ((1ULL << n) - 1);
+    return s;
+  }
+
+  [[nodiscard]] static constexpr NodeSet from_bits(std::uint64_t bits) {
+    NodeSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  constexpr void insert(NodeId id) { bits_ |= bit(id); }
+  constexpr void erase(NodeId id) { bits_ &= ~bit(id); }
+  constexpr void clear() { bits_ = 0; }
+
+  [[nodiscard]] constexpr bool contains(NodeId id) const {
+    return (bits_ & bit(id)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const {
+    return static_cast<std::size_t>(std::popcount(bits_));
+  }
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+
+  /// Set algebra, matching the paper's notation.
+  [[nodiscard]] constexpr NodeSet united(NodeSet o) const {        // A ∪ B
+    return from_bits(bits_ | o.bits_);
+  }
+  [[nodiscard]] constexpr NodeSet intersected(NodeSet o) const {   // A ∩ B
+    return from_bits(bits_ & o.bits_);
+  }
+  [[nodiscard]] constexpr NodeSet minus(NodeSet o) const {         // A − B
+    return from_bits(bits_ & ~o.bits_);
+  }
+  [[nodiscard]] constexpr bool subset_of(NodeSet o) const {
+    return (bits_ & ~o.bits_) == 0;
+  }
+
+  friend constexpr bool operator==(NodeSet, NodeSet) = default;
+
+  /// Iterate members in increasing NodeId order.
+  class iterator {
+   public:
+    constexpr iterator(std::uint64_t rest) : rest_{rest} {}
+    constexpr NodeId operator*() const {
+      return static_cast<NodeId>(std::countr_zero(rest_));
+    }
+    constexpr iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+
+   private:
+    std::uint64_t rest_;
+  };
+  [[nodiscard]] constexpr iterator begin() const { return iterator{bits_}; }
+  [[nodiscard]] constexpr iterator end() const { return iterator{0}; }
+
+  friend std::ostream& operator<<(std::ostream& os, NodeSet s) {
+    os << "{";
+    bool first = true;
+    for (NodeId id : s) {
+      if (!first) os << ",";
+      os << static_cast<int>(id);
+      first = false;
+    }
+    return os << "}";
+  }
+
+ private:
+  static constexpr std::uint64_t bit(NodeId id) { return 1ULL << id; }
+  std::uint64_t bits_{0};
+};
+
+}  // namespace canely::can

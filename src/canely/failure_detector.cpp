@@ -1,0 +1,82 @@
+#include "canely/failure_detector.hpp"
+
+namespace canely {
+
+FailureDetector::FailureDetector(CanDriver& driver, sim::TimerService& timers,
+                                 FdaProtocol& fda, const Params& params,
+                                 const sim::Tracer* tracer)
+    : driver_{driver}, timers_{timers}, fda_{fda}, params_{params},
+      tracer_{tracer} {
+  // f03: any data frame (own included) is implicit node activity; the
+  // sender is identified by the node field of the mid.
+  driver_.on_data_nty([this](const Mid& mid) { on_activity(mid.node); });
+  // f03: explicit life-signs arrive as ELS remote frames.
+  driver_.on_rtr_ind(MsgType::kEls, [this](const Mid& mid, bool /*own*/) {
+    on_activity(mid.node);
+  });
+  // f13: FDA delivers agreed failure-signs.
+  fda_.set_nty_handler([this](can::NodeId r) { on_fda_nty(r); });
+}
+
+void FailureDetector::fd_can_req_start(can::NodeId r) {
+  monitored_[r] = true;
+  fd_alarm_start(r);  // f00-f01
+}
+
+void FailureDetector::fd_can_req_stop(can::NodeId r) {
+  monitored_[r] = false;
+  timers_.cancel_alarm(tid_[r]);  // f17-f18
+  tid_[r] = sim::kNullTimer;
+}
+
+void FailureDetector::fd_alarm_start(can::NodeId r) {
+  timers_.cancel_alarm(tid_[r]);  // restart semantics (f04)
+  const sim::Time duration =
+      (r == driver_.node())
+          ? params_.heartbeat_period                              // a02
+          : params_.heartbeat_period + params_.tx_delay_bound +   // a04
+                params_.fd_skew_quantum * driver_.node();         // osc. skew
+  tid_[r] = timers_.start_alarm(duration, [this, r] {
+    tid_[r] = sim::kNullTimer;
+    on_expiry(r);
+  });
+}
+
+void FailureDetector::on_activity(can::NodeId r) {
+  // f03-f05: restart the surveillance timer of an actively monitored node.
+  // (Activity of nodes the service was not started for is ignored —
+  // starting/stopping surveillance is the upper layer's decision,
+  // lines f00/f17.)
+  if (!monitored_[r]) return;
+  fd_alarm_start(r);
+}
+
+void FailureDetector::on_expiry(can::NodeId r) {
+  if (r == driver_.node()) {
+    // f07-f08: the local node stayed silent for a whole heartbeat period;
+    // broadcast an explicit life-sign.  The timer restarts when the ELS
+    // loops back as can-rtr.ind (own transmissions included).
+    ++els_sent_;
+    driver_.can_rtr_req(Mid{MsgType::kEls, 0, r});
+  } else {
+    // f09-f10: remote node silent beyond Th + Ttd => it has failed;
+    // disseminate consistently through FDA.
+    if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
+      tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "fd",
+                    sim::cat_str("n", int{driver_.node()},
+                                 " suspects node ", int{r}));
+    }
+    fda_.fda_can_req(r);
+  }
+}
+
+void FailureDetector::on_fda_nty(can::NodeId r) {
+  // f13-f16: an agreed failure-sign arrived (possibly before our own timer
+  // expired): stop surveillance and notify the membership layer.
+  timers_.cancel_alarm(tid_[r]);
+  tid_[r] = sim::kNullTimer;
+  monitored_[r] = false;
+  if (nty_) nty_(r);  // f15
+}
+
+}  // namespace canely

@@ -1,0 +1,69 @@
+#pragma once
+// Node failure detection protocol (paper §6.3, Figure 8).
+//
+// One surveillance timer per monitored node.  Node activity is signalled
+// *implicitly* by normal data traffic — the driver's can-data.nty
+// extension reports every data-frame arrival, own transmissions included —
+// so explicit life-sign (ELS) remote frames are issued only by nodes whose
+// own timer expires first, i.e. nodes that transmitted nothing for a whole
+// heartbeat period Th.  A remote node silent for Th + Ttd is declared
+// failed, and the FDA micro-protocol disseminates the failure-sign
+// consistently to every correct node.
+
+#include <array>
+#include <functional>
+
+#include "can/types.hpp"
+#include "canely/driver.hpp"
+#include "canely/fda.hpp"
+#include "canely/params.hpp"
+#include "sim/timer.hpp"
+
+namespace canely {
+
+/// One instance per node.
+class FailureDetector {
+ public:
+  using NtyHandler = std::function<void(can::NodeId failed)>;
+
+  FailureDetector(CanDriver& driver, sim::TimerService& timers,
+                  FdaProtocol& fda, const Params& params,
+                  const sim::Tracer* tracer = nullptr);
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  /// fd-can.req(START, r) — begin surveillance of node `r` (lines f00-f02).
+  /// For the local node the timer runs for Th (it drives ELS emission);
+  /// for remote nodes it runs for Th + Ttd (line a04).
+  void fd_can_req_start(can::NodeId r);
+
+  /// fd-can.req(STOP, r) — end surveillance (lines f17-f19).
+  void fd_can_req_stop(can::NodeId r);
+
+  /// fd-can.nty — consistent node-failure notification (line f15).
+  void set_nty_handler(NtyHandler handler) { nty_ = std::move(handler); }
+
+  [[nodiscard]] bool monitoring(can::NodeId r) const { return monitored_[r]; }
+
+  /// Count of explicit life-signs this node has broadcast (diagnostics —
+  /// the bandwidth evaluation of Fig. 10 cares about this number).
+  [[nodiscard]] std::uint64_t els_sent() const { return els_sent_; }
+
+ private:
+  void fd_alarm_start(can::NodeId r);  // a00-a06
+  void on_activity(can::NodeId r);     // f03-f05
+  void on_expiry(can::NodeId r);       // f06-f12
+  void on_fda_nty(can::NodeId r);      // f13-f16
+
+  CanDriver& driver_;
+  sim::TimerService& timers_;
+  FdaProtocol& fda_;
+  const Params& params_;
+  const sim::Tracer* tracer_;
+  NtyHandler nty_;
+  std::array<sim::TimerId, can::kMaxNodes> tid_{};   // i00
+  std::array<bool, can::kMaxNodes> monitored_{};
+  std::uint64_t els_sent_{0};
+};
+
+}  // namespace canely

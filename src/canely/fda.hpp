@@ -1,0 +1,64 @@
+#pragma once
+// Failure Detection Agreement micro-protocol (paper §6.2, Figure 6).
+//
+// FDA secures the *reliable broadcast of a failure-sign*: once any correct
+// node delivers `fda-can.nty(r)`, every correct node eventually does —
+// even if the original failure-sign suffered an inconsistent omission and
+// its sender crashed.  It is a simplified, optimized Eager Diffusion
+// (EDCAN [18]): every recipient of the first copy re-requests transmission
+// of the *identical* remote frame, and the wired-AND bus clusters all the
+// simultaneous copies into (typically) one physical frame, so the
+// fault-free cost is just two frames regardless of n.
+
+#include <array>
+#include <functional>
+
+#include "can/types.hpp"
+#include "canely/driver.hpp"
+
+namespace canely {
+
+/// One instance per node.  Wire-in happens in the constructor; upper
+/// layers invoke `fda_can_req` and subscribe to `fda-can.nty`.
+class FdaProtocol {
+ public:
+  using NtyHandler = std::function<void(can::NodeId failed)>;
+
+  explicit FdaProtocol(CanDriver& driver, const sim::Tracer* tracer = nullptr);
+  FdaProtocol(const FdaProtocol&) = delete;
+  FdaProtocol& operator=(const FdaProtocol&) = delete;
+
+  /// fda-can.req — invoke the protocol for failed node `r`
+  /// (Fig. 6, lines s00-s05).
+  void fda_can_req(can::NodeId failed);
+
+  /// fda-can.nty — delivered exactly once per failure-sign per node
+  /// (Fig. 6, line r03).
+  void set_nty_handler(NtyHandler handler) { nty_ = std::move(handler); }
+
+  /// Forget a previously agreed failure-sign so a reintegrated node can be
+  /// detected again.  The paper assumes a removed node does not attempt
+  /// reintegration before a period much longer than Tm (§6.4); the
+  /// membership layer calls this when the node rejoins.
+  void reset(can::NodeId node);
+
+  /// Counters exposed for tests (Fig. 6 state).
+  [[nodiscard]] int fs_ndup(can::NodeId r) const { return fs_ndup_[r]; }
+  [[nodiscard]] int fs_nreq(can::NodeId r) const { return fs_nreq_[r]; }
+
+  /// Failure-signs delivered upward at this node (diagnostics).
+  [[nodiscard]] std::uint64_t ntys_delivered() const { return ntys_; }
+
+ private:
+  void on_rtr_ind(const Mid& mid);  // lines r00-r09
+
+  CanDriver& driver_;
+  const sim::Tracer* tracer_;
+  NtyHandler nty_;
+  // Per-mid state; the FDA mid is fully determined by the failed node id.
+  std::array<int, can::kMaxNodes> fs_ndup_{};  // failure-sign duplicates (i00)
+  std::array<int, can::kMaxNodes> fs_nreq_{};  // transmit requests (i01)
+  std::uint64_t ntys_{0};
+};
+
+}  // namespace canely

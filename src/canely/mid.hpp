@@ -1,0 +1,102 @@
+#pragma once
+// The CANELy message control field ("mid", paper §5): every frame's
+// identifier encodes a message *type*, an optional *reference number* and
+// the *node identifier* of the sender (or subject).
+//
+// Encoding: 29-bit extended CAN identifier, laid out MSB-first as
+//     [ type : 5 ][ ref : 8 ][ node : 6 ]   (19 bits, upper bits zero)
+// so that message type dominates bus priority, then the reference
+// number, then the node id — protocol traffic outranks application
+// traffic, and FDA failure-signs outrank everything.
+//
+// Two properties the protocols rely on:
+//  * FDA failure-signs for the same failed node map to the *same*
+//    identifier at every sender, so simultaneous copies cluster into one
+//    physical frame on the wired-AND bus (§6.2);
+//  * RHA signals carry #RHV (the cardinality of the vector) in `ref`
+//    (Fig. 7), so each narrowing of the vector changes the identifier.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+
+#include "can/frame.hpp"
+#include "can/types.hpp"
+
+namespace canely {
+
+/// Message type reference; enumerator value doubles as bus priority
+/// (lower = wins arbitration).
+enum class MsgType : std::uint8_t {
+  kFda = 0x01,       ///< failure-sign (FDA micro-protocol), remote frame
+  kEls = 0x02,       ///< explicit life-sign, remote frame
+  kJoin = 0x03,      ///< membership join request, remote frame
+  kLeave = 0x04,     ///< membership leave request, remote frame
+  kRha = 0x05,       ///< RHV signal (RHA micro-protocol), data frame
+  kSync = 0x06,      ///< clock sync: synchronizer's SYNC frame
+  kSyncAdj = 0x07,   ///< clock sync: adjustment (timestamp) frame
+  kEdcan = 0x08,     ///< EDCAN eager-diffusion broadcast
+  kRelcanData = 0x09,    ///< RELCAN data frame
+  kRelcanConfirm = 0x0A, ///< RELCAN confirmation
+  kTotcanData = 0x0B,    ///< TOTCAN data frame
+  kTotcanAccept = 0x0C,  ///< TOTCAN accept frame
+  kGroupJoin = 0x0D,     ///< process-group join announcement (ref = group)
+  kGroupLeave = 0x0E,    ///< process-group leave announcement (ref = group)
+  kApp = 0x10,       ///< application data (ref = stream id)
+};
+
+/// The decoded message control field.
+struct Mid {
+  MsgType type{MsgType::kApp};
+  std::uint8_t ref{0};
+  can::NodeId node{0};
+
+  /// Pack into a 29-bit extended identifier.
+  [[nodiscard]] constexpr std::uint32_t encode() const {
+    return (static_cast<std::uint32_t>(type) << 14) |
+           (static_cast<std::uint32_t>(ref) << 6) |
+           (static_cast<std::uint32_t>(node) & 0x3F);
+  }
+
+  /// Decode from a frame identifier; nullopt for non-CANELy frames
+  /// (base-format identifiers).
+  [[nodiscard]] static constexpr std::optional<Mid> decode(const can::Frame& f) {
+    if (f.format != can::IdFormat::kExtended) return std::nullopt;
+    Mid m;
+    m.type = static_cast<MsgType>((f.id >> 14) & 0x1F);
+    m.ref = static_cast<std::uint8_t>((f.id >> 6) & 0xFF);
+    m.node = static_cast<can::NodeId>(f.id & 0x3F);
+    return m;
+  }
+
+  friend constexpr bool operator==(const Mid&, const Mid&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Mid& m) {
+    return os << "mid{" << static_cast<int>(m.type) << ","
+              << static_cast<int>(m.ref) << "," << static_cast<int>(m.node)
+              << "}";
+  }
+};
+
+[[nodiscard]] constexpr const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kFda: return "FDA";
+    case MsgType::kEls: return "ELS";
+    case MsgType::kJoin: return "JOIN";
+    case MsgType::kLeave: return "LEAVE";
+    case MsgType::kRha: return "RHA";
+    case MsgType::kSync: return "SYNC";
+    case MsgType::kSyncAdj: return "SYNC-ADJ";
+    case MsgType::kEdcan: return "EDCAN";
+    case MsgType::kRelcanData: return "RELCAN";
+    case MsgType::kRelcanConfirm: return "RELCAN-CNF";
+    case MsgType::kTotcanData: return "TOTCAN";
+    case MsgType::kTotcanAccept: return "TOTCAN-ACC";
+    case MsgType::kGroupJoin: return "GRP-JOIN";
+    case MsgType::kGroupLeave: return "GRP-LEAVE";
+    case MsgType::kApp: return "APP";
+  }
+  return "?";
+}
+
+}  // namespace canely

@@ -1,0 +1,74 @@
+#include "canely/node.hpp"
+
+namespace canely {
+
+Node::Node(can::Bus& bus, can::NodeId id, const Params& params,
+           const sim::Tracer* tracer)
+    : engine_{bus.engine()},
+      params_{params},
+      controller_{id, bus},
+      driver_{controller_, engine_, tracer},
+      timers_{engine_},
+      fda_{driver_, tracer},
+      rha_{driver_, timers_, params_, tracer},
+      fd_{driver_, timers_, fda_, params_, tracer},
+      msh_{driver_, timers_, rha_, fd_, fda_, params_, tracer},
+      groups_{driver_, msh_} {
+  // Site membership changes fan out to the process-group layer first,
+  // then to the application handler.
+  msh_.set_change_handler([this](can::NodeSet active, can::NodeSet failed) {
+    groups_.on_site_change(active, failed);
+    if (site_change_) site_change_(active, failed);
+  });
+  driver_.on_data_ind(MsgType::kApp,
+                      [this](const Mid& mid,
+                             std::span<const std::uint8_t> data, bool own) {
+                        if (app_) app_(mid.node, mid.ref, data, own);
+                      });
+}
+
+void Node::send(std::uint8_t stream, std::span<const std::uint8_t> data) {
+  if (crashed_) return;
+  driver_.can_data_req(Mid{MsgType::kApp, stream, id()}, data);
+}
+
+void Node::start_periodic(std::uint8_t stream, sim::Time period,
+                          std::vector<std::uint8_t> payload) {
+  PeriodicStream& s = periodic_[stream];
+  timers_.cancel_alarm(s.timer);
+  s.active = true;
+  s.period = period;
+  s.payload = std::move(payload);
+  s.timer = timers_.start_alarm(period, [this, stream] {
+    periodic_tick(stream);
+  });
+}
+
+void Node::stop_periodic(std::uint8_t stream) {
+  PeriodicStream& s = periodic_[stream];
+  s.active = false;
+  timers_.cancel_alarm(s.timer);
+  s.timer = sim::kNullTimer;
+}
+
+void Node::periodic_tick(std::uint8_t stream) {
+  PeriodicStream& s = periodic_[stream];
+  if (!s.active || crashed_) return;
+  send(stream, s.payload);
+  s.timer = timers_.start_alarm(s.period, [this, stream] {
+    periodic_tick(stream);
+  });
+}
+
+void Node::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  controller_.crash();
+  timers_.cancel_all();  // every protocol timer and traffic stream dies
+}
+
+void Node::crash_at(sim::Time when) {
+  engine_.schedule_at(when, [this] { crash(); });
+}
+
+}  // namespace canely

@@ -1,0 +1,66 @@
+#pragma once
+// CANELy protocol parameters (paper §4, §6; defaults per DESIGN.md §5).
+
+#include <cstddef>
+
+#include "sim/time.hpp"
+
+namespace canely {
+
+/// System-wide protocol parameters shared by the failure detection and
+/// membership suite.  One instance is configured per deployment and given
+/// to every node.
+struct Params {
+  /// Number of addressable nodes in the system (the paper's Omega has
+  /// n elements; Fig. 10 uses n = 32).  Max 64 (RHV fits a data field).
+  std::size_t n{8};
+
+  /// Bounded omission degree k of MCAN3: at most k omission failures in a
+  /// reference interval Trd.
+  int omission_degree_k{2};
+
+  /// Bounded *inconsistent* omission degree j of LCAN4 (j <= k); the RHA
+  /// protocol keeps at least j+1 copies of each RHV value circulating
+  /// (Fig. 7, line r08).
+  int inconsistent_degree_j{2};
+
+  /// Th — heartbeat period: maximum interval between consecutive
+  /// life-sign transmit requests of a node (§6.3).
+  sim::Time heartbeat_period{sim::Time::ms(10)};
+
+  /// Ttd — bounded frame transmission delay of MCAN4 (worst-case queuing
+  /// + transmission + inaccessibility).  Surveillance timers for remote
+  /// nodes run for Th + Ttd.  Must be derived from response-time analysis
+  /// of the deployment's message set (analysis/response_time.hpp): note
+  /// that after a view change every new member's first explicit life-sign
+  /// is released at the same instant, so Ttd must cover an n-deep
+  /// life-sign queue (~n * 80 bit-times) plus application load.  The
+  /// default is sized for n <= 16 at 1 Mbps.
+  sim::Time tx_delay_bound{sim::Time::ms(2)};
+
+  /// Tm — membership cycle period (§6.4; Fig. 10 sweeps 30..90 ms).
+  sim::Time membership_cycle{sim::Time::ms(30)};
+
+  /// Trha — maximum termination time of one RHA execution (Fig. 7, a01).
+  sim::Time rha_timeout{sim::Time::ms(5)};
+
+  /// Tjoin_wait — initial timeout of a joining node, much longer than Tm
+  /// (Fig. 9 footnote 9): if no full member answers within it, the joiner
+  /// bootstraps a view from the join requests it has seen.
+  sim::Time join_wait{sim::Time::ms(200)};
+
+  /// Skip the RHA execution in cycles with no pending join/leave request
+  /// (Fig. 9, s24-s25: "in order to save CAN bandwidth").  Disabled only
+  /// by the cycle-skip ablation benchmark.
+  bool skip_idle_cycles{true};
+
+  /// Per-node skew added to *remote* surveillance timers (node i waits
+  /// Th + Ttd + i*fd_skew_quantum).  Physical CAN nodes have independent
+  /// oscillators, so their timers never expire in perfect lockstep; the
+  /// simulator must break the tie explicitly or every survivor would
+  /// co-transmit the identical FDA failure-sign simultaneously, leaving
+  /// no node to acknowledge it (a transmitter cannot ACK its own frame).
+  sim::Time fd_skew_quantum{sim::Time::us(50)};
+};
+
+}  // namespace canely

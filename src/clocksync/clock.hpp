@@ -1,0 +1,39 @@
+#pragma once
+// Drifting local clocks for the clock synchronization service.
+//
+// Each node owns a quartz-driven virtual clock: reading = offset +
+// (1 + rho) * real_time, with rho the oscillator's drift (typically tens
+// of ppm).  The clock synchronization layer adjusts `offset`.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace canely::clocksync {
+
+/// A node-local virtual clock with constant drift.
+class DriftClock {
+ public:
+  /// `drift_ppm` — parts-per-million frequency error of the oscillator
+  /// (positive = fast).  ISO 11898 tolerates up to ~5000 ppm; quality
+  /// quartz is within +/-100 ppm.
+  explicit DriftClock(double drift_ppm = 0.0) : rate_{1.0 + drift_ppm * 1e-6} {}
+
+  /// Local clock reading at global (simulated) instant `real_now`.
+  [[nodiscard]] sim::Time read(sim::Time real_now) const {
+    const double ticks = static_cast<double>(real_now.to_ns()) * rate_;
+    return sim::Time::ns(offset_ns_ + static_cast<std::int64_t>(ticks));
+  }
+
+  /// Shift the clock by `delta` (phase correction).
+  void adjust(sim::Time delta) { offset_ns_ += delta.to_ns(); }
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] sim::Time offset() const { return sim::Time::ns(offset_ns_); }
+
+ private:
+  double rate_;
+  std::int64_t offset_ns_{0};
+};
+
+}  // namespace canely::clocksync

@@ -1,0 +1,86 @@
+#pragma once
+// Fault-tolerant clock synchronization on CAN (Rodrigues, Guimarães,
+// Rufino [15]; paper §2 and Fig. 11 "clock synch precision: tens of us").
+//
+// The scheme exploits a property unique to broadcast buses: a frame is
+// received *quasi-simultaneously* by every node (within one bit-time plus
+// interrupt latency jitter).  Each round:
+//
+//   1. the synchronizer broadcasts SYNC(round);
+//   2. every node — synchronizer included, via reception of its own
+//      transmission — latches its local clock at the SYNC indication;
+//   3. the synchronizer broadcasts ADJ(round) carrying its own latched
+//      timestamp;
+//   4. every node applies offset += (master_latch - local_latch),
+//      aligning all clocks to the synchronizer's within the reception
+//      jitter.
+//
+// Fault tolerance: synchronizer duty falls to the lowest-ranked live
+// node.  Every node arms a watchdog of Tsync + (rank+1) * takeover_delta;
+// a round observed on the bus re-arms it, so when the synchronizer dies
+// the next-ranked node takes over within one takeover_delta.
+
+#include <cstdint>
+#include <functional>
+
+#include "can/types.hpp"
+#include "canely/driver.hpp"
+#include "clocksync/clock.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace canely::clocksync {
+
+struct SyncParams {
+  /// Resynchronization period.
+  sim::Time period{sim::Time::ms(100)};
+  /// Extra watchdog slack per rank unit for synchronizer takeover.
+  sim::Time takeover_delta{sim::Time::ms(5)};
+  /// Worst-case interrupt/timestamping latency jitter (uniform 0..max).
+  sim::Time latch_jitter_max{sim::Time::us(10)};
+};
+
+/// Clock synchronization endpoint (one per node).
+class ClockSyncService {
+ public:
+  ClockSyncService(CanDriver& driver, sim::TimerService& timers,
+                   DriftClock& clock, SyncParams params, std::uint64_t seed);
+  ClockSyncService(const ClockSyncService&) = delete;
+  ClockSyncService& operator=(const ClockSyncService&) = delete;
+
+  /// Start participating.  `rank` orders synchronizer takeover (rank 0 is
+  /// the initial synchronizer).
+  void start(unsigned rank);
+  void stop();
+
+  [[nodiscard]] unsigned rounds_observed() const { return rounds_; }
+  [[nodiscard]] bool acting_synchronizer() const { return acting_master_; }
+
+  /// Notification after each applied adjustment (tests/benchmarks).
+  void set_adjust_handler(std::function<void(sim::Time delta)> handler) {
+    on_adjust_ = std::move(handler);
+  }
+
+ private:
+  void arm_watchdog();
+  void run_round();                       // synchronizer duty
+  void on_sync_ind(const Mid& mid);       // latch
+  void on_adj_ind(const Mid& mid, std::span<const std::uint8_t> payload);
+
+  CanDriver& driver_;
+  sim::TimerService& timers_;
+  DriftClock& clock_;
+  SyncParams params_;
+  sim::Rng rng_;
+  std::function<void(sim::Time)> on_adjust_;
+  unsigned rank_{0};
+  bool running_{false};
+  bool acting_master_{false};
+  unsigned rounds_{0};
+  std::uint8_t round_no_{0};
+  sim::Time latched_{sim::Time::zero()};
+  bool have_latch_{false};
+  sim::TimerId watchdog_{sim::kNullTimer};
+};
+
+}  // namespace canely::clocksync

@@ -1,0 +1,69 @@
+#include "media/redundancy.hpp"
+
+#include <stdexcept>
+
+namespace canely::media {
+
+MediaSet::MediaSet(std::size_t count) : count_{count} {
+  if (count == 0 || count > kMaxMedia) {
+    throw std::invalid_argument("MediaSet: 1..4 media supported");
+  }
+}
+
+void MediaSet::fail_medium(std::size_t m) { media_.at(m).failed = true; }
+
+void MediaSet::partition_medium(std::size_t m, can::NodeSet segment) {
+  media_.at(m).partitioned = true;
+  media_.at(m).segment = segment;
+}
+
+void MediaSet::repair_medium(std::size_t m) {
+  media_.at(m) = Medium{};
+}
+
+bool MediaSet::path_ok(std::size_t m, can::NodeId tx, can::NodeId rx) const {
+  const Medium& med = media_[m];
+  if (med.failed) return false;
+  if (med.partitioned &&
+      med.segment.contains(tx) != med.segment.contains(rx)) {
+    return false;  // transmitter and receiver are on opposite segments
+  }
+  return true;
+}
+
+RedundantMedia::RedundantMedia(MediaSet& media, int quarantine_threshold)
+    : media_{media}, threshold_{quarantine_threshold} {}
+
+bool RedundantMedia::receives(can::NodeId tx, can::NodeId rx,
+                              const can::Frame& /*f*/) {
+  // Media driven by the transmitter: all the transmitter's MSU trusts.
+  // Media accepted by the receiver: all the receiver's MSU trusts.
+  Msu& rx_msu = msu_[rx];
+  bool any_delivered = false;
+  bool any_missing = false;
+  std::array<bool, kMaxMedia> delivered{};
+  for (std::size_t m = 0; m < media_.count(); ++m) {
+    if (msu_[tx].quarantined[m] || rx_msu.quarantined[m]) continue;
+    if (media_.path_ok(m, tx, rx)) {
+      delivered[m] = true;
+      any_delivered = true;
+    } else {
+      any_missing = true;
+    }
+  }
+  if (any_delivered && any_missing) {
+    // Disagreement between replicas: blame the silent media.
+    for (std::size_t m = 0; m < media_.count(); ++m) {
+      if (msu_[tx].quarantined[m] || rx_msu.quarantined[m]) continue;
+      if (!delivered[m]) {
+        if (++rx_msu.suspect[m] >= threshold_) {
+          rx_msu.quarantined[m] = true;
+        }
+      }
+    }
+  }
+  if (!any_delivered) ++losses_;
+  return any_delivered;
+}
+
+}  // namespace canely::media

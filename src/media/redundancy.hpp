@@ -1,0 +1,105 @@
+#pragma once
+// CAN media redundancy — the "Columbus' egg" scheme of Rufino, Veríssimo,
+// Arroz [17] (paper §2, §4, Fig. 11 "media redundancy: yes").
+//
+// The paper's system model *assumes* no permanent failure of the channel
+// (§4); reference [17] discharges that assumption with a scheme of
+// striking simplicity: each node's single CAN controller is coupled to
+// several replicated media through a media selection unit (MSU) that
+//
+//   * drives every transmission onto all non-quarantined media
+//     simultaneously (the media stay bit-synchronized because they carry
+//     the same wired-AND signal), and
+//   * combines the received signals, comparing media against each other;
+//     a medium that repeatedly disagrees with its replicas (partition,
+//     stuck-at-dominant, babbling segment) is quarantined locally.
+//
+// A single-medium fault therefore never partitions the system: frames
+// keep flowing over the surviving media and the faulty one is weeded out
+// after `quarantine_threshold` disagreements.
+//
+// Integration: `RedundantMedia` implements `can::ReceptionFilter`; the
+// bus consults it per (transmitter, receiver) pair, so a partitioned
+// medium produces exactly the subtle receiver-side omissions studied in
+// [22] — unless redundancy masks them.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/types.hpp"
+
+namespace canely::media {
+
+/// Maximum media replicas the MSU model supports.
+inline constexpr std::size_t kMaxMedia = 4;
+
+/// Physical state of the replicated media.
+class MediaSet {
+ public:
+  explicit MediaSet(std::size_t count);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Permanently fail medium `m` for every node (e.g. cable cut at the
+  /// trunk, stuck-at-dominant driver).
+  void fail_medium(std::size_t m);
+
+  /// Partition medium `m`: nodes inside `segment` and nodes outside it
+  /// can no longer hear each other *on that medium*.
+  void partition_medium(std::size_t m, can::NodeSet segment);
+
+  /// Repair a medium (testing convenience).
+  void repair_medium(std::size_t m);
+
+  /// True when medium `m` carries a frame from `tx` to `rx`.
+  [[nodiscard]] bool path_ok(std::size_t m, can::NodeId tx,
+                             can::NodeId rx) const;
+
+  [[nodiscard]] bool failed(std::size_t m) const { return media_[m].failed; }
+
+ private:
+  struct Medium {
+    bool failed{false};
+    bool partitioned{false};
+    can::NodeSet segment;
+  };
+  std::size_t count_;
+  std::array<Medium, kMaxMedia> media_{};
+};
+
+/// Per-node media selection units over a shared MediaSet; plugs into the
+/// bus as its reception filter.
+class RedundantMedia final : public can::ReceptionFilter {
+ public:
+  /// `quarantine_threshold` — disagreements tolerated before a node stops
+  /// trusting a medium.
+  explicit RedundantMedia(MediaSet& media, int quarantine_threshold = 3);
+
+  // can::ReceptionFilter
+  bool receives(can::NodeId tx, can::NodeId rx, const can::Frame& f) override;
+
+  [[nodiscard]] bool quarantined(can::NodeId node, std::size_t m) const {
+    return msu_[node].quarantined[m];
+  }
+  [[nodiscard]] int suspect_count(can::NodeId node, std::size_t m) const {
+    return msu_[node].suspect[m];
+  }
+
+  /// Frames lost because *no* medium delivered (diagnostics; should stay
+  /// zero under single-medium faults).
+  [[nodiscard]] std::uint64_t total_losses() const { return losses_; }
+
+ private:
+  struct Msu {
+    std::array<bool, kMaxMedia> quarantined{};
+    std::array<int, kMaxMedia> suspect{};
+  };
+  MediaSet& media_;
+  int threshold_;
+  std::array<Msu, can::kMaxNodes> msu_{};
+  std::uint64_t losses_{0};
+};
+
+}  // namespace canely::media

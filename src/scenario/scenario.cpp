@@ -1,0 +1,364 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "canely/mid.hpp"
+
+#include "can/bus.hpp"
+#include "can/fault.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace canely::scenario {
+namespace {
+
+/// "3" | "0,2,5" | "0..7" -> node id list.
+std::optional<std::vector<can::NodeId>> parse_list(const std::string& s) {
+  std::vector<can::NodeId> out;
+  const auto dots = s.find("..");
+  if (dots != std::string::npos) {
+    try {
+      const int lo = std::stoi(s.substr(0, dots));
+      const int hi = std::stoi(s.substr(dots + 2));
+      if (lo < 0 || hi < lo || hi >= static_cast<int>(can::kMaxNodes)) {
+        return std::nullopt;
+      }
+      for (int i = lo; i <= hi; ++i) {
+        out.push_back(static_cast<can::NodeId>(i));
+      }
+      return out;
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  std::stringstream ss{s};
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      const int v = std::stoi(item);
+      if (v < 0 || v >= static_cast<int>(can::kMaxNodes)) return std::nullopt;
+      out.push_back(static_cast<can::NodeId>(v));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+can::NodeSet to_set(const std::vector<can::NodeId>& ids) {
+  can::NodeSet s;
+  for (can::NodeId id : ids) s.insert(id);
+  return s;
+}
+
+struct Action {
+  sim::Time at;
+  std::function<void()> run;
+};
+
+}  // namespace
+
+namespace {
+
+std::string candump_line(const can::TxRecord& r) {
+  std::ostringstream os;
+  os << "(" << std::fixed << std::setprecision(6) << r.end.to_sec_f()
+     << ") ccan0 " << std::hex << std::uppercase << std::setw(8)
+     << std::setfill('0') << r.frame.id << std::dec << std::setfill(' ');
+  if (r.frame.remote) {
+    os << "#R" << int{r.frame.dlc};
+  } else {
+    os << "#";
+    for (std::size_t i = 0; i < r.frame.dlc; ++i) {
+      os << std::hex << std::uppercase << std::setw(2) << std::setfill('0')
+         << int{r.frame.data[i]};
+    }
+    os << std::dec << std::setfill(' ');
+  }
+  os << "  ; ";
+  const auto mid = Mid::decode(r.frame);
+  if (mid.has_value()) {
+    os << to_string(mid->type) << " ref=" << int{mid->ref}
+       << " node=" << int{mid->node};
+  } else {
+    os << "raw";
+  }
+  os << " tx=" << int{r.transmitter};
+  switch (r.outcome) {
+    case can::TxOutcome::kOk: os << " ok"; break;
+    case can::TxOutcome::kError: os << " ERROR"; break;
+    case can::TxOutcome::kInconsistent: os << " INCONSISTENT"; break;
+    case can::TxOutcome::kAckError: os << " NO-ACK"; break;
+    case can::TxOutcome::kCollision: os << " COLLISION"; break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Report run_script(const std::string& text, const FrameTrace& trace) {
+  Report report;
+
+  // ---- parse ----------------------------------------------------------
+  std::size_t n_nodes = 0;
+  std::int64_t bitrate = 1'000'000;
+  Params params;
+  double p_global = 0, p_incons = 0;
+  std::uint64_t fault_seed = 1;
+  bool have_faults = false;
+  sim::Time run_for = sim::Time::zero();
+
+  struct ParsedEvent {
+    sim::Time at;
+    std::string verb;
+    std::vector<std::string> args;
+    int line_no;
+  };
+  std::vector<ParsedEvent> events;
+
+  std::istringstream in{text};
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    report.ok = false;
+    report.parse_error =
+        "line " + std::to_string(line_no) + ": " + msg;
+    return report;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls{line};
+    std::string word;
+    if (!(ls >> word)) continue;  // blank
+
+    if (word == "nodes") {
+      int n = 0;
+      if (!(ls >> n) || n < 1 || n > static_cast<int>(can::kMaxNodes)) {
+        return fail("nodes: expected 1..64");
+      }
+      n_nodes = static_cast<std::size_t>(n);
+    } else if (word == "bitrate") {
+      if (!(ls >> bitrate) || bitrate < 1000) {
+        return fail("bitrate: expected >= 1000");
+      }
+    } else if (word == "param") {
+      std::string key;
+      std::int64_t v = 0;
+      if (!(ls >> key >> v) || v <= 0) return fail("param: <key> <ms>");
+      if (key == "heartbeat_ms") {
+        params.heartbeat_period = sim::Time::ms(v);
+      } else if (key == "cycle_ms") {
+        params.membership_cycle = sim::Time::ms(v);
+      } else if (key == "ttd_ms") {
+        params.tx_delay_bound = sim::Time::ms(v);
+      } else if (key == "join_wait_ms") {
+        params.join_wait = sim::Time::ms(v);
+      } else {
+        return fail("param: unknown key '" + key + "'");
+      }
+    } else if (word == "faults") {
+      if (!(ls >> p_global >> p_incons)) {
+        return fail("faults: <p_global%> <p_incons%> [seed]");
+      }
+      ls >> fault_seed;  // optional
+      p_global /= 100.0;
+      p_incons /= 100.0;
+      have_faults = true;
+    } else if (word == "at") {
+      std::int64_t ms = 0;
+      ParsedEvent ev;
+      if (!(ls >> ms) || ms < 0) return fail("at: expected time in ms");
+      ev.at = sim::Time::ms(ms);
+      ev.line_no = line_no;
+      if (!(ls >> ev.verb)) return fail("at: missing verb");
+      std::string arg;
+      while (ls >> arg) ev.args.push_back(arg);
+      events.push_back(std::move(ev));
+    } else if (word == "run") {
+      std::int64_t ms = 0;
+      if (!(ls >> ms) || ms <= 0) return fail("run: expected duration in ms");
+      run_for = sim::Time::ms(ms);
+    } else {
+      return fail("unknown statement '" + word + "'");
+    }
+  }
+  if (n_nodes == 0) {
+    line_no = 0;
+    return fail("missing 'nodes <n>'");
+  }
+  if (run_for == sim::Time::zero()) {
+    line_no = 0;
+    return fail("missing 'run <ms>'");
+  }
+  params.n = n_nodes;
+
+  // ---- build the system -----------------------------------------------
+  sim::Engine engine;
+  can::BusConfig bus_cfg;
+  bus_cfg.bit_rate_bps = bitrate;
+  can::Bus bus{engine, bus_cfg};
+  std::unique_ptr<can::RandomFaults> faults;
+  if (have_faults) {
+    faults = std::make_unique<can::RandomFaults>(sim::Rng{fault_seed},
+                                                 p_global, p_incons);
+    bus.set_fault_injector(faults.get());
+  }
+  if (trace) {
+    bus.set_observer([&trace](const can::TxRecord& r) {
+      trace(candump_line(r));
+    });
+  }
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    nodes.push_back(std::make_unique<Node>(
+        bus, static_cast<can::NodeId>(i), params));
+  }
+
+  // ---- schedule the events ---------------------------------------------
+  for (const ParsedEvent& ev : events) {
+    auto bad = [&](const std::string& msg) {
+      line_no = ev.line_no;
+      fail(ev.verb + ": " + msg);
+      return false;
+    };
+    if (ev.verb == "join" || ev.verb == "leave" || ev.verb == "crash") {
+      if (ev.args.size() != 1) {
+        if (!bad("expected node list")) return report;
+      }
+      const auto ids = parse_list(ev.args[0]);
+      if (!ids) {
+        if (!bad("bad node list")) return report;
+      }
+      engine.schedule_at(ev.at, [&nodes, verb = ev.verb, ids = *ids] {
+        for (can::NodeId id : ids) {
+          if (verb == "join") {
+            nodes[id]->join();
+          } else if (verb == "leave") {
+            nodes[id]->leave();
+          } else {
+            nodes[id]->crash();
+          }
+        }
+      });
+    } else if (ev.verb == "group-join") {
+      if (ev.args.size() != 2) {
+        if (!bad("expected <gid> <list>")) return report;
+      }
+      const int gid = std::atoi(ev.args[0].c_str());
+      const auto ids = parse_list(ev.args[1]);
+      if (!ids || gid < 0 || gid > 255) {
+        if (!bad("bad group or list")) return report;
+      }
+      engine.schedule_at(ev.at, [&nodes, gid, ids = *ids] {
+        for (can::NodeId id : ids) {
+          nodes[id]->join_group(static_cast<GroupId>(gid));
+        }
+      });
+    } else if (ev.verb == "traffic") {
+      if (ev.args.size() != 2) {
+        if (!bad("expected <node> <period_ms>")) return report;
+      }
+      const int node = std::atoi(ev.args[0].c_str());
+      const int period = std::atoi(ev.args[1].c_str());
+      if (node < 0 || node >= static_cast<int>(n_nodes) || period <= 0) {
+        if (!bad("bad node or period")) return report;
+      }
+      engine.schedule_at(ev.at, [&nodes, node, period] {
+        nodes[static_cast<std::size_t>(node)]->start_periodic(
+            1, sim::Time::ms(period),
+            {static_cast<std::uint8_t>(node)});
+      });
+    } else if (ev.verb == "expect-view") {
+      if (ev.args.size() != 1) {
+        if (!bad("expected node list")) return report;
+      }
+      const auto ids = parse_list(ev.args[0]);
+      if (!ids) {
+        if (!bad("bad node list")) return report;
+      }
+      const auto expect = to_set(*ids);
+      const auto idx = report.expectations.size();
+      std::ostringstream desc;
+      desc << "t=" << ev.at.to_ms() << "ms expect-view " << expect;
+      report.expectations.push_back(
+          Expectation{ev.at, desc.str(), false, {}});
+      engine.schedule_at(ev.at, [&report, &nodes, expect, idx] {
+        Expectation& e = report.expectations[idx];
+        e.passed = true;
+        for (can::NodeId id : expect) {
+          if (nodes[id]->crashed()) continue;
+          if (nodes[id]->view() != expect) {
+            e.passed = false;
+            std::ostringstream d;
+            d << "node " << int{id} << " has " << nodes[id]->view();
+            e.detail = d.str();
+            break;
+          }
+        }
+      });
+    } else if (ev.verb == "expect-member") {
+      if (ev.args.size() != 2) {
+        if (!bad("expected <node> <0|1>")) return report;
+      }
+      const int node = std::atoi(ev.args[0].c_str());
+      const bool want = ev.args[1] == "1";
+      if (node < 0 || node >= static_cast<int>(n_nodes)) {
+        if (!bad("bad node")) return report;
+      }
+      const auto idx = report.expectations.size();
+      std::ostringstream desc;
+      desc << "t=" << ev.at.to_ms() << "ms expect-member " << node << " "
+           << want;
+      report.expectations.push_back(
+          Expectation{ev.at, desc.str(), false, {}});
+      engine.schedule_at(ev.at, [&report, &nodes, node, want, idx] {
+        Expectation& e = report.expectations[idx];
+        const bool is = nodes[static_cast<std::size_t>(node)]->is_member();
+        e.passed = (is == want);
+        if (!e.passed) {
+          e.detail = is ? "is a member" : "is not a member";
+        }
+      });
+    } else {
+      line_no = ev.line_no;
+      return fail("unknown verb '" + ev.verb + "'");
+    }
+  }
+
+  // ---- run --------------------------------------------------------------
+  engine.run_until(run_for);
+  report.duration = run_for;
+  report.frames_ok = bus.stats().ok;
+  report.frames_error = bus.stats().errors + bus.stats().inconsistent;
+  report.bits_total = bus.stats().bits_total;
+  for (const Expectation& e : report.expectations) {
+    if (!e.passed) report.ok = false;
+  }
+  return report;
+}
+
+Report run_script_file(const std::string& path, const FrameTrace& trace) {
+  std::ifstream f{path};
+  if (!f) {
+    Report r;
+    r.ok = false;
+    r.parse_error = "cannot open " + path;
+    return r;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return run_script(ss.str(), trace);
+}
+
+}  // namespace canely::scenario

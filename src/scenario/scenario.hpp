@@ -1,0 +1,68 @@
+#pragma once
+// Scenario DSL: drive a CANELy system from a small text script — the
+// fastest way to reproduce a membership situation without writing C++.
+// Used by the `canely_scenario` command-line tool and by tests.
+//
+// Grammar (one statement per line; '#' starts a comment):
+//
+//   nodes <n>                         # create nodes 0..n-1 (required first)
+//   bitrate <bps>                     # default 1000000
+//   param heartbeat_ms <v>            # Params knobs
+//   param cycle_ms <v>
+//   param ttd_ms <v>
+//   param join_wait_ms <v>
+//   faults <p_global%> <p_incons%> [seed]   # random fault injection
+//   at <ms> join <list>               # list: "3", "0,2,5", "0..7"
+//   at <ms> leave <list>
+//   at <ms> crash <list>
+//   at <ms> group-join <gid> <list>
+//   at <ms> traffic <node> <period_ms>     # start periodic app stream
+//   at <ms> expect-view <list>        # checked on every live participant
+//   at <ms> expect-member <node> <0|1>
+//   run <ms>                          # total simulated duration (required)
+//
+// Execution returns a report: pass/fail per expectation plus bus
+// statistics.  Deterministic: same script + same seed => same outcome.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "can/types.hpp"
+#include "sim/time.hpp"
+
+namespace canely::scenario {
+
+struct Expectation {
+  sim::Time at;
+  std::string description;
+  bool passed{false};
+  std::string detail;
+};
+
+struct Report {
+  bool ok{true};
+  std::vector<Expectation> expectations;
+  std::uint64_t frames_ok{0};
+  std::uint64_t frames_error{0};
+  std::uint64_t bits_total{0};
+  sim::Time duration;
+  std::string parse_error;  // non-empty => script rejected
+};
+
+/// Optional frame observer: invoked for every completed bus transmission
+/// with a pre-formatted candump-style line
+/// ("(0.123456) ccan0 18008003#0102... ; ELS node=3 ok").
+using FrameTrace = std::function<void(const std::string& line)>;
+
+/// Parse and execute a scenario script.  Never throws on bad input: a
+/// parse error is reported in Report::parse_error with ok == false.
+[[nodiscard]] Report run_script(const std::string& text,
+                                const FrameTrace& trace = {});
+
+/// Convenience: load the script from a file.
+[[nodiscard]] Report run_script_file(const std::string& path,
+                                     const FrameTrace& trace = {});
+
+}  // namespace canely::scenario

@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic discrete-event engine.
+//
+// Every component of the reproduction — CAN bus, controllers, protocol
+// timers, traffic generators, fault injectors — schedules work on a single
+// `Engine`.  Determinism rule: two events scheduled for the same instant
+// fire in scheduling order (FIFO, via a monotonically increasing sequence
+// number).  A whole run is therefore a pure function of its inputs, which
+// the property-test suites rely on.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace canely::sim {
+
+/// Handle returned by Engine::schedule_*; usable to cancel the event.
+struct EventId {
+  std::uint64_t seq{0};
+  [[nodiscard]] constexpr bool valid() const { return seq != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Single-threaded discrete-event simulation engine.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t` (>= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now().
+  EventId schedule_after(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event.  Returns false if it already ran, was already
+  /// cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  /// Run all events with timestamp <= `t`; afterwards now() == max(t, now).
+  /// Returns the number of events dispatched.
+  std::size_t run_until(Time t);
+
+  /// Run for a further duration `d` of simulated time.
+  std::size_t run_for(Time d) { return run_until(now_ + d); }
+
+  /// Run until the event queue drains (or stop() is called).
+  std::size_t run();
+
+  /// Request the current run_*() call to return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events dispatched since construction.
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+  /// Number of live (non-cancelled) events still queued.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_next();  // pops and runs one live event; false if none.
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // seqs of queued, not-cancelled events
+  Time now_{Time::zero()};
+  std::uint64_t next_seq_{1};
+  std::uint64_t dispatched_{0};
+  bool stopped_{false};
+};
+
+}  // namespace canely::sim

@@ -1,0 +1,89 @@
+#pragma once
+// Deterministic random number generation (xoshiro256** + splitmix64).
+//
+// Fault injectors and workload generators draw from per-component streams
+// seeded from a master seed, so runs are reproducible and components'
+// randomness is independent of evaluation order.
+
+#include <cstdint>
+#include <vector>
+
+namespace canely::sim {
+
+/// splitmix64 — used to expand a single seed into xoshiro state and to
+/// derive independent child seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — small, fast, high-quality PRNG.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Unbiased rejection sampling (Lemire-style threshold simplified).
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent child generator (stable given call order).
+  constexpr Rng fork() { return Rng{next_u64()}; }
+
+  /// Sample `k` distinct values from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t pick = i + static_cast<std::size_t>(below(n - i));
+      std::swap(pool[i], pool[pick]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace canely::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Small statistics helpers for benchmarks and tests: running summaries
+// (min/mean/max/stddev) and exact percentiles over collected samples of
+// simulated time.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace canely::sim {
+
+/// Collects Time samples; answers summary questions.
+class TimeSeries {
+ public:
+  void add(Time sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] Time min() const {
+    return empty() ? Time::zero() : *std::min_element(samples_.begin(),
+                                                      samples_.end());
+  }
+  [[nodiscard]] Time max() const {
+    return empty() ? Time::zero() : *std::max_element(samples_.begin(),
+                                                      samples_.end());
+  }
+  [[nodiscard]] Time mean() const {
+    if (empty()) return Time::zero();
+    __int128 sum = 0;
+    for (Time t : samples_) sum += t.to_ns();
+    return Time::ns(static_cast<std::int64_t>(
+        sum / static_cast<__int128>(samples_.size())));
+  }
+  [[nodiscard]] double stddev_us() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean().to_us_f();
+    double acc = 0;
+    for (Time t : samples_) {
+      const double d = t.to_us_f() - m;
+      acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// Exact percentile by nearest-rank (p in [0, 100]).
+  [[nodiscard]] Time percentile(double p) const {
+    if (empty()) return Time::zero();
+    std::vector<Time> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(rank));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Time> samples_;
+};
+
+}  // namespace canely::sim

@@ -1,0 +1,77 @@
+#pragma once
+// Simulated time for the CANELy discrete-event substrate.
+//
+// All of the simulator, the CAN model and the CANELy protocol stack share a
+// single notion of time: a signed 64-bit count of nanoseconds since the
+// start of the simulation.  A strong type keeps raw integers from leaking
+// through interfaces and gives us readable factories (`Time::ms(30)`),
+// arithmetic, and conversion helpers for CAN bit-times.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace canely::sim {
+
+/// A point in simulated time, or a duration; nanosecond resolution.
+///
+/// The same type is deliberately used for both points and durations (the
+/// protocols in the paper manipulate both interchangeably: heartbeat
+/// periods, timer deadlines, transmission delays).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Factories -------------------------------------------------------------
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// Accessors -------------------------------------------------------------
+  [[nodiscard]] constexpr std::int64_t to_ns() const { return ns_; }
+  [[nodiscard]] constexpr std::int64_t to_us() const { return ns_ / 1'000; }
+  [[nodiscard]] constexpr std::int64_t to_ms() const { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr double to_us_f() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_ms_f() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_sec_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  /// Arithmetic ------------------------------------------------------------
+  constexpr Time& operator+=(Time rhs) { ns_ += rhs.ns_; return *this; }
+  constexpr Time& operator-=(Time rhs) { ns_ -= rhs.ns_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.ns_ % b.ns_}; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) {
+    return os << t.to_us_f() << "us";
+  }
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_{0};
+};
+
+/// Duration of one bit on a CAN bus running at `bit_rate_bps` bits/second.
+/// Typical CANELy deployments use 1 Mbps (1 us bit-time, 40 m bus).
+[[nodiscard]] constexpr Time bit_time(std::int64_t bit_rate_bps) {
+  return Time::ns(1'000'000'000 / bit_rate_bps);
+}
+
+/// Convert a length expressed in bit-times into simulated time.
+[[nodiscard]] constexpr Time bits_to_time(std::int64_t bits, std::int64_t bit_rate_bps) {
+  return bit_time(bit_rate_bps) * bits;
+}
+
+}  // namespace canely::sim

@@ -1,0 +1,41 @@
+#include "sim/timer.hpp"
+
+#include <utility>
+
+namespace canely::sim {
+
+TimerId TimerService::start_alarm(Time duration, std::function<void()> on_expiry) {
+  const TimerId id = next_id_++;
+  const Time when = engine_.now() + duration;
+  EventId ev = engine_.schedule_at(
+      when, [this, id, cb = std::move(on_expiry)]() mutable {
+        // Remove before invoking so the callback observes the timer as
+        // inactive and may immediately restart it under a fresh id.
+        pending_.erase(id);
+        cb();
+      });
+  pending_.emplace(id, Entry{ev, when});
+  return id;
+}
+
+bool TimerService::cancel_alarm(TimerId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  engine_.cancel(it->second.event);
+  pending_.erase(it);
+  return true;
+}
+
+Time TimerService::deadline(TimerId id) const {
+  auto it = pending_.find(id);
+  return it == pending_.end() ? Time::max() : it->second.deadline;
+}
+
+void TimerService::cancel_all() {
+  for (auto& [id, entry] : pending_) {
+    engine_.cancel(entry.event);
+  }
+  pending_.clear();
+}
+
+}  // namespace canely::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Per-node alarm service, mirroring the `start alarm` / `cancel alarm`
+// primitives used throughout the paper's pseudo-code (Figures 7, 8, 9).
+//
+// Each protocol entity owns a TimerService; a timer is identified by a
+// TimerId ("tid" in the paper), with kNullTimer playing the role of the
+// pseudo-code's `tid := NULL`.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace canely::sim {
+
+/// Opaque timer identifier.  0 is the distinguished "no timer" value.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNullTimer = 0;
+
+/// One-shot alarms on top of the discrete-event engine.
+class TimerService {
+ public:
+  explicit TimerService(Engine& engine) : engine_{engine} {}
+  TimerService(const TimerService&) = delete;
+  TimerService& operator=(const TimerService&) = delete;
+
+  /// Start a one-shot alarm that fires `duration` from now.
+  /// The expiry callback runs at most once; the timer is considered
+  /// inactive from the moment the callback begins executing.
+  TimerId start_alarm(Time duration, std::function<void()> on_expiry);
+
+  /// Cancel a pending alarm; no-op (returns false) if it already fired,
+  /// was cancelled, or `id` is kNullTimer.
+  bool cancel_alarm(TimerId id);
+
+  /// True while the alarm is pending.
+  [[nodiscard]] bool active(TimerId id) const { return pending_.contains(id); }
+
+  /// Expiry instant of a pending alarm; Time::max() if not pending.
+  [[nodiscard]] Time deadline(TimerId id) const;
+
+  /// Number of pending alarms.
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+
+  /// Cancel every pending alarm (used when a node crashes).
+  void cancel_all();
+
+ private:
+  struct Entry {
+    EventId event;
+    Time deadline;
+  };
+  Engine& engine_;
+  std::unordered_map<TimerId, Entry> pending_;
+  TimerId next_id_{1};
+};
+
+}  // namespace canely::sim

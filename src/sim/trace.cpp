@@ -1,0 +1,15 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace canely::sim {
+
+Tracer::Sink ostream_sink(std::ostream& os) {
+  return [&os](const TraceRecord& r) {
+    os << "[" << std::setw(12) << std::fixed << std::setprecision(1)
+       << r.when.to_us_f() << "us] " << r.category << ": " << r.text << "\n";
+  };
+}
+
+}  // namespace canely::sim

@@ -1,0 +1,81 @@
+#pragma once
+// Lightweight tracing for the simulator and protocol stack.
+//
+// Traces are invaluable when debugging agreement protocols; they are also
+// how the examples narrate what the stack is doing.  The tracer is a plain
+// object handed down through constructors (no globals), with an is-enabled
+// fast path so disabled tracing costs one branch.
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace canely::sim {
+
+enum class TraceLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// A single trace record.
+struct TraceRecord {
+  Time when;
+  TraceLevel level;
+  std::string category;  // e.g. "bus", "fda", "msh"
+  std::string text;
+};
+
+/// Collects/dispatches trace records.  A sink may print them, store them
+/// (tests assert on traces), or drop them.
+class Tracer {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  Tracer() = default;
+  explicit Tracer(TraceLevel level, Sink sink = {})
+      : level_{level}, sink_{std::move(sink)} {}
+
+  [[nodiscard]] bool enabled(TraceLevel level) const {
+    return sink_ && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void set_level(TraceLevel level) { level_ = level; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void emit(Time when, TraceLevel level, std::string_view category,
+            std::string text) const {
+    if (!enabled(level)) return;
+    sink_(TraceRecord{when, level, std::string{category}, std::move(text)});
+  }
+
+ private:
+  TraceLevel level_{TraceLevel::kOff};
+  Sink sink_{};
+};
+
+/// Build a string from streamable pieces: cat_str("node ", 3, " failed").
+template <typename... Args>
+[[nodiscard]] std::string cat_str(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+/// A sink that appends records to a vector (for tests).
+class TraceBuffer {
+ public:
+  [[nodiscard]] Tracer::Sink sink() {
+    return [this](const TraceRecord& r) { records_.push_back(r); };
+  }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// A sink that prints to an ostream as "[   123.4us] cat: text".
+[[nodiscard]] Tracer::Sink ostream_sink(std::ostream& os);
+
+}  // namespace canely::sim

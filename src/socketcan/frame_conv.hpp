@@ -1,0 +1,46 @@
+#pragma once
+// Conversions between the library's can::Frame and Linux SocketCAN's
+// struct can_frame.  Pure functions — testable without a CAN interface.
+
+#include <linux/can.h>
+
+#include <optional>
+
+#include "can/frame.hpp"
+
+namespace canely::socketcan {
+
+/// Library frame -> SocketCAN frame.
+[[nodiscard]] inline ::can_frame to_linux(const can::Frame& f) {
+  ::can_frame out{};
+  out.can_id = f.id;
+  if (f.format == can::IdFormat::kExtended) out.can_id |= CAN_EFF_FLAG;
+  if (f.remote) out.can_id |= CAN_RTR_FLAG;
+  out.can_dlc = f.dlc;
+  if (!f.remote) {
+    for (std::size_t i = 0; i < f.dlc; ++i) out.data[i] = f.data[i];
+  }
+  return out;
+}
+
+/// SocketCAN frame -> library frame.  Error frames (CAN_ERR_FLAG) and
+/// DLCs beyond classic CAN are rejected.
+[[nodiscard]] inline std::optional<can::Frame> from_linux(
+    const ::can_frame& in) {
+  if (in.can_id & CAN_ERR_FLAG) return std::nullopt;
+  if (in.can_dlc > can::kMaxData) return std::nullopt;
+  const bool extended = (in.can_id & CAN_EFF_FLAG) != 0;
+  const bool remote = (in.can_id & CAN_RTR_FLAG) != 0;
+  const std::uint32_t id =
+      in.can_id & (extended ? CAN_EFF_MASK : CAN_SFF_MASK);
+  if (remote) {
+    return can::Frame::make_remote(
+        id, in.can_dlc,
+        extended ? can::IdFormat::kExtended : can::IdFormat::kBase);
+  }
+  return can::Frame::make_data(
+      id, {in.data, in.can_dlc},
+      extended ? can::IdFormat::kExtended : can::IdFormat::kBase);
+}
+
+}  // namespace canely::socketcan

@@ -1,0 +1,78 @@
+#include "socketcan/gateway.hpp"
+
+#include <fcntl.h>
+#include <linux/can.h>
+#include <linux/can/raw.h>
+#include <net/if.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "socketcan/frame_conv.hpp"
+
+namespace canely::socketcan {
+
+SocketCanGateway::SocketCanGateway(can::Bus& bus, can::NodeId gateway_id,
+                                   const std::string& ifname)
+    : controller_{gateway_id, bus} {
+  controller_.set_client(this);
+
+  fd_ = ::socket(PF_CAN, SOCK_RAW, CAN_RAW);
+  if (fd_ < 0) {
+    throw std::runtime_error(
+        std::string("SocketCanGateway: socket(PF_CAN) failed: ") +
+        std::strerror(errno));
+  }
+  ifreq ifr{};
+  std::strncpy(ifr.ifr_name, ifname.c_str(), IFNAMSIZ - 1);
+  if (::ioctl(fd_, SIOCGIFINDEX, &ifr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("SocketCanGateway: no such interface: " +
+                             ifname);
+  }
+  sockaddr_can addr{};
+  addr.can_family = AF_CAN;
+  addr.can_ifindex = ifr.ifr_ifindex;
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("SocketCanGateway: bind failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+SocketCanGateway::~SocketCanGateway() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketCanGateway::on_rx(const can::Frame& frame, bool own) {
+  // Forward everything the simulated bus carries — except frames we
+  // ourselves injected from the socket (own == true), which would loop.
+  if (own || fd_ < 0) return;
+  const ::can_frame out = to_linux(frame);
+  if (::write(fd_, &out, sizeof(out)) == sizeof(out)) {
+    ++out_;
+  }
+}
+
+std::size_t SocketCanGateway::poll() {
+  std::size_t injected = 0;
+  ::can_frame in{};
+  while (fd_ >= 0 && ::read(fd_, &in, sizeof(in)) == sizeof(in)) {
+    const auto frame = from_linux(in);
+    if (!frame.has_value()) continue;
+    controller_.request_tx(*frame);
+    ++in_;
+    ++injected;
+  }
+  return injected;
+}
+
+}  // namespace canely::socketcan

@@ -1,0 +1,65 @@
+#pragma once
+// SocketCAN gateway: bridges the simulated bus to a real (or virtual)
+// Linux CAN interface, so a CANELy stack can interoperate with physical
+// nodes or with standard tooling (candump / cansend on vcan0).
+//
+// Design: the gateway joins the simulated bus as one more controller
+// (node id of its own).  Frames that complete on the simulated bus are
+// written to the socket; frames read from the socket are injected into
+// the simulation as transmissions of the gateway's controller.  Pair it
+// with RealTimeRunner (realtime.hpp) so simulated time tracks wall-clock
+// time while the socket is polled between events.
+//
+//   sim::Engine engine;
+//   can::Bus bus{engine};
+//   canely::Node n0{bus, 0, params};
+//   socketcan::SocketCanGateway gw{bus, 63, "vcan0"};   // throws if absent
+//   socketcan::RealTimeRunner runner{engine};
+//   runner.add_poller([&] { gw.poll(); });
+//   runner.run_for(std::chrono::seconds(10));
+//
+// This repository's CI environment has no CAN interfaces; the associated
+// tests skip themselves when open() fails (see tests/test_socketcan.cpp).
+
+#include <cstdint>
+#include <string>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "can/frame.hpp"
+
+namespace canely::socketcan {
+
+/// Bidirectional bridge between a simulated can::Bus and a SocketCAN
+/// interface.
+class SocketCanGateway final : public can::ControllerClient {
+ public:
+  /// Opens a raw CAN socket bound to `ifname` (e.g. "vcan0", "can0") and
+  /// attaches to the bus as node `gateway_id`.  Throws std::runtime_error
+  /// when the interface or PF_CAN support is unavailable.
+  SocketCanGateway(can::Bus& bus, can::NodeId gateway_id,
+                   const std::string& ifname);
+  ~SocketCanGateway() override;
+  SocketCanGateway(const SocketCanGateway&) = delete;
+  SocketCanGateway& operator=(const SocketCanGateway&) = delete;
+
+  /// Drain pending frames from the socket into the simulated bus
+  /// (non-blocking).  Returns the number of frames injected.
+  std::size_t poll();
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint64_t frames_out() const { return out_; }
+  [[nodiscard]] std::uint64_t frames_in() const { return in_; }
+
+  // ControllerClient — frames observed on the simulated bus.
+  void on_rx(const can::Frame& frame, bool own) override;
+  void on_tx_confirm(const can::Frame&) override {}
+
+ private:
+  can::Controller controller_;
+  int fd_{-1};
+  std::uint64_t out_{0};
+  std::uint64_t in_{0};
+};
+
+}  // namespace canely::socketcan

@@ -1,0 +1,23 @@
+#include "socketcan/realtime.hpp"
+
+#include <thread>
+
+namespace canely::socketcan {
+
+void RealTimeRunner::run_for(std::chrono::milliseconds wall) {
+  using clock = std::chrono::steady_clock;
+  const auto start_wall = clock::now();
+  const auto start_sim = engine_.now();
+  const auto deadline = start_wall + wall;
+
+  while (clock::now() < deadline) {
+    for (auto& p : pollers_) p();
+    // Advance the simulation up to "now" in wall terms.
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        clock::now() - start_wall);
+    engine_.run_until(start_sim + sim::Time::ns(elapsed.count()));
+    std::this_thread::sleep_for(poll_interval_);
+  }
+}
+
+}  // namespace canely::socketcan

@@ -1,0 +1,103 @@
+#include "workload/sae.hpp"
+
+#include "can/bitstream.hpp"
+
+namespace canely::workload {
+
+std::vector<Stream> sae_like_set(std::size_t n_nodes) {
+  // Period/size buckets in the spirit of the SAE class-C set: a handful
+  // of hard 5 ms control signals, 10-20 ms sensor values, and slow
+  // 100 ms-1 s status messages, round-robined over the nodes.
+  struct Bucket {
+    const char* tag;
+    std::size_t count;
+    std::size_t dlc;
+    sim::Time period;
+    sim::Time jitter;
+  };
+  const Bucket buckets[] = {
+      {"ctrl", 4, 2, sim::Time::ms(5), sim::Time::us(100)},
+      {"sens", 6, 4, sim::Time::ms(10), sim::Time::us(200)},
+      {"stat", 6, 8, sim::Time::ms(100), sim::Time::ms(1)},
+      {"diag", 4, 8, sim::Time::ms(1000), sim::Time::ms(2)},
+  };
+  std::vector<Stream> out;
+  std::uint32_t prio = 0;
+  std::uint8_t stream_id = 1;
+  can::NodeId sender = 0;
+  for (const Bucket& b : buckets) {
+    for (std::size_t i = 0; i < b.count; ++i) {
+      Stream s;
+      s.name = std::string(b.tag) + "-" + std::to_string(i);
+      s.sender = sender;
+      s.stream_id = stream_id++;
+      s.dlc = b.dlc;
+      s.period = b.period;
+      s.jitter = b.jitter;
+      s.priority = prio++;
+      out.push_back(s);
+      sender = static_cast<can::NodeId>((sender + 1) % n_nodes);
+    }
+  }
+  return out;
+}
+
+std::vector<Stream> uniform_cyclic_set(std::size_t n_nodes, sim::Time period,
+                                       std::size_t dlc) {
+  std::vector<Stream> out;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Stream s;
+    s.name = "cyclic-" + std::to_string(i);
+    s.sender = static_cast<can::NodeId>(i);
+    s.stream_id = 1;
+    s.dlc = dlc;
+    s.period = period;
+    s.priority = static_cast<std::uint32_t>(i);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<analysis::MessageSpec> to_message_specs(
+    const std::vector<Stream>& streams, bool include_protocol_overlay,
+    std::size_t n_nodes, sim::Time heartbeat_period,
+    sim::Time membership_cycle) {
+  std::vector<analysis::MessageSpec> specs;
+  std::uint32_t prio_base = 0;
+  if (include_protocol_overlay) {
+    // Worst-case protocol streams, all above application priority
+    // (MsgType order): per heartbeat period up to n life-signs; per cycle
+    // up to n FDA signs and j+1 RHV signals.  Modelled as aggregate
+    // streams with the according periods.
+    specs.push_back({"els*", prio_base++, 0, can::IdFormat::kExtended, true,
+                     heartbeat_period / static_cast<std::int64_t>(n_nodes),
+                     sim::Time::zero(), sim::Time::zero()});
+    specs.push_back({"fda*", prio_base++, 0, can::IdFormat::kExtended, true,
+                     membership_cycle / static_cast<std::int64_t>(n_nodes),
+                     sim::Time::zero(), sim::Time::zero()});
+    specs.push_back({"rhv*", prio_base++, 8, can::IdFormat::kExtended, false,
+                     membership_cycle / 4, sim::Time::zero(),
+                     sim::Time::zero()});
+  }
+  for (const Stream& s : streams) {
+    specs.push_back({s.name, prio_base + s.priority, s.dlc,
+                     can::IdFormat::kExtended, false, s.period, s.jitter,
+                     sim::Time::zero()});
+  }
+  return specs;
+}
+
+double utilization(const std::vector<Stream>& streams,
+                   std::int64_t bit_rate_bps) {
+  double u = 0;
+  for (const Stream& s : streams) {
+    const auto bits = can::max_frame_bits_on_wire(
+        s.dlc, can::IdFormat::kExtended) + can::kIntermissionBits;
+    u += sim::bits_to_time(static_cast<std::int64_t>(bits), bit_rate_bps)
+             .to_sec_f() /
+         s.period.to_sec_f();
+  }
+  return u;
+}
+
+}  // namespace canely::workload

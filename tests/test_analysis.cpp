@@ -1,0 +1,189 @@
+// Tests for the analytic models: bandwidth (Fig. 10), inaccessibility
+// (Fig. 11), Tindell-Burns response times (MCAN4's Ttd).
+
+#include <gtest/gtest.h>
+
+#include "analysis/bandwidth.hpp"
+#include "analysis/inaccessibility.hpp"
+#include "analysis/response_time.hpp"
+
+namespace canely::analysis {
+namespace {
+
+// ------------------------------------------------------------- bandwidth --
+
+TEST(BandwidthModel, FrameCostsAreWorstCase) {
+  BandwidthModel m{};
+  // Extended remote frame: 54 stuffable + 13 stuff + 10 tail + 3 IFS = 80.
+  EXPECT_DOUBLE_EQ(m.c_rtr(), 80.0);
+  // Extended data frame, 4-byte RHV (n=32): 54+32=86 stuffable + 21 + 13.
+  EXPECT_DOUBLE_EQ(m.c_rhv(), 86 + (86 - 1) / 4 + 10 + 3.0);
+}
+
+TEST(BandwidthModel, ScenarioOrderingMatchesFigure10) {
+  BandwidthModel m{};
+  const double tm = 30e-3 * 1e6;  // Tm = 30 ms at 1 Mbps, in bit-times
+  const double u0 = BandwidthModel::utilization(m.no_changes(), tm);
+  const double u1 = BandwidthModel::utilization(m.crash_failures(), tm);
+  const double u2 = BandwidthModel::utilization(m.single_join_leave(), tm);
+  const double u3 =
+      BandwidthModel::utilization(m.multiple_join_leave(20), tm);
+  EXPECT_LT(u0, u1);
+  EXPECT_LT(u1, u2);
+  EXPECT_LT(u2, u3);
+  // Figure 10 magnitudes at Tm = 30 ms: ~2% / ~5-6% / ~7% / ~14%.
+  EXPECT_NEAR(u0, 0.02, 0.01);
+  EXPECT_NEAR(u1, 0.05, 0.02);
+  EXPECT_GT(u3, 0.10);
+  EXPECT_LT(u3, 0.25);
+}
+
+TEST(BandwidthModel, UtilizationDecaysHyperbolicallyInTm) {
+  BandwidthModel m{};
+  const double u30 = BandwidthModel::utilization(m.crash_failures(), 30e3);
+  const double u60 = BandwidthModel::utilization(m.crash_failures(), 60e3);
+  const double u90 = BandwidthModel::utilization(m.crash_failures(), 90e3);
+  EXPECT_NEAR(u30 / u60, 2.0, 1e-9);
+  EXPECT_NEAR(u30 / u90, 3.0, 1e-9);
+}
+
+TEST(BandwidthModel, JoinLeaveMarginalCostMatchesFootnote11) {
+  // The paper: "each join/leave request contributes an increase of about
+  // 0.6% (Tm = 30 ms)".  With base-format frames (as the paper's stack)
+  // the marginal cost per request is c_rtr + c_rhv ~ 0.5-0.7%.
+  BandwidthParams p;
+  p.format = can::IdFormat::kBase;
+  BandwidthModel m{p};
+  const double tm = 30e3;
+  const double marginal =
+      (m.rha_bits(11) - m.rha_bits(10)) / tm;
+  EXPECT_NEAR(marginal, 0.006, 0.002);
+}
+
+TEST(BandwidthModel, MoreLifeSignIssuersCostMore) {
+  BandwidthParams a, b;
+  a.b = 8;
+  b.b = 16;
+  EXPECT_LT(BandwidthModel{a}.life_sign_bits(),
+            BandwidthModel{b}.life_sign_bits());
+}
+
+// -------------------------------------------------------- inaccessibility --
+
+TEST(Inaccessibility, LowerBoundIsErrorFlagPlusDelimiter) {
+  InaccessibilityModel m{};
+  EXPECT_EQ(m.standard_can_bounds().min_bits, 14u);
+  EXPECT_EQ(m.canely_bounds().min_bits, 14u);
+}
+
+TEST(Inaccessibility, UpperBoundsBracketThePaperRange) {
+  // Fig. 11: standard CAN 14-2880 bit-times, CANELy 14-2160.  Our
+  // reconstruction (exact worst frames, burst degrees 20 vs 15) must land
+  // in the same range and preserve the standard > CANELy ordering.
+  InaccessibilityModel m{};
+  const auto std_b = m.standard_can_bounds();
+  const auto ely_b = m.canely_bounds();
+  EXPECT_GT(std_b.max_bits, ely_b.max_bits);
+  EXPECT_NEAR(static_cast<double>(std_b.max_bits), 2880.0, 600.0);
+  EXPECT_NEAR(static_cast<double>(ely_b.max_bits), 2160.0, 450.0);
+  EXPECT_NEAR(static_cast<double>(std_b.max_bits) /
+                  static_cast<double>(ely_b.max_bits),
+              2880.0 / 2160.0, 1e-9);
+}
+
+TEST(Inaccessibility, SingleFaultScenariosAreOrdered) {
+  InaccessibilityModel m{};
+  for (const auto& s : m.single_fault_scenarios()) {
+    EXPECT_LE(s.min_bits, s.max_bits) << s.name;
+    EXPECT_GE(s.min_bits, 14u) << s.name;
+    // A single fault can cost at most one max frame + signaling + slack.
+    EXPECT_LE(s.max_bits, m.max_frame_bits() + 40) << s.name;
+  }
+}
+
+TEST(Inaccessibility, BurstScalesLinearly) {
+  InaccessibilityModel m{};
+  EXPECT_EQ(m.burst(10).max_bits * 2, m.burst(20).max_bits);
+  EXPECT_EQ(m.tina_bits(1), m.burst(1).max_bits);
+}
+
+// ----------------------------------------------------------- response time --
+
+TEST(ResponseTime, SingleMessageIsJustItsTransmissionTime) {
+  ResponseTimeAnalysis rta{
+      {MessageSpec{"only", 1, 8, can::IdFormat::kBase, false,
+                   sim::Time::ms(10), sim::Time::zero(), sim::Time::zero()}},
+      1'000'000};
+  ASSERT_EQ(rta.results().size(), 1u);
+  const auto& r = rta.results()[0];
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_EQ(r.b, sim::Time::zero());
+  EXPECT_EQ(r.r, r.c);
+  EXPECT_EQ(r.c, sim::Time::us(135));  // worst 8-byte base frame
+}
+
+TEST(ResponseTime, LowerPriorityWaitsForHigher) {
+  std::vector<MessageSpec> set{
+      {"hi", 1, 8, can::IdFormat::kBase, false, sim::Time::ms(1),
+       sim::Time::zero(), sim::Time::zero()},
+      {"lo", 2, 8, can::IdFormat::kBase, false, sim::Time::ms(10),
+       sim::Time::zero(), sim::Time::zero()},
+  };
+  ResponseTimeAnalysis rta{set, 1'000'000};
+  ASSERT_TRUE(rta.all_schedulable());
+  // lo waits for at least one hi instance (and hi, symmetrically, suffers
+  // non-preemptive blocking from lo — both come to C_hi + C_lo here).
+  EXPECT_GE(rta.results()[1].r, rta.results()[0].r);
+  EXPECT_GE(rta.results()[1].r, sim::Time::us(270));
+}
+
+TEST(ResponseTime, BlockingFromLowerPriority) {
+  std::vector<MessageSpec> set{
+      {"hi", 1, 0, can::IdFormat::kBase, false, sim::Time::ms(10),
+       sim::Time::zero(), sim::Time::zero()},
+      {"lo", 2, 8, can::IdFormat::kBase, false, sim::Time::ms(10),
+       sim::Time::zero(), sim::Time::zero()},
+  };
+  ResponseTimeAnalysis rta{set, 1'000'000};
+  // hi suffers non-preemptive blocking from the long lo frame.
+  EXPECT_EQ(rta.results()[0].b, sim::Time::us(135));
+}
+
+TEST(ResponseTime, OverloadedSetReportedUnschedulable) {
+  std::vector<MessageSpec> set;
+  for (int i = 0; i < 20; ++i) {
+    set.push_back({"m" + std::to_string(i), static_cast<std::uint32_t>(i),
+                   8, can::IdFormat::kBase, false, sim::Time::ms(1),
+                   sim::Time::zero(), sim::Time::zero()});
+  }
+  ResponseTimeAnalysis rta{set, 1'000'000};
+  EXPECT_GT(rta.utilization(), 1.0);
+  EXPECT_FALSE(rta.all_schedulable());
+  EXPECT_FALSE(rta.worst_response().has_value());
+}
+
+TEST(ResponseTime, ErrorHypothesisInflatesResponseTimes) {
+  std::vector<MessageSpec> set{
+      {"m", 1, 8, can::IdFormat::kBase, false, sim::Time::ms(10),
+       sim::Time::zero(), sim::Time::zero()},
+  };
+  ResponseTimeAnalysis clean{set, 1'000'000};
+  ResponseTimeAnalysis faulty{set, 1'000'000,
+                              ErrorHypothesis{2, sim::Time::ms(10)}};
+  ASSERT_TRUE(clean.all_schedulable());
+  ASSERT_TRUE(faulty.all_schedulable());
+  EXPECT_GT(faulty.results()[0].r, clean.results()[0].r);
+  // Two faults cost two (error signal + retransmission) units.
+  EXPECT_GE(faulty.results()[0].r - clean.results()[0].r,
+            sim::Time::us(2 * 135));
+}
+
+TEST(ResponseTime, JitterAddsDirectly) {
+  MessageSpec m{"m", 1, 0, can::IdFormat::kBase, false, sim::Time::ms(10),
+                sim::Time::us(50), sim::Time::zero()};
+  ResponseTimeAnalysis rta{{m}, 1'000'000};
+  EXPECT_EQ(rta.results()[0].r, rta.results()[0].c + sim::Time::us(50));
+}
+
+}  // namespace
+}  // namespace canely::analysis

@@ -1,0 +1,389 @@
+// Tests for the related-work baselines (§6.6, Fig. 1): CANopen node
+// guarding + heartbeat, OSEK NM logical ring, TTP/TDMA membership.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/canopen.hpp"
+#include "baselines/osek_nm.hpp"
+#include "baselines/ttp.hpp"
+#include "can/bus.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::baselines {
+namespace {
+
+using sim::Time;
+
+// ---------------------------------------------------------------- CANopen --
+
+class CanopenTest : public ::testing::Test {
+ protected:
+  sim::Engine engine;
+  can::Bus bus{engine};
+  sim::TimerService timers{engine};
+};
+
+TEST_F(CanopenTest, NodeGuardingDetectsSlaveCrashAtMasterOnly) {
+  CanopenMaster master{bus, 0, timers, Time::ms(10), Time::ms(5)};
+  CanopenSlave s1{bus, 1, timers};
+  CanopenSlave s2{bus, 2, timers};
+
+  std::vector<can::NodeId> detected;
+  master.set_failure_handler([&](can::NodeId n) { detected.push_back(n); });
+  master.start_guarding({1, 2});
+  engine.run_until(Time::ms(100));
+  EXPECT_TRUE(detected.empty());
+
+  s1.crash();
+  engine.run_until(Time::ms(200));
+  ASSERT_EQ(detected.size(), 1u);
+  EXPECT_EQ(detected[0], 1);
+}
+
+TEST_F(CanopenTest, NodeGuardingLatencyIsBoundedByGuardCycle) {
+  const Time guard = Time::ms(10), timeout = Time::ms(5);
+  CanopenMaster master{bus, 0, timers, guard, timeout};
+  CanopenSlave s1{bus, 1, timers};
+  CanopenSlave s2{bus, 2, timers};
+  CanopenSlave s3{bus, 3, timers};
+
+  Time when = Time::max();
+  master.set_failure_handler([&](can::NodeId n) {
+    if (n == 2 && when == Time::max()) when = engine.now();
+  });
+  master.start_guarding({1, 2, 3});
+  engine.run_until(Time::ms(95));
+  const Time t_crash = engine.now();
+  s2.crash();
+  engine.run_until(Time::ms(300));
+  ASSERT_NE(when, Time::max());
+  // Worst case: full cycle over 3 slaves + response timeout.
+  EXPECT_LE(when - t_crash, guard * 3 + timeout + Time::ms(1));
+}
+
+TEST_F(CanopenTest, HeartbeatDetectionIsLocalAndUnsynchronized) {
+  CanopenSlave producer{bus, 1, timers};
+  HeartbeatConsumer c1{bus, 2, timers};
+  HeartbeatConsumer c2{bus, 3, timers};
+
+  std::map<int, Time> heard;
+  c1.set_failure_handler([&](can::NodeId) { heard[2] = engine.now(); });
+  c2.set_failure_handler([&](can::NodeId) { heard[3] = engine.now(); });
+
+  producer.start_heartbeat(Time::ms(10));
+  c1.watch(1, Time::ms(25));
+  c2.watch(1, Time::ms(40));  // differently configured consumer
+  engine.run_until(Time::ms(100));
+  EXPECT_TRUE(heard.empty());
+
+  const Time t_crash = engine.now();
+  producer.crash();
+  engine.run_until(Time::ms(300));
+  ASSERT_EQ(heard.size(), 2u);
+  // The two consumers detect at different instants (no agreement!) —
+  // the inconsistency CANELy's FDA exists to remove.
+  EXPECT_NE(heard[2], heard[3]);
+  EXPECT_GT(heard[3] - heard[2], Time::ms(5));
+  EXPECT_LE(heard[2] - t_crash, Time::ms(26));
+}
+
+TEST_F(CanopenTest, SlaveAnswersCarryToggleBit) {
+  CanopenMaster master{bus, 0, timers, Time::ms(5), Time::ms(3)};
+  CanopenSlave s1{bus, 1, timers};
+  // Observe answers on the wire.
+  std::vector<std::uint8_t> answers;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if (!r.frame.remote && r.frame.id == kErrorControlBase + 1) {
+      answers.push_back(r.frame.data[0]);
+    }
+  });
+  master.start_guarding({1});
+  engine.run_until(Time::ms(50));
+  ASSERT_GE(answers.size(), 4u);
+  for (std::size_t i = 1; i < answers.size(); ++i) {
+    EXPECT_NE(answers[i] & 0x80, answers[i - 1] & 0x80) << i;
+  }
+}
+
+// ----------------------------------------------------------------- OSEK NM --
+
+class OsekTest : public ::testing::Test {
+ protected:
+  void make(std::size_t n, OsekNmParams p = {}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<OsekNmNode>(
+          bus, static_cast<can::NodeId>(i), timers, p));
+    }
+    for (auto& nd : nodes) nd->start();
+  }
+  sim::Engine engine;
+  can::Bus bus{engine};
+  sim::TimerService timers{engine};
+  std::vector<std::unique_ptr<OsekNmNode>> nodes;
+};
+
+TEST_F(OsekTest, RingFormsAndConfigConverges) {
+  make(4);
+  engine.run_until(Time::sec(2));
+  for (auto& nd : nodes) {
+    EXPECT_EQ(nd->config(), can::NodeSet::first_n(4))
+        << "node " << int{nd->id()} << " config " << nd->config();
+  }
+}
+
+TEST_F(OsekTest, RingKeepsCirculating) {
+  make(3);
+  std::uint64_t ring_msgs = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if (!r.frame.remote && r.frame.id >= kNmBase &&
+        r.frame.id < kNmBase + can::kMaxNodes && r.frame.data[0] == 2) {
+      ++ring_msgs;
+    }
+  });
+  engine.run_until(Time::sec(3));
+  // One ring message per TTyp (100 ms) => ~30 in 3 s.
+  EXPECT_GE(ring_msgs, 20u);
+}
+
+TEST_F(OsekTest, CrashedNodeIsRemovedFromAllConfigs) {
+  make(4);
+  engine.run_until(Time::sec(2));
+  nodes[2]->crash();
+  engine.run_until(engine.now() + Time::sec(2));
+  for (auto& nd : nodes) {
+    if (nd->crashed()) continue;
+    EXPECT_EQ(nd->config(), (can::NodeSet{0, 1, 3}))
+        << "node " << int{nd->id()};
+  }
+}
+
+TEST_F(OsekTest, DetectionLatencyIsOrderOfSeconds) {
+  // §6.6: with TTyp = 100 ms, detection "may be in the order of one
+  // second" — the ring must walk around to the dead node.
+  OsekNmParams p;
+  p.t_typ = Time::ms(100);
+  p.t_max = Time::ms(260);
+  make(8, p);
+  engine.run_until(Time::sec(3));
+
+  Time detected = Time::max();
+  for (auto& nd : nodes) {
+    nd->set_leave_handler([&](can::NodeId dead) {
+      if (dead == 5 && engine.now() < detected) detected = engine.now();
+    });
+  }
+  const Time t_crash = engine.now();
+  nodes[5]->crash();
+  engine.run_until(engine.now() + Time::sec(5));
+  ASSERT_NE(detected, Time::max());
+  const Time latency = detected - t_crash;
+  EXPECT_GT(latency, Time::ms(100));   // far slower than CANELy's ~11 ms
+  EXPECT_LT(latency, Time::sec(2));    // but bounded by one ring walk
+}
+
+TEST_F(OsekTest, IsolatedNodeEntersLimpHome) {
+  make(3);
+  engine.run_until(Time::sec(2));
+  EXPECT_FALSE(nodes[0]->limp_home());
+  // Cut node 0 off by crashing everyone else.
+  nodes[1]->crash();
+  nodes[2]->crash();
+  engine.run_until(engine.now() + Time::sec(3));
+  EXPECT_TRUE(nodes[0]->limp_home());
+}
+
+TEST_F(OsekTest, LimpHomeClearsWhenTrafficReturns) {
+  OsekNmParams p;
+  std::vector<std::unique_ptr<OsekNmNode>> late;
+  make(2, p);
+  engine.run_until(Time::sec(1));
+  nodes[1]->crash();
+  engine.run_until(engine.now() + Time::sec(3));
+  ASSERT_TRUE(nodes[0]->limp_home());
+  // A new node appears: traffic resumes, limp-home clears.
+  late.push_back(std::make_unique<OsekNmNode>(bus, 5, timers, p));
+  late.back()->start();
+  engine.run_until(engine.now() + Time::sec(2));
+  EXPECT_FALSE(nodes[0]->limp_home());
+  EXPECT_TRUE(nodes[0]->config().contains(5));
+}
+
+TEST_F(OsekTest, RingResumesAfterCrash) {
+  make(4);
+  engine.run_until(Time::sec(2));
+  nodes[1]->crash();
+  engine.run_until(engine.now() + Time::sec(2));
+  std::uint64_t ring_after = 0;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if (!r.frame.remote && r.frame.data[0] == 2) ++ring_after;
+  });
+  engine.run_until(engine.now() + Time::sec(2));
+  EXPECT_GE(ring_after, 10u);  // the ring still turns among survivors
+}
+
+// --------------------------------------------------------------------- TTP --
+
+TEST(TtpTest, MembershipConsistentAndFast) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 4;
+  p.slot_time = Time::us(200);
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(10));
+  EXPECT_TRUE(ttp.views_consistent());
+  EXPECT_EQ(ttp.membership(0), can::NodeSet::first_n(4));
+
+  Time first_detect = Time::max();
+  ttp.set_failure_handler([&](can::NodeId, can::NodeId failed) {
+    if (failed == 2 && engine.now() < first_detect) {
+      first_detect = engine.now();
+    }
+  });
+  const Time t_crash = engine.now();
+  ttp.crash(2);
+  engine.run_until(Time::ms(20));
+  ASSERT_NE(first_detect, Time::max());
+  // Detection within one TDMA round + one slot.
+  EXPECT_LE(first_detect - t_crash,
+            p.slot_time * static_cast<std::int64_t>(p.n + 1));
+  EXPECT_TRUE(ttp.views_consistent());
+  EXPECT_EQ(ttp.membership(0), (can::NodeSet{0, 1, 3}));
+}
+
+TEST(TtpTest, ChannelRedundancyMasksOneChannel) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 3;
+  p.channel_a_ok = false;  // one channel dead from the start
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(10));
+  EXPECT_TRUE(ttp.views_consistent());
+  EXPECT_EQ(ttp.membership(1), can::NodeSet::first_n(3));
+}
+
+TEST(TtpTest, ReintegrationAfterRestart) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 4;
+  p.slot_time = Time::us(100);
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(5));
+  ttp.crash(1);
+  engine.run_until(Time::ms(10));
+  ASSERT_EQ(ttp.membership(0), (can::NodeSet{0, 2, 3}));
+
+  ttp.restart(1);
+  // One round to be heard + one round to relearn the full view.
+  engine.run_until(Time::ms(12));
+  EXPECT_TRUE(ttp.views_consistent());
+  EXPECT_EQ(ttp.membership(0), can::NodeSet::first_n(4));
+  EXPECT_EQ(ttp.membership(1), can::NodeSet::first_n(4));
+}
+
+TEST(TtpTest, TransientChannelLossMaskedByReplication) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 4;
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(5));
+  ttp.set_channels(false, true);  // channel A dies...
+  engine.run_until(Time::ms(10));
+  ttp.set_channels(true, true);   // ...and comes back
+  engine.run_until(Time::ms(15));
+  EXPECT_TRUE(ttp.views_consistent());
+  EXPECT_EQ(ttp.membership(2), can::NodeSet::first_n(4));  // nobody dropped
+}
+
+TEST(TtpTest, DoubleChannelLossCollapsesMembership) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 3;
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(5));
+  ttp.set_channels(false, false);  // both channels gone: silence
+  engine.run_until(Time::ms(10));
+  // Everyone dropped everyone they listened for: no replication left.
+  EXPECT_LT(ttp.membership(0).size(), 3u);
+}
+
+// --------------------------------------------------------- CANopen NMT --
+
+TEST_F(CanopenTest, SlaveBootsIntoPreOperational) {
+  CanopenSlave s{bus, 1, timers};
+  CanopenNmtMaster master{bus, 0};
+  s.boot();
+  engine.run_until(Time::ms(1));
+  EXPECT_EQ(s.state(), NmtState::kPreOperational);
+  // Boot-up message visible on the error-control COB-ID with state 0.
+}
+
+TEST_F(CanopenTest, NmtCommandsDriveSlaveStates) {
+  CanopenSlave s1{bus, 1, timers};
+  CanopenSlave s2{bus, 2, timers};
+  CanopenNmtMaster master{bus, 0};
+  s1.boot();
+  s2.boot();
+  engine.run_until(Time::ms(1));
+
+  master.command(NmtCommand::kStart, 1);  // addressed: only slave 1
+  engine.run_until(Time::ms(2));
+  EXPECT_EQ(s1.state(), NmtState::kOperational);
+  EXPECT_EQ(s2.state(), NmtState::kPreOperational);
+
+  master.command(NmtCommand::kStart, 0);  // broadcast
+  engine.run_until(Time::ms(3));
+  EXPECT_EQ(s2.state(), NmtState::kOperational);
+
+  master.command(NmtCommand::kStop, 2);
+  engine.run_until(Time::ms(4));
+  EXPECT_EQ(s2.state(), NmtState::kStopped);
+
+  master.command(NmtCommand::kResetNode, 2);
+  engine.run_until(Time::ms(5));
+  EXPECT_EQ(s2.state(), NmtState::kPreOperational);  // re-booted
+}
+
+TEST_F(CanopenTest, HeartbeatCarriesNmtState) {
+  CanopenSlave s{bus, 1, timers};
+  CanopenNmtMaster master{bus, 0};
+  std::vector<std::uint8_t> states;
+  bus.set_observer([&](const can::TxRecord& r) {
+    if (!r.frame.remote && r.frame.id == kErrorControlBase + 1 &&
+        r.outcome == can::TxOutcome::kOk) {
+      states.push_back(r.frame.data[0]);
+    }
+  });
+  s.boot();
+  s.start_heartbeat(Time::ms(10));
+  engine.run_until(Time::ms(25));
+  master.command(NmtCommand::kStart, 1);
+  engine.run_until(Time::ms(60));
+  // Saw pre-operational (0x7F) heartbeats first, then operational (0x05).
+  ASSERT_GE(states.size(), 4u);
+  EXPECT_EQ(states[1], 0x7F);  // [0] is the boot-up message (0x00)
+  EXPECT_EQ(states[0], 0x00);
+  EXPECT_EQ(states.back(), 0x05);
+}
+
+TEST(TtpTest, RoundsProgress) {
+  sim::Engine engine;
+  TtpParams p;
+  p.n = 4;
+  p.slot_time = Time::us(100);
+  TtpCluster ttp{engine, p};
+  ttp.start();
+  engine.run_until(Time::ms(4));
+  EXPECT_GE(ttp.rounds_completed(), 9u);
+}
+
+}  // namespace
+}  // namespace canely::baselines

@@ -1,0 +1,253 @@
+// Tests for the reliable broadcast suite (EDCAN, RELCAN, TOTCAN) — the
+// [18] protocol family the paper's FDA/RHA descend from.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "broadcast/edcan.hpp"
+#include "broadcast/relcan.hpp"
+#include "broadcast/totcan.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+bool is_type(const can::TxContext& c, MsgType t) {
+  const auto mid = Mid::decode(c.frame);
+  return mid.has_value() && mid->type == t;
+}
+
+/// Crash `node` right after the first completed attempt matching `type`.
+void crash_after_first(Cluster& c, can::NodeId node, MsgType type) {
+  c.bus().set_observer([&c, node, type](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() && mid->type == type) {
+      c.bus().set_observer({});
+      c.engine().schedule_after(Time::ns(1),
+                                [&c, node] { c.node(node).crash(); });
+    }
+  });
+}
+
+// ------------------------------------------------------------------ EDCAN --
+
+class EdcanTest : public ::testing::Test {
+ protected:
+  void make(std::size_t n) {
+    cluster = std::make_unique<Cluster>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ep.push_back(std::make_unique<broadcast::EdcanBroadcast>(
+          cluster->node(i).driver()));
+      auto& sink = delivered[i];
+      ep.back()->set_deliver_handler(
+          [&sink](can::NodeId from, std::uint8_t seq,
+                  std::span<const std::uint8_t> data) {
+            sink.push_back({from, seq, {data.begin(), data.end()}});
+          });
+    }
+  }
+  struct Delivery {
+    can::NodeId from;
+    std::uint8_t seq;
+    std::vector<std::uint8_t> data;
+  };
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<broadcast::EdcanBroadcast>> ep;
+  std::map<std::size_t, std::vector<Delivery>> delivered;
+};
+
+TEST_F(EdcanTest, DeliversToAllExactlyOnce) {
+  make(4);
+  const std::uint8_t data[] = {1, 2, 3};
+  ep[0]->broadcast(data);
+  cluster->engine().run_until(Time::ms(5));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(delivered[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(delivered[i][0].from, 0);
+    EXPECT_EQ(delivered[i][0].data, (std::vector<std::uint8_t>{1, 2, 3}));
+  }
+}
+
+TEST_F(EdcanTest, FaultFreeCostIsTwoFramesRegardlessOfGroupSize) {
+  make(8);
+  ep[0]->broadcast(std::array<std::uint8_t, 1>{9});
+  cluster->engine().run_until(Time::ms(5));
+  // Original + one clustered echo from the 7 recipients.
+  EXPECT_EQ(cluster->bus().stats().ok, 2u);
+}
+
+TEST_F(EdcanTest, SurvivesInconsistentOmissionWithSenderCrash) {
+  make(4);
+  can::ScriptedFaults faults;
+  faults.inconsistent_once(
+      [](const can::TxContext& c) { return is_type(c, MsgType::kEdcan); },
+      NodeSet{2, 3});
+  cluster->bus().set_fault_injector(&faults);
+  crash_after_first(*cluster, 0, MsgType::kEdcan);
+
+  ep[0]->broadcast(std::array<std::uint8_t, 1>{7});
+  cluster->engine().run_until(Time::ms(5));
+  // Victims 2,3 missed the original and the sender died — but node 1's
+  // eager echo rescues them (the failure mode LCAN2 alone cannot mask).
+  EXPECT_EQ(delivered[1].size(), 1u);
+  EXPECT_EQ(delivered[2].size(), 1u);
+  EXPECT_EQ(delivered[3].size(), 1u);
+}
+
+TEST_F(EdcanTest, DuplicatesAbsorbed) {
+  make(3);
+  ep[0]->broadcast(std::array<std::uint8_t, 1>{1});
+  cluster->engine().run_until(Time::ms(5));
+  // Copies on the wire: original + echo; each node delivered once.
+  EXPECT_GE(ep[1]->copies_seen(0, 0), 2);
+  EXPECT_EQ(delivered[1].size(), 1u);
+}
+
+TEST_F(EdcanTest, ManyBroadcastsKeepSequenceIdentity) {
+  make(3);
+  for (int k = 0; k < 10; ++k) {
+    ep[0]->broadcast(std::array<std::uint8_t, 1>{static_cast<std::uint8_t>(k)});
+    ep[1]->broadcast(std::array<std::uint8_t, 1>{static_cast<std::uint8_t>(k)});
+  }
+  cluster->engine().run_until(Time::ms(20));
+  ASSERT_EQ(delivered[2].size(), 20u);
+  // Per-sender FIFO by sequence number.
+  std::uint8_t next0 = 0, next1 = 0;
+  for (const auto& d : delivered[2]) {
+    if (d.from == 0) {
+      EXPECT_EQ(d.seq, next0++);
+    }
+    if (d.from == 1) {
+      EXPECT_EQ(d.seq, next1++);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- RELCAN --
+
+class RelcanTest : public ::testing::Test {
+ protected:
+  void make(std::size_t n) {
+    cluster = std::make_unique<Cluster>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ep.push_back(std::make_unique<broadcast::RelcanBroadcast>(
+          cluster->node(i).driver(), cluster->node(i).timers()));
+      auto& count = delivered[i];
+      ep.back()->set_deliver_handler(
+          [&count](can::NodeId, std::uint8_t,
+                   std::span<const std::uint8_t>) { ++count; });
+    }
+  }
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<broadcast::RelcanBroadcast>> ep;
+  std::map<std::size_t, int> delivered;
+};
+
+TEST_F(RelcanTest, FaultFreeDeliversWithoutFallback) {
+  make(4);
+  ep[0]->broadcast(std::array<std::uint8_t, 2>{1, 2});
+  cluster->engine().run_until(Time::ms(10));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(delivered[i], 1);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(ep[i]->fallbacks(), 0u);
+  // Data + confirm = 2 frames.
+  EXPECT_EQ(cluster->bus().stats().ok, 2u);
+}
+
+TEST_F(RelcanTest, SenderCrashTriggersEagerFallback) {
+  make(4);
+  can::ScriptedFaults faults;
+  faults.inconsistent_once(
+      [](const can::TxContext& c) {
+        return is_type(c, MsgType::kRelcanData);
+      },
+      NodeSet{2, 3});
+  cluster->bus().set_fault_injector(&faults);
+  crash_after_first(*cluster, 0, MsgType::kRelcanData);
+
+  ep[0]->broadcast(std::array<std::uint8_t, 1>{5});
+  cluster->engine().run_until(Time::ms(20));
+  // Node 1 saw the data but no confirm -> fallback rebroadcast; victims
+  // 2 and 3 recover through it.
+  EXPECT_GE(ep[1]->fallbacks(), 1u);
+  EXPECT_EQ(delivered[1], 1);
+  EXPECT_EQ(delivered[2], 1);
+  EXPECT_EQ(delivered[3], 1);
+}
+
+// ----------------------------------------------------------------- TOTCAN --
+
+class TotcanTest : public ::testing::Test {
+ protected:
+  void make(std::size_t n) {
+    cluster = std::make_unique<Cluster>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ep.push_back(std::make_unique<broadcast::TotcanBroadcast>(
+          cluster->node(i).driver(), cluster->node(i).timers()));
+      auto& order = delivery_order[i];
+      ep.back()->set_deliver_handler(
+          [&order](can::NodeId from, std::uint8_t seq,
+                   std::span<const std::uint8_t>) {
+            order.push_back({from, seq});
+          });
+    }
+  }
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<broadcast::TotcanBroadcast>> ep;
+  std::map<std::size_t, std::vector<std::pair<can::NodeId, std::uint8_t>>>
+      delivery_order;
+};
+
+TEST_F(TotcanTest, ConcurrentBroadcastsDeliverInTheSameTotalOrder) {
+  make(4);
+  // Three nodes broadcast concurrently, repeatedly.
+  for (int k = 0; k < 5; ++k) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      ep[s]->broadcast(
+          std::array<std::uint8_t, 1>{static_cast<std::uint8_t>(k)});
+    }
+  }
+  cluster->engine().run_until(Time::ms(50));
+  ASSERT_EQ(delivery_order[0].size(), 15u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(delivery_order[i], delivery_order[0]) << "node " << i;
+  }
+}
+
+TEST_F(TotcanTest, SenderCrashBeforeAcceptDiscardsUnanimously) {
+  make(4);
+  crash_after_first(*cluster, 0, MsgType::kTotcanData);
+  ep[0]->broadcast(std::array<std::uint8_t, 1>{9});
+  cluster->engine().run_until(Time::ms(50));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(delivery_order[i].empty()) << "node " << i;
+    EXPECT_EQ(ep[i]->discarded(), 1u) << "node " << i;
+  }
+}
+
+TEST_F(TotcanTest, DeliveryWaitsForAccept) {
+  make(3);
+  // Delivery must not happen at data reception: stop the clock just past
+  // the end of the (exactly computed) data frame and check nothing was
+  // delivered yet.
+  const std::array<std::uint8_t, 1> payload{1};
+  const auto data_frame = can::Frame::make_data(
+      Mid{MsgType::kTotcanData, 0, 0}.encode(), payload,
+      can::IdFormat::kExtended);
+  const auto data_end = sim::bits_to_time(
+      static_cast<std::int64_t>(can::frame_bits_on_wire(data_frame) +
+                                can::kIntermissionBits),
+      1'000'000);
+  ep[0]->broadcast(payload);
+  cluster->engine().run_until(data_end + Time::us(2));
+  EXPECT_TRUE(delivery_order[1].empty());
+  cluster->engine().run_until(Time::ms(5));
+  EXPECT_EQ(delivery_order[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,118 @@
+// Property tests for the frame codec: serialize -> (stuff -> destuff) ->
+// decode must reproduce every frame bit-exactly, and every single-bit
+// corruption must be caught (MCAN2's receiver-side error detection) by
+// CRC, format rules, or stuffing rules.
+
+#include <gtest/gtest.h>
+
+#include "can/bitstream.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace canely::can {
+namespace {
+
+Frame random_frame(sim::Rng& rng) {
+  const bool ext = rng.chance(0.5);
+  const bool remote = rng.chance(0.3);
+  const auto id = static_cast<std::uint32_t>(
+      rng.below(ext ? 0x20000000 : 0x800));
+  const std::size_t dlc = rng.below(9);
+  if (remote) {
+    return Frame::make_remote(id, static_cast<std::uint8_t>(dlc),
+                              ext ? IdFormat::kExtended : IdFormat::kBase);
+  }
+  std::vector<std::uint8_t> payload(dlc);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return Frame::make_data(id, payload,
+                          ext ? IdFormat::kExtended : IdFormat::kBase);
+}
+
+class CodecRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecRoundtrip, EncodeDecodeIsIdentity) {
+  sim::Rng rng{GetParam()};
+  for (int trial = 0; trial < 100; ++trial) {
+    const Frame f = random_frame(rng);
+    const auto raw = raw_bits(f);
+    const auto decoded = decode_raw_bits(raw);
+    ASSERT_TRUE(decoded.has_value()) << f;
+    EXPECT_EQ(*decoded, f);
+    EXPECT_EQ(decoded->format, f.format);
+    EXPECT_EQ(decoded->dlc, f.dlc);
+  }
+}
+
+TEST_P(CodecRoundtrip, StuffDestuffIsIdentity) {
+  sim::Rng rng{GetParam() ^ 0x5117};
+  for (int trial = 0; trial < 100; ++trial) {
+    const Frame f = random_frame(rng);
+    const auto raw = raw_bits(f);
+    const auto stuffed = stuff(raw);
+    const auto unstuffed = destuff(stuffed);
+    ASSERT_TRUE(unstuffed.has_value());
+    EXPECT_EQ(*unstuffed, raw);
+  }
+}
+
+TEST_P(CodecRoundtrip, EverySingleBitFlipIsDetected) {
+  sim::Rng rng{GetParam() ^ 0xF11B};
+  for (int trial = 0; trial < 10; ++trial) {
+    const Frame f = random_frame(rng);
+    auto raw = raw_bits(f);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      raw[i] ^= 1;
+      const auto decoded = decode_raw_bits(raw);
+      // Either rejected outright, or decoded into a DIFFERENT frame is
+      // impossible: the CRC covers every bit before it, and a flip inside
+      // the CRC field breaks the comparison.  Exception-free guarantee:
+      EXPECT_FALSE(decoded.has_value())
+          << "undetected flip at bit " << i << " of " << f;
+      raw[i] ^= 1;
+    }
+  }
+}
+
+TEST_P(CodecRoundtrip, StuffViolationsAreDetected) {
+  sim::Rng rng{GetParam() ^ 0xABCD};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Frame f = random_frame(rng);
+    const auto stuffed = stuff(raw_bits(f));
+    // Force six equal bits somewhere by overwriting a stuff position:
+    // find any position where out[i] != out[i-1] after 5-run; simpler:
+    // append five copies of the last bit (guaranteed violation window).
+    auto corrupted = stuffed;
+    const std::uint8_t last = corrupted.back();
+    for (int k = 0; k < 6; ++k) corrupted.push_back(last);
+    EXPECT_FALSE(destuff(corrupted).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundtrip,
+                         ::testing::Values(3u, 17u, 4242u));
+
+// --- TimeSeries stats helper -------------------------------------------------
+
+TEST(TimeSeries, SummaryStatistics) {
+  sim::TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.mean(), sim::Time::zero());
+  for (int v : {1, 2, 3, 4, 5}) ts.add(sim::Time::ms(v));
+  EXPECT_EQ(ts.count(), 5u);
+  EXPECT_EQ(ts.min(), sim::Time::ms(1));
+  EXPECT_EQ(ts.max(), sim::Time::ms(5));
+  EXPECT_EQ(ts.mean(), sim::Time::ms(3));
+  EXPECT_NEAR(ts.stddev_us(), 1581.1, 1.0);
+}
+
+TEST(TimeSeries, Percentiles) {
+  sim::TimeSeries ts;
+  for (int v = 1; v <= 100; ++v) ts.add(sim::Time::us(v));
+  EXPECT_EQ(ts.percentile(0), sim::Time::us(1));
+  EXPECT_EQ(ts.percentile(100), sim::Time::us(100));
+  EXPECT_NEAR(static_cast<double>(ts.percentile(50).to_us()), 50.0, 1.0);
+  EXPECT_GE(ts.percentile(99).to_us(), 98);
+}
+
+}  // namespace
+}  // namespace canely::can

@@ -1,0 +1,144 @@
+// Tests for the clock synchronization service ([15]; Fig. 11 row
+// "clock synch precision: tens of us").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "clocksync/clock.hpp"
+#include "clocksync/sync_service.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using clocksync::ClockSyncService;
+using clocksync::DriftClock;
+using clocksync::SyncParams;
+using sim::Time;
+
+TEST(DriftClock, NoDriftTracksRealTime) {
+  DriftClock c{0.0};
+  EXPECT_EQ(c.read(Time::ms(10)), Time::ms(10));
+}
+
+TEST(DriftClock, DriftAccumulates) {
+  DriftClock fast{100.0};  // +100 ppm
+  // After 1 s: 100 us ahead.
+  EXPECT_NEAR(static_cast<double>((fast.read(Time::sec(1)) - Time::sec(1)).to_ns()),
+              100'000.0, 1.0);
+}
+
+TEST(DriftClock, AdjustShiftsPhase) {
+  DriftClock c{0.0};
+  c.adjust(Time::us(-250));
+  EXPECT_EQ(c.read(Time::ms(1)), Time::ms(1) - Time::us(250));
+}
+
+class ClockSyncTest : public ::testing::Test {
+ protected:
+  void make(std::size_t n, SyncParams sp = {}) {
+    cluster = std::make_unique<Cluster>(n);
+    // Drifts spread over +/-100 ppm, deterministic per node.
+    for (std::size_t i = 0; i < n; ++i) {
+      clocks.push_back(std::make_unique<DriftClock>(
+          -100.0 + 200.0 * static_cast<double>(i) /
+                       static_cast<double>(n > 1 ? n - 1 : 1)));
+      svc.push_back(std::make_unique<ClockSyncService>(
+          cluster->node(i).driver(), cluster->node(i).timers(), *clocks[i],
+          sp, /*seed=*/1000 + i));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      svc[i]->start(static_cast<unsigned>(i));
+    }
+  }
+
+  /// Max pairwise clock difference at the current instant.
+  [[nodiscard]] Time precision(const std::vector<std::size_t>& alive) const {
+    Time lo = Time::max(), hi = Time::ns(INT64_MIN);
+    for (std::size_t i : alive) {
+      const Time r = clocks[i]->read(cluster->engine().now());
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    return hi - lo;
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::vector<std::unique_ptr<DriftClock>> clocks;
+  std::vector<std::unique_ptr<ClockSyncService>> svc;
+};
+
+TEST_F(ClockSyncTest, UnsynchronizedClocksDivergeMicrosecondsPerSecond) {
+  DriftClock a{-100.0}, b{100.0};
+  const Time t = Time::sec(1);
+  const Time gap = b.read(t) - a.read(t);
+  EXPECT_NEAR(static_cast<double>(gap.to_us()), 200.0, 1.0);
+}
+
+TEST_F(ClockSyncTest, AchievesTensOfMicrosecondsPrecision) {
+  make(4);
+  cluster->engine().run_until(Time::sec(2));
+  // Sample precision at several instants mid-interval.
+  Time worst = Time::zero();
+  for (int s = 0; s < 20; ++s) {
+    cluster->engine().run_for(Time::ms(37));
+    worst = std::max(worst, precision({0, 1, 2, 3}));
+  }
+  // Precision budget: latch jitter (<=10us) + drift over the 100 ms
+  // period (200 ppm * 100 ms = 20 us) => tens of microseconds.
+  EXPECT_LT(worst, Time::us(50));
+  EXPECT_GT(worst, Time::zero());  // clocks are distinct, never perfect
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(svc[i]->rounds_observed(), 15u) << "node " << i;
+  }
+}
+
+TEST_F(ClockSyncTest, SynchronizerCrashTriggersTakeover) {
+  make(4);
+  cluster->engine().run_until(Time::sec(1));
+  ASSERT_TRUE(svc[0]->acting_synchronizer());
+  const auto rounds_before = svc[2]->rounds_observed();
+  cluster->node(0).crash();
+  cluster->engine().run_until(Time::sec(3));
+  // Node 1 (next rank) has taken over; rounds keep flowing.
+  EXPECT_TRUE(svc[1]->acting_synchronizer());
+  EXPECT_FALSE(svc[2]->acting_synchronizer());
+  EXPECT_GT(svc[2]->rounds_observed(), rounds_before + 10);
+  // Precision still holds among survivors.
+  Time worst = Time::zero();
+  for (int s = 0; s < 10; ++s) {
+    cluster->engine().run_for(Time::ms(41));
+    worst = std::max(worst, precision({1, 2, 3}));
+  }
+  EXPECT_LT(worst, Time::us(50));
+}
+
+TEST_F(ClockSyncTest, DoubleSynchronizerCrash) {
+  make(5);
+  cluster->engine().run_until(Time::sec(1));
+  cluster->node(0).crash();
+  cluster->node(1).crash();
+  cluster->engine().run_until(Time::sec(4));
+  EXPECT_TRUE(svc[2]->acting_synchronizer());
+  Time worst = Time::zero();
+  for (int s = 0; s < 10; ++s) {
+    cluster->engine().run_for(Time::ms(43));
+    worst = std::max(worst, precision({2, 3, 4}));
+  }
+  EXPECT_LT(worst, Time::us(50));
+}
+
+TEST_F(ClockSyncTest, StopCeasesParticipation) {
+  make(3);
+  cluster->engine().run_until(Time::sec(1));
+  const auto rounds = svc[2]->rounds_observed();
+  svc[2]->stop();
+  cluster->engine().run_until(Time::sec(2));
+  EXPECT_EQ(svc[2]->rounds_observed(), rounds);
+}
+
+}  // namespace
+}  // namespace canely::testing

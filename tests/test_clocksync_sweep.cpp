@@ -1,0 +1,103 @@
+// Parameterized clock synchronization sweeps: precision as a function of
+// the resynchronization period (drift accumulates between rounds) and of
+// the latch jitter (the scheme's floor).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "clocksync/clock.hpp"
+#include "clocksync/sync_service.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using clocksync::ClockSyncService;
+using clocksync::DriftClock;
+using clocksync::SyncParams;
+using sim::Time;
+
+struct Rig {
+  explicit Rig(SyncParams sp) : cluster{4} {
+    for (std::size_t i = 0; i < 4; ++i) {
+      clocks.push_back(std::make_unique<DriftClock>(
+          -100.0 + 66.0 * static_cast<double>(i)));
+      svc.push_back(std::make_unique<ClockSyncService>(
+          cluster.node(i).driver(), cluster.node(i).timers(), *clocks[i],
+          sp, 555 + i));
+      svc.back()->start(static_cast<unsigned>(i));
+    }
+  }
+
+  Time worst_precision(int samples, Time step) {
+    Time worst = Time::zero();
+    for (int s = 0; s < samples; ++s) {
+      cluster.engine().run_for(step);
+      Time lo = Time::max(), hi = Time::ns(INT64_MIN);
+      for (auto& c : clocks) {
+        const Time r = c->read(cluster.engine().now());
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+      worst = std::max(worst, hi - lo);
+    }
+    return worst;
+  }
+
+  Cluster cluster;
+  std::vector<std::unique_ptr<DriftClock>> clocks;
+  std::vector<std::unique_ptr<ClockSyncService>> svc;
+};
+
+class PeriodSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodSweep, PrecisionBoundedByJitterPlusDriftOverPeriod) {
+  SyncParams sp;
+  sp.period = Time::ms(GetParam());
+  Rig rig{sp};
+  rig.cluster.engine().run_until(Time::sec(1));
+  const Time worst = rig.worst_precision(25, Time::ms(GetParam()) / 3);
+  // Budget: latch jitter (<= 10 us at each of two nodes) + total drift
+  // spread (200 ppm) over one period, with 50% headroom.
+  const auto budget_us = 20.0 + 200e-6 * GetParam() * 1000.0;
+  EXPECT_LT(worst.to_us_f(), budget_us * 1.5) << "period " << GetParam();
+  EXPECT_GT(worst, Time::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweep,
+                         ::testing::Values(50, 100, 200, 400));
+
+TEST(ClockSyncSweep, ShorterPeriodTightensPrecision) {
+  SyncParams fast, slow;
+  fast.period = Time::ms(50);
+  fast.latch_jitter_max = Time::us(1);
+  slow.period = Time::ms(400);
+  slow.latch_jitter_max = Time::us(1);
+  Rig rf{fast}, rs{slow};
+  rf.cluster.engine().run_until(Time::sec(1));
+  rs.cluster.engine().run_until(Time::sec(1));
+  const Time pf = rf.worst_precision(30, Time::ms(17));
+  const Time ps = rs.worst_precision(30, Time::ms(133));
+  // With negligible jitter, precision is dominated by drift x period:
+  // the 8x slower resync must be several times worse.
+  EXPECT_LT(pf * 3, ps);
+}
+
+TEST(ClockSyncSweep, JitterSetsTheFloor) {
+  SyncParams clean, noisy;
+  clean.latch_jitter_max = Time::us(1);
+  noisy.latch_jitter_max = Time::us(40);
+  Rig rc{clean}, rn{noisy};
+  rc.cluster.engine().run_until(Time::sec(1));
+  rn.cluster.engine().run_until(Time::sec(1));
+  const Time pc = rc.worst_precision(30, Time::ms(33));
+  const Time pn = rn.worst_precision(30, Time::ms(33));
+  EXPECT_LT(pc, pn);
+  EXPECT_GT(pn, Time::us(20));  // jitter dominates
+}
+
+}  // namespace
+}  // namespace canely::testing

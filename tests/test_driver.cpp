@@ -1,0 +1,205 @@
+// Tests for the CAN standard layer + extension (paper §5, Figure 4) and
+// the mid / NodeSet value types.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+// ------------------------------------------------------------------ NodeSet --
+
+TEST(NodeSet, BasicSetAlgebra) {
+  NodeSet a{1, 2, 3};
+  NodeSet b{3, 4};
+  EXPECT_EQ(a.united(b), (NodeSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.intersected(b), (NodeSet{3}));
+  EXPECT_EQ(a.minus(b), (NodeSet{1, 2}));
+  EXPECT_TRUE((NodeSet{1, 2}).subset_of(a));
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(NodeSet{}.empty());
+}
+
+TEST(NodeSet, FirstN) {
+  EXPECT_EQ(NodeSet::first_n(3), (NodeSet{0, 1, 2}));
+  EXPECT_EQ(NodeSet::first_n(0), NodeSet{});
+  EXPECT_EQ(NodeSet::first_n(64).size(), 64u);
+}
+
+TEST(NodeSet, IterationInOrder) {
+  NodeSet s{5, 1, 63, 0};
+  std::vector<int> seen;
+  for (can::NodeId id : s) seen.push_back(id);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 5, 63}));
+}
+
+TEST(NodeSet, InsertEraseContains) {
+  NodeSet s;
+  s.insert(7);
+  EXPECT_TRUE(s.contains(7));
+  s.erase(7);
+  EXPECT_FALSE(s.contains(7));
+  s.erase(7);  // idempotent
+  EXPECT_TRUE(s.empty());
+}
+
+// --------------------------------------------------------------------- Mid --
+
+TEST(Mid, EncodeDecodeRoundTrip) {
+  for (auto type : {MsgType::kFda, MsgType::kEls, MsgType::kJoin,
+                    MsgType::kLeave, MsgType::kRha, MsgType::kApp}) {
+    for (std::uint8_t ref : {0, 1, 17, 255}) {
+      for (can::NodeId node : {0, 5, 63}) {
+        const Mid m{type, ref, node};
+        const auto f = can::Frame::make_remote(m.encode(), 0,
+                                               can::IdFormat::kExtended);
+        const auto d = Mid::decode(f);
+        ASSERT_TRUE(d.has_value());
+        EXPECT_EQ(*d, m);
+      }
+    }
+  }
+}
+
+TEST(Mid, BaseFormatFramesAreNotCanely) {
+  EXPECT_FALSE(Mid::decode(can::Frame::make_data(0x123, {})).has_value());
+}
+
+TEST(Mid, TypeDominatesBusPriority) {
+  // FDA failure-signs must win arbitration against everything else.
+  const auto fda = can::Frame::make_remote(Mid{MsgType::kFda, 0, 63}.encode(),
+                                           0, can::IdFormat::kExtended);
+  const auto els = can::Frame::make_remote(Mid{MsgType::kEls, 0, 0}.encode(),
+                                           0, can::IdFormat::kExtended);
+  const std::uint8_t payload[8] = {};
+  const auto app = can::Frame::make_data(Mid{MsgType::kApp, 0, 0}.encode(),
+                                         payload, can::IdFormat::kExtended);
+  EXPECT_LT(fda.arbitration_key(), els.arbitration_key());
+  EXPECT_LT(els.arbitration_key(), app.arbitration_key());
+}
+
+TEST(Mid, SameFailedNodeSameIdentifier) {
+  // Clustering precondition: failure-signs for node r are wire-identical
+  // no matter who transmits them.
+  EXPECT_EQ((Mid{MsgType::kFda, 0, 9}).encode(),
+            (Mid{MsgType::kFda, 0, 9}).encode());
+  EXPECT_NE((Mid{MsgType::kFda, 0, 9}).encode(),
+            (Mid{MsgType::kFda, 0, 10}).encode());
+}
+
+// ------------------------------------------------------------------ driver --
+
+class DriverTest : public ::testing::Test {
+ protected:
+  Cluster c{3};
+};
+
+TEST_F(DriverTest, DataReqDeliversIndAndNty) {
+  std::vector<Mid> inds, ntys;
+  bool own_at_sender = false;
+  c.node(1).driver().on_data_ind(
+      MsgType::kApp, [&](const Mid& m, std::span<const std::uint8_t> d,
+                         bool /*own*/) {
+        EXPECT_EQ(d.size(), 2u);
+        inds.push_back(m);
+      });
+  c.node(1).driver().on_data_nty([&](const Mid& m) { ntys.push_back(m); });
+  c.node(0).driver().on_data_ind(
+      MsgType::kApp,
+      [&](const Mid&, std::span<const std::uint8_t>, bool own) {
+        own_at_sender = own;
+      });
+
+  const std::uint8_t d[] = {1, 2};
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 3, 0}, d);
+  c.settle(Time::ms(1));
+  ASSERT_EQ(inds.size(), 1u);
+  EXPECT_EQ(inds[0].ref, 3);
+  ASSERT_EQ(ntys.size(), 1u);  // .nty fired for the data frame
+  EXPECT_TRUE(own_at_sender);  // own transmissions included (§5)
+}
+
+TEST_F(DriverTest, NtyCarriesControlFieldOnly) {
+  // The handler signature enforces it: no payload parameter exists.
+  Mid seen{};
+  c.node(1).driver().on_data_nty([&](const Mid& m) { seen = m; });
+  const std::uint8_t d[] = {0xAA, 0xBB, 0xCC};
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 9, 0}, d);
+  c.settle(Time::ms(1));
+  EXPECT_EQ(seen.ref, 9);
+  EXPECT_EQ(seen.node, 0);
+}
+
+TEST_F(DriverTest, RemoteFramesDoNotTriggerNty) {
+  int ntys = 0;
+  c.node(1).driver().on_data_nty([&](const Mid&) { ++ntys; });
+  c.node(0).driver().can_rtr_req(Mid{MsgType::kEls, 0, 0});
+  c.settle(Time::ms(1));
+  // One ELS remote frame -> zero .nty (it only covers data frames).
+  EXPECT_EQ(ntys, 0);
+}
+
+TEST_F(DriverTest, CnfRoutedByType) {
+  int data_cnf = 0, rtr_cnf = 0;
+  c.node(0).driver().on_data_cnf(MsgType::kApp, [&](const Mid&) { ++data_cnf; });
+  c.node(0).driver().on_rtr_cnf(MsgType::kEls, [&](const Mid&) { ++rtr_cnf; });
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 0, 0}, {});
+  c.node(0).driver().can_rtr_req(Mid{MsgType::kEls, 0, 0});
+  c.settle(Time::ms(1));
+  EXPECT_EQ(data_cnf, 1);
+  EXPECT_EQ(rtr_cnf, 1);
+}
+
+TEST_F(DriverTest, AbortDropsPendingByExactMid) {
+  // Queue three frames; the bus is busy with the first, abort the second.
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 1, 0}, {});
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 2, 0}, {});
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 3, 0}, {});
+  int received = 0;
+  c.node(1).driver().on_data_ind(
+      MsgType::kApp,
+      [&](const Mid& m, std::span<const std::uint8_t>, bool) {
+        EXPECT_NE(m.ref, 2);
+        ++received;
+      });
+  c.engine().run_until(Time::us(10));  // first frame in flight
+  EXPECT_EQ(c.node(0).driver().can_abort_req(Mid{MsgType::kApp, 2, 0}), 1u);
+  c.settle(Time::ms(2));
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(DriverTest, AbortMissesAlreadyTransmitted) {
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 1, 0}, {});
+  c.settle(Time::ms(1));
+  EXPECT_EQ(c.node(0).driver().can_abort_req(Mid{MsgType::kApp, 1, 0}), 0u);
+}
+
+TEST_F(DriverTest, RtrIndIncludesOwnTransmissions) {
+  bool own_seen = false;
+  c.node(0).driver().on_rtr_ind(MsgType::kEls, [&](const Mid&, bool own) {
+    own_seen = own_seen || own;
+  });
+  c.node(0).driver().can_rtr_req(Mid{MsgType::kEls, 0, 0});
+  c.settle(Time::ms(1));
+  EXPECT_TRUE(own_seen);
+}
+
+TEST_F(DriverTest, MultipleNtySubscribersAllFire) {
+  int a = 0, b = 0;
+  c.node(1).driver().on_data_nty([&](const Mid&) { ++a; });
+  c.node(1).driver().on_data_nty([&](const Mid&) { ++b; });
+  c.node(0).driver().can_data_req(Mid{MsgType::kApp, 0, 0}, {});
+  c.settle(Time::ms(1));
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace
+}  // namespace canely::testing

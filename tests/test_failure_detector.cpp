@@ -1,0 +1,175 @@
+// Tests for the node failure detection protocol (Fig. 8): surveillance
+// timers, implicit heartbeats via can-data.nty, explicit life-signs,
+// detection latency bounds, FDA-based consistency.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+class FdTest : public ::testing::Test {
+ protected:
+  FdTest() {
+    params.heartbeat_period = Time::ms(10);
+    params.tx_delay_bound = Time::ms(1);
+    c = std::make_unique<Cluster>(4, params);
+    for (std::size_t i = 0; i < 4; ++i) {
+      c->node(i).fd().set_nty_handler(
+          [this, i](can::NodeId r) { ntys[i].push_back({r, c->engine().now()}); });
+    }
+  }
+
+  /// Start mutual surveillance among nodes 0..k-1 (as membership would).
+  void start_all(std::size_t k) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        c->node(i).fd().fd_can_req_start(static_cast<can::NodeId>(j));
+      }
+    }
+  }
+
+  struct Nty {
+    can::NodeId failed;
+    Time at;
+  };
+  Params params;
+  std::unique_ptr<Cluster> c;
+  std::array<std::vector<Nty>, 4> ntys;
+};
+
+TEST_F(FdTest, QuietNodesEmitExplicitLifeSigns) {
+  start_all(4);
+  c->settle(Time::ms(100));
+  // Nobody transmits data: each node must have sent ~10 ELS in 100 ms.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GE(c->node(i).fd().els_sent(), 9u) << "node " << i;
+    EXPECT_LE(c->node(i).fd().els_sent(), 11u) << "node " << i;
+    EXPECT_TRUE(ntys[i].empty()) << "node " << i;  // no false suspicion
+  }
+}
+
+TEST_F(FdTest, DataTrafficSuppressesLifeSigns) {
+  start_all(4);
+  c->node(0).start_periodic(1, Time::ms(4), {1});  // 4 ms < Th = 10 ms
+  c->settle(Time::ms(200));
+  EXPECT_EQ(c->node(0).fd().els_sent(), 0u);
+  EXPECT_GT(c->node(1).fd().els_sent(), 15u);  // quiet node keeps signing
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(ntys[i].empty());
+}
+
+TEST_F(FdTest, PeriodAboveThStillNeedsExplicitSigns) {
+  // Periodic traffic slower than Th cannot fully replace life-signs
+  // (§6.1: explicit signs are for periods above the detection latency).
+  start_all(4);
+  c->node(0).start_periodic(1, Time::ms(25), {1});
+  c->settle(Time::ms(200));
+  const auto els = c->node(0).fd().els_sent();
+  EXPECT_GT(els, 0u);
+  EXPECT_LT(els, 20u);  // but fewer than a fully quiet node's ~20
+}
+
+TEST_F(FdTest, CrashDetectedWithinBound) {
+  start_all(4);
+  c->settle(Time::ms(50));
+  const Time t_crash = c->engine().now();
+  c->node(2).crash();
+  c->settle(Time::ms(50));
+  // All survivors notified, exactly once, within Th + Ttd + skew + FDA.
+  for (std::size_t i : {0u, 1u, 3u}) {
+    ASSERT_EQ(ntys[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(ntys[i][0].failed, 2);
+    const Time latency = ntys[i][0].at - t_crash;
+    const Time bound = params.heartbeat_period + params.tx_delay_bound +
+                       params.fd_skew_quantum * 4 + Time::ms(1);
+    EXPECT_LE(latency, bound) << "node " << i;
+  }
+}
+
+TEST_F(FdTest, NotificationIsConsistentAcrossObservers) {
+  start_all(4);
+  c->settle(Time::ms(50));
+  c->node(1).crash();
+  c->settle(Time::ms(50));
+  // FDA delivers the failure-sign in the same broadcast: all observers
+  // notified at the same instant.
+  ASSERT_FALSE(ntys[0].empty());
+  ASSERT_FALSE(ntys[2].empty());
+  ASSERT_FALSE(ntys[3].empty());
+  EXPECT_EQ(ntys[0][0].at, ntys[2][0].at);
+  EXPECT_EQ(ntys[0][0].at, ntys[3][0].at);
+}
+
+TEST_F(FdTest, StopCancelsSurveillance) {
+  start_all(4);
+  c->settle(Time::ms(20));
+  for (std::size_t i : {0u, 1u, 3u}) {
+    c->node(i).fd().fd_can_req_stop(2);
+  }
+  c->node(2).crash();
+  c->settle(Time::ms(100));
+  for (std::size_t i : {0u, 1u, 3u}) {
+    EXPECT_TRUE(ntys[i].empty()) << "node " << i;
+  }
+}
+
+TEST_F(FdTest, MonitoringFlagTracksStartStop) {
+  auto& fd = c->node(0).fd();
+  EXPECT_FALSE(fd.monitoring(2));
+  fd.fd_can_req_start(2);
+  EXPECT_TRUE(fd.monitoring(2));
+  fd.fd_can_req_stop(2);
+  EXPECT_FALSE(fd.monitoring(2));
+}
+
+TEST_F(FdTest, ActivityOfUnmonitoredNodesIgnored) {
+  // Node 0 monitors only itself; node 2's silence must not trigger
+  // anything, and node 2's traffic must not create state.
+  c->node(0).fd().fd_can_req_start(0);
+  c->node(2).start_periodic(1, Time::ms(5), {2});
+  c->settle(Time::ms(100));
+  EXPECT_TRUE(ntys[0].empty());
+  EXPECT_FALSE(c->node(0).fd().monitoring(2));
+}
+
+TEST_F(FdTest, LateActivityAfterSuspicionStillConverges) {
+  // A node pausing longer than Th + Ttd is declared failed even if it
+  // resumes afterwards (the paper's reintegration rule then applies: it
+  // must not rejoin before >> Tm).
+  start_all(4);
+  c->settle(Time::ms(30));
+  // Pause node 3 by crashing... we need a pause, not a crash: stop its
+  // timers so it stops ELS, then let it resume later is not supported by
+  // the facade — emulate with a crash and assert detection.
+  c->node(3).crash();
+  c->settle(Time::ms(30));
+  ASSERT_EQ(ntys[0].size(), 1u);
+  EXPECT_EQ(ntys[0][0].failed, 3);
+  // After FDA, surveillance of the failed node has stopped everywhere.
+  EXPECT_FALSE(c->node(0).fd().monitoring(3));
+  EXPECT_FALSE(c->node(1).fd().monitoring(3));
+}
+
+TEST_F(FdTest, ImplicitHeartbeatBandwidthAdvantage) {
+  // Measured counterpart of §6.3's claim: with cyclic application traffic
+  // below Th, failure detection consumes zero extra frames.
+  start_all(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    c->node(i).start_periodic(1, Time::ms(3),
+                              {static_cast<std::uint8_t>(i)});
+  }
+  c->settle(Time::ms(300));
+  std::uint64_t total_els = 0;
+  for (std::size_t i = 0; i < 4; ++i) total_els += c->node(i).fd().els_sent();
+  EXPECT_EQ(total_els, 0u);
+}
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,184 @@
+// Adversarial property tests: faults aimed at the protocols' OWN frames
+// (RHV signals, failure-signs, sync frames), and the global view-sequence
+// consistency invariant.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "clocksync/clock.hpp"
+#include "clocksync/sync_service.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+bool is_type(const can::TxContext& c, MsgType t) {
+  const auto mid = Mid::decode(c.frame);
+  return mid.has_value() && mid->type == t;
+}
+
+// --- RHA frames under inconsistent omissions -------------------------------
+//
+// The k-th RHV transmission of an execution suffers an inconsistent
+// omission at a chosen victim; with at most j = 2 such omissions the
+// j+1-copies rule must still deliver a common vector everywhere.
+
+class RhaFrameFaults
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(RhaFrameFaults, AgreementSurvivesOmissionsOnRhvSignals) {
+  const auto [which_copy, victim_mask] = GetParam();
+  Cluster c{5};
+  // Up to j = 2 inconsistent omissions on RHA data frames: the
+  // `which_copy`-th RHA transmission, plus the one after it.
+  int rha_seen = 0;
+  can::ScriptedFaults faults;
+  for (int hit = which_copy; hit < which_copy + 2; ++hit) {
+    NodeSet victims;
+    for (can::NodeId n = 0; n < 5; ++n) {
+      if (victim_mask & (1u << n)) victims.insert(n);
+    }
+    faults.add(
+        [&rha_seen, hit](const can::TxContext& ctx) {
+          if (!is_type(ctx, MsgType::kRha)) return false;
+          return rha_seen++ == hit;  // counts every judged RHA attempt
+        },
+        can::Verdict::inconsistent(victims));
+  }
+  c.bus().set_fault_injector(&faults);
+
+  c.join_all();
+  c.settle(Time::ms(600));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(5)))
+      << "copy=" << which_copy << " mask=" << victim_mask
+      << " view=" << c.any_view();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CopiesAndVictims, RhaFrameFaults,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0x02u, 0x06u, 0x1Cu, 0x0Au)));
+
+// --- failure-sign storms -----------------------------------------------------
+
+TEST(FaultProperties, ConcurrentCrashesWithFdaFrameFaults) {
+  Cluster c{6};
+  can::ScriptedFaults faults;
+  // Every FDA frame's first attempt is inconsistently omitted at node 5.
+  faults.add(
+      [](const can::TxContext& ctx) {
+        return is_type(ctx, MsgType::kFda) && ctx.attempt == 0;
+      },
+      can::Verdict::inconsistent(NodeSet{5}), /*shots=*/4);
+  c.bus().set_fault_injector(&faults);
+
+  c.join_all();
+  c.settle(Time::ms(600));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(6)));
+  c.node(2).crash();
+  c.node(3).crash();
+  c.settle(Time::ms(300));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 4, 5})) << c.any_view();
+}
+
+// --- view sequence consistency ------------------------------------------------
+//
+// Stronger than point-in-time agreement: every pair of nodes that both
+// install views must install *compatible sequences* — for any two
+// installed views at the same index offset from the end, the sets agree.
+// We check the practical variant: the full sequence of distinct views
+// seen by continuous members is identical.
+
+TEST(FaultProperties, ContinuousMembersSeeTheSameViewSequence) {
+  Cluster c{6};
+  std::map<std::size_t, std::vector<NodeSet>> seq;
+  for (std::size_t i = 0; i < 3; ++i) {  // nodes 0..2 stay forever
+    c.node(i).on_membership_change(
+        [&seq, i](NodeSet active, NodeSet /*failed*/) {
+          auto& s = seq[i];
+          if (s.empty() || s.back() != active) s.push_back(active);
+        });
+  }
+  c.join_all();
+  c.settle(Time::ms(600));
+  c.node(3).leave();
+  c.settle(Time::ms(200));
+  c.node(4).crash();
+  c.settle(Time::ms(200));
+  c.node(5).leave();
+  c.settle(Time::ms(200));
+
+  ASSERT_FALSE(seq[0].empty());
+  EXPECT_EQ(seq[0], seq[1]);
+  EXPECT_EQ(seq[0], seq[2]);
+  EXPECT_EQ(seq[0].back(), (NodeSet{0, 1, 2}));
+}
+
+// --- clock sync under frame loss ----------------------------------------------
+
+TEST(FaultProperties, ClockSyncToleratesLostRounds) {
+  Cluster c{4};
+  std::vector<std::unique_ptr<clocksync::DriftClock>> clocks;
+  std::vector<std::unique_ptr<clocksync::ClockSyncService>> svc;
+  for (std::size_t i = 0; i < 4; ++i) {
+    clocks.push_back(std::make_unique<clocksync::DriftClock>(
+        -80.0 + 50.0 * static_cast<double>(i)));
+    svc.push_back(std::make_unique<clocksync::ClockSyncService>(
+        c.node(i).driver(), c.node(i).timers(), *clocks[i],
+        clocksync::SyncParams{}, 99 + i));
+    svc.back()->start(static_cast<unsigned>(i));
+  }
+  // Destroy every 3rd SYNC frame globally (CAN retransmits them; the
+  // protocol must simply keep converging).
+  int sync_count = 0;
+  can::ScriptedFaults faults;
+  faults.add(
+      [&sync_count](const can::TxContext& ctx) {
+        return is_type(ctx, MsgType::kSync) && (sync_count++ % 3 == 0);
+      },
+      can::Verdict::global_error(), /*shots=*/-1);
+  c.bus().set_fault_injector(&faults);
+
+  c.engine().run_until(Time::sec(2));
+  Time worst = Time::zero();
+  for (int s = 0; s < 15; ++s) {
+    c.engine().run_for(Time::ms(41));
+    Time lo = Time::max(), hi = Time::ns(INT64_MIN);
+    for (auto& clk : clocks) {
+      const Time r = clk->read(c.engine().now());
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    worst = std::max(worst, hi - lo);
+  }
+  EXPECT_LT(worst, Time::us(60));
+  EXPECT_GE(svc[3]->rounds_observed(), 15u);
+}
+
+// --- detection under error bursts ----------------------------------------------
+
+TEST(FaultProperties, BurstDoesNotMaskARealCrash) {
+  Params p;
+  p.tx_delay_bound = Time::ms(3);
+  Cluster c{4, p};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+
+  // Node 2 crashes; simultaneously a 5-omission burst hammers the bus.
+  can::ScriptedFaults burst;
+  burst.add([](const can::TxContext&) { return true; },
+            can::Verdict::global_error(), /*shots=*/5);
+  c.bus().set_fault_injector(&burst);
+  c.node(2).crash();
+  c.settle(Time::ms(300));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 3})) << c.any_view();
+}
+
+}  // namespace
+}  // namespace canely::testing

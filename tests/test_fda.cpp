@@ -1,0 +1,153 @@
+// Tests for the Failure Detection Agreement micro-protocol (Fig. 6),
+// including a parameterized sweep over every victim subset of the
+// inconsistent first transmission — the agreement property FDA exists for.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+class FdaTest : public ::testing::Test {
+ protected:
+  // Plain cluster; nodes never join membership so only FDA traffic flows.
+  Cluster c{4};
+
+  std::array<std::vector<can::NodeId>, 4> ntys;
+
+  void hook_all() {
+    for (std::size_t i = 0; i < 4; ++i) {
+      c.node(i).fda().set_nty_handler(
+          [this, i](can::NodeId r) { ntys[i].push_back(r); });
+    }
+  }
+};
+
+TEST_F(FdaTest, FaultFreeDeliveryToAllInTwoFrames) {
+  hook_all();
+  c.node(0).fda().fda_can_req(3);
+  c.settle(Time::ms(2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(ntys[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(ntys[i][0], 3);
+  }
+  // Original + clustered echo.
+  EXPECT_EQ(c.bus().stats().ok, 2u);
+}
+
+TEST_F(FdaTest, DuplicateRequestsCollapse) {
+  hook_all();
+  // Three nodes invoke FDA for the same failed node simultaneously.
+  c.node(0).fda().fda_can_req(3);
+  c.node(1).fda().fda_can_req(3);
+  c.node(2).fda().fda_can_req(3);
+  c.settle(Time::ms(2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ntys[i].size(), 1u) << "node " << i;  // exactly once
+  }
+}
+
+TEST_F(FdaTest, RepeatedInvocationSendsOnce) {
+  hook_all();
+  c.node(0).fda().fda_can_req(2);
+  c.node(0).fda().fda_can_req(2);
+  c.node(0).fda().fda_can_req(2);
+  c.settle(Time::ms(2));
+  EXPECT_EQ(c.node(0).fda().fs_nreq(2), 4);  // 3 reqs + 1 on reception
+  EXPECT_EQ(ntys[0].size(), 1u);
+  EXPECT_EQ(c.bus().stats().ok, 2u);  // still just original + echo
+}
+
+TEST_F(FdaTest, IndependentFailuresIndependentSigns) {
+  hook_all();
+  c.node(0).fda().fda_can_req(2);
+  c.node(1).fda().fda_can_req(3);
+  c.settle(Time::ms(2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(ntys[i].size(), 2u) << "node " << i;
+  }
+}
+
+TEST_F(FdaTest, ResetAllowsReDetection) {
+  hook_all();
+  c.node(0).fda().fda_can_req(3);
+  c.settle(Time::ms(2));
+  ASSERT_EQ(ntys[1].size(), 1u);
+  for (std::size_t i = 0; i < 4; ++i) c.node(i).fda().reset(3);
+  c.node(0).fda().fda_can_req(3);
+  c.settle(Time::ms(2));
+  EXPECT_EQ(ntys[1].size(), 2u);
+}
+
+// --- the agreement property -------------------------------------------------
+//
+// The first failure-sign transmission suffers an inconsistent omission at
+// an arbitrary victim subset, and the original sender crashes right after
+// it.  Every correct node must still deliver fda-can.nty exactly once —
+// this is precisely what plain (non-agreed) signalling cannot do.
+
+class FdaAgreementTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FdaAgreementTest, SurvivesInconsistentOmissionPlusSenderCrash) {
+  const std::uint32_t victim_mask = GetParam();  // subset of {1,2,3}
+  Cluster c{4};
+  std::array<std::vector<can::NodeId>, 4> ntys;
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.node(i).fda().set_nty_handler(
+        [&ntys, i](can::NodeId r) { ntys[i].push_back(r); });
+  }
+
+  NodeSet victims;
+  for (can::NodeId n : {1, 2, 3}) {
+    if (victim_mask & (1u << n)) victims.insert(n);
+  }
+
+  can::ScriptedFaults faults;
+  faults.inconsistent_once(
+      [](const can::TxContext& ctx) {
+        const auto mid = Mid::decode(ctx.frame);
+        return mid.has_value() && mid->type == MsgType::kFda;
+      },
+      victims);
+  c.bus().set_fault_injector(&faults);
+
+  // Node 0 signals the failure of (conceptually dead) node 3 and crashes
+  // the instant its first attempt completes.
+  c.bus().set_observer([&c](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() && mid->type == MsgType::kFda) {
+      c.bus().set_observer({});
+      c.engine().schedule_after(Time::ns(1), [&c] { c.node(0).crash(); });
+    }
+  });
+  c.node(0).fda().fda_can_req(3);
+  c.settle(Time::ms(5));
+
+  // Every correct node (1, 2 — and 3, which in this harness is alive and
+  // simply the subject of the sign) delivers exactly once, unless EVERY
+  // correct node was a victim (then nobody ever saw a copy: the sign
+  // vanished with its sender, which is indistinguishable from it never
+  // being sent — and consistent).
+  const bool all_victims = victims == (NodeSet{1, 2, 3});
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (all_victims) {
+      EXPECT_TRUE(ntys[i].empty()) << "node " << i;
+    } else {
+      ASSERT_EQ(ntys[i].size(), 1u) << "node " << i << " victims=" << victims;
+      EXPECT_EQ(ntys[i][0], 3);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVictimSubsets, FdaAgreementTest,
+                         ::testing::Range(0u, 16u, 2u));  // even masks: node 0 never a victim (it transmits)
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,120 @@
+// Tests for the process-group membership extension (canely/group.hpp):
+// group views are the intersection of announcements and the site view,
+// and site failures cascade into groups consistently.
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+class GroupTest : public ::testing::Test {
+ protected:
+  GroupTest() : c{5} {
+    c.join_all();
+    c.settle(Time::ms(500));
+  }
+  Cluster c;
+};
+
+TEST_F(GroupTest, JoinGroupVisibleEverywhere) {
+  c.node(0).join_group(7);
+  c.node(2).join_group(7);
+  c.settle(Time::ms(10));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.node(i).group_view(7), (NodeSet{0, 2})) << "node " << i;
+  }
+  EXPECT_TRUE(c.node(0).groups().in_group(7));
+  EXPECT_FALSE(c.node(1).groups().in_group(7));
+}
+
+TEST_F(GroupTest, GroupsAreIndependent) {
+  c.node(0).join_group(1);
+  c.node(1).join_group(2);
+  c.settle(Time::ms(10));
+  EXPECT_EQ(c.node(3).group_view(1), (NodeSet{0}));
+  EXPECT_EQ(c.node(3).group_view(2), (NodeSet{1}));
+  EXPECT_TRUE(c.node(3).group_view(3).empty());
+}
+
+TEST_F(GroupTest, LeaveGroupShrinksView) {
+  c.node(0).join_group(5);
+  c.node(1).join_group(5);
+  c.settle(Time::ms(10));
+  ASSERT_EQ(c.node(4).group_view(5), (NodeSet{0, 1}));
+  c.node(0).leave_group(5);
+  c.settle(Time::ms(10));
+  EXPECT_EQ(c.node(4).group_view(5), (NodeSet{1}));
+}
+
+TEST_F(GroupTest, SiteFailureCascadesIntoGroupView) {
+  c.node(0).join_group(9);
+  c.node(1).join_group(9);
+  c.node(2).join_group(9);
+  c.settle(Time::ms(10));
+  ASSERT_EQ(c.node(3).group_view(9), (NodeSet{0, 1, 2}));
+
+  NodeSet seen_view;
+  int notifications = 0;
+  c.node(3).on_group_change([&](GroupId g, NodeSet members) {
+    if (g == 9) {
+      seen_view = members;
+      ++notifications;
+    }
+  });
+  c.node(1).crash();
+  c.settle(Time::ms(100));
+  EXPECT_EQ(c.node(3).group_view(9), (NodeSet{0, 2}));
+  EXPECT_EQ(seen_view, (NodeSet{0, 2}));
+  EXPECT_GE(notifications, 1);
+}
+
+TEST_F(GroupTest, SiteLeaveCascadesIntoGroupView) {
+  c.node(2).join_group(4);
+  c.node(3).join_group(4);
+  c.settle(Time::ms(10));
+  c.node(2).leave();
+  c.settle(Time::ms(200));
+  EXPECT_EQ(c.node(0).group_view(4), (NodeSet{3}));
+}
+
+TEST_F(GroupTest, NonSiteMemberCannotJoinGroup) {
+  Cluster fresh{3};
+  fresh.node(0).join();
+  fresh.node(1).join();
+  fresh.settle(Time::ms(500));
+  // Node 2 never joined the site membership: group join is refused.
+  fresh.node(2).join_group(1);
+  fresh.settle(Time::ms(50));
+  EXPECT_TRUE(fresh.node(0).group_view(1).empty());
+}
+
+TEST_F(GroupTest, GroupViewsConsistentUnderChurn) {
+  for (std::size_t i = 0; i < 5; ++i) c.node(i).join_group(2);
+  c.settle(Time::ms(10));
+  c.node(4).leave_group(2);
+  c.node(3).crash();
+  c.settle(Time::ms(100));
+  const NodeSet expect{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.node(i).group_view(2), expect) << "node " << i;
+  }
+}
+
+TEST_F(GroupTest, RejoinGroupAfterLeave) {
+  c.node(1).join_group(6);
+  c.settle(Time::ms(10));
+  c.node(1).leave_group(6);
+  c.settle(Time::ms(10));
+  EXPECT_TRUE(c.node(0).group_view(6).empty());
+  c.node(1).join_group(6);
+  c.settle(Time::ms(10));
+  EXPECT_EQ(c.node(0).group_view(6), (NodeSet{1}));
+}
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,202 @@
+// Integration tests: the full CANELy stack — driver, FDA, RHA, failure
+// detection, membership — running over the simulated bus.
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+TEST(Integration, FourNodesBootstrapACommonView) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(4)))
+      << "view=" << c.any_view();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.node(i).is_member()) << "node " << i;
+  }
+}
+
+TEST(Integration, SingleNodeBootstrapsAlone) {
+  Cluster c{1};
+  c.node(0).join();
+  c.settle(Time::ms(500));
+  EXPECT_EQ(c.node(0).view(), (NodeSet{0}));
+  EXPECT_TRUE(c.node(0).is_member());
+}
+
+TEST(Integration, LateJoinerIsAdmitted) {
+  Cluster c{4};
+  for (std::size_t i = 0; i < 3; ++i) c.node(i).join();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(3)));
+
+  c.node(3).join();
+  c.settle(Time::ms(200));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(4)))
+      << "view=" << c.any_view();
+  EXPECT_TRUE(c.node(3).is_member());
+}
+
+TEST(Integration, CrashIsDetectedAndRemovedFromView) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+
+  c.node(2).crash();
+  c.settle(Time::ms(200));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 3})) << "view=" << c.any_view();
+}
+
+TEST(Integration, FailureNotificationIsTimelyAndConsistent) {
+  Params p;
+  p.heartbeat_period = Time::ms(10);
+  p.membership_cycle = Time::ms(30);
+  Cluster c{4, p};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+
+  // Record when each surviving node hears about the failure.
+  std::array<Time, 4> heard{};
+  heard.fill(Time::max());
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.node(i).on_membership_change(
+        [&c, &heard, i](NodeSet /*active*/, NodeSet failed) {
+          if (failed.contains(2) && heard[i] == Time::max()) {
+            heard[i] = c.engine().now();
+          }
+        });
+  }
+  const Time t_crash = c.engine().now();
+  c.node(2).crash();
+  c.settle(Time::ms(200));
+
+  for (std::size_t i : {0u, 1u, 3u}) {
+    ASSERT_NE(heard[i], Time::max()) << "node " << i << " never notified";
+    const Time latency = heard[i] - t_crash;
+    // Detection bound: Th + Ttd (surveillance) + FDA dissemination.
+    EXPECT_LT(latency, Time::ms(15)) << "node " << i;
+    EXPECT_GT(latency, Time::zero());
+  }
+  // Consistency: all survivors notified within one broadcast of each other.
+  const Time spread =
+      std::max({heard[0], heard[1], heard[3]}) -
+      std::min({heard[0], heard[1], heard[3]});
+  EXPECT_LT(spread, Time::ms(1));
+}
+
+TEST(Integration, VoluntaryLeaveShrinksView) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+
+  bool leaver_notified = false;
+  c.node(1).on_membership_change(
+      [&](NodeSet /*active*/, NodeSet failed) {
+        if (failed.contains(1)) leaver_notified = true;
+      });
+  c.node(1).leave();
+  c.settle(Time::ms(200));
+  EXPECT_EQ(c.node(0).view(), (NodeSet{0, 2, 3}));
+  EXPECT_EQ(c.node(2).view(), (NodeSet{0, 2, 3}));
+  EXPECT_EQ(c.node(3).view(), (NodeSet{0, 2, 3}));
+  EXPECT_FALSE(c.node(1).is_member());
+  EXPECT_TRUE(leaver_notified);
+}
+
+TEST(Integration, ImplicitHeartbeatsSuppressExplicitLifeSigns) {
+  Params p;
+  p.heartbeat_period = Time::ms(10);
+  Cluster c{3, p};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(3)));
+
+  // Node 0 chatters every 2 ms (< Th): it should emit no further ELS.
+  // Node 1 stays quiet: it must emit roughly one ELS per Th.
+  c.node(0).start_periodic(1, Time::ms(2), {0xAB});
+  const auto els0_before = c.node(0).fd().els_sent();
+  const auto els1_before = c.node(1).fd().els_sent();
+  c.settle(Time::ms(100));
+  EXPECT_EQ(c.node(0).fd().els_sent(), els0_before);
+  const auto els1 = c.node(1).fd().els_sent() - els1_before;
+  EXPECT_GE(els1, 8u);   // ~100ms / 10ms, minus scheduling slack
+  EXPECT_LE(els1, 12u);
+}
+
+TEST(Integration, BusyTrafficDoesNotMaskRealCrash) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.node(i).start_periodic(1, Time::ms(3), {static_cast<std::uint8_t>(i)});
+  }
+  c.settle(Time::ms(50));
+  c.node(3).crash();
+  c.settle(Time::ms(200));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 2})) << "view=" << c.any_view();
+}
+
+TEST(Integration, TwoSimultaneousCrashes) {
+  Cluster c{5};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(5)));
+  c.node(1).crash();
+  c.node(4).crash();
+  c.settle(Time::ms(300));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 2, 3})) << "view=" << c.any_view();
+}
+
+TEST(Integration, RejoinAfterLeave) {
+  Cluster c{3};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(3)));
+  c.node(2).leave();
+  c.settle(Time::ms(200));
+  ASSERT_TRUE(c.node(0).view() == (NodeSet{0, 1}));
+  c.node(2).join();
+  c.settle(Time::ms(400));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(3))) << "view=" << c.any_view();
+}
+
+TEST(Integration, ViewSurvivesQuietPeriods) {
+  // With no changes pending, cycles skip RHA entirely (s24-s25); the view
+  // must remain stable and consistent over many cycles.
+  Cluster c{3};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(3)));
+  const auto views_before = c.node(0).membership().views_installed();
+  c.settle(Time::sec(2));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(3)));
+  EXPECT_EQ(c.node(0).membership().views_installed(), views_before);
+}
+
+TEST(Integration, AppTrafficFlowsUnderMembership) {
+  Cluster c{3};
+  c.join_all();
+  c.settle(Time::ms(500));
+  int received = 0;
+  c.node(2).on_message([&](can::NodeId from, std::uint8_t stream,
+                           std::span<const std::uint8_t> data, bool own) {
+    if (!own && from == 0 && stream == 7 && data.size() == 3) ++received;
+  });
+  const std::uint8_t payload[] = {1, 2, 3};
+  c.node(0).send(7, payload);
+  c.node(0).send(7, payload);
+  c.settle(Time::ms(10));
+  EXPECT_EQ(received, 2);
+}
+
+}  // namespace
+}  // namespace canely::testing

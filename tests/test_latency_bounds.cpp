@@ -1,0 +1,115 @@
+// Cross-validation of the analytic latency bounds (analysis/latency.hpp)
+// against the running stack: measured latencies must respect the bounds
+// over randomized crash/join phases — and not be vacuously loose (within
+// ~3x of observations).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/latency.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+class LatencyBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyBoundTest, DetectionLatencyWithinAnalyticBound) {
+  Params p;
+  p.n = 6;
+  const auto bounds = analysis::latency_bounds(p, 6);
+  sim::Rng rng{GetParam()};
+
+  sim::TimeSeries observed;
+  for (int trial = 0; trial < 4; ++trial) {
+    Cluster c{6, p};
+    c.join_all();
+    c.settle(Time::ms(500));
+    ASSERT_TRUE(c.views_agree(NodeSet::first_n(6)));
+    // Random crash phase within a heartbeat period.
+    c.settle(Time::us(static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(
+            p.heartbeat_period.to_us())))));
+    Time last = Time::zero();
+    int notified = 0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (i == 4) continue;
+      c.node(i).on_membership_change(
+          [&c, &last, &notified](NodeSet, NodeSet failed) {
+            if (failed.contains(4)) {
+              last = std::max(last, c.engine().now());
+              ++notified;
+            }
+          });
+    }
+    const Time t_crash = c.engine().now();
+    c.node(4).crash();
+    c.settle(bounds.detection + Time::ms(5));
+    ASSERT_EQ(notified, 5) << "trial " << trial;
+    observed.add(last - t_crash);
+  }
+  EXPECT_LE(observed.max(), bounds.detection);
+  // The bound is meaningful: not more than ~4x the worst observation.
+  EXPECT_GE(observed.max() * 4, bounds.detection);
+}
+
+TEST_P(LatencyBoundTest, JoinLatencyWithinAnalyticBound) {
+  Params p;
+  p.n = 6;
+  const auto bounds = analysis::latency_bounds(p, 6);
+  sim::Rng rng{GetParam() ^ 0x9999};
+
+  sim::TimeSeries observed;
+  for (int trial = 0; trial < 4; ++trial) {
+    Cluster c{6, p};
+    for (std::size_t i = 0; i < 5; ++i) c.node(i).join();
+    c.settle(Time::ms(500));
+    ASSERT_TRUE(c.views_agree(NodeSet::first_n(5)));
+    // Random join phase within a membership cycle.
+    c.settle(Time::us(static_cast<std::int64_t>(
+        rng.below(static_cast<std::uint64_t>(
+            p.membership_cycle.to_us())))));
+    Time installed = Time::max();
+    c.node(0).on_membership_change(
+        [&c, &installed](NodeSet active, NodeSet) {
+          if (active.contains(5) && installed == Time::max()) {
+            installed = c.engine().now();
+          }
+        });
+    const Time t_join = c.engine().now();
+    c.node(5).join();
+    c.settle(bounds.join + Time::ms(5));
+    ASSERT_NE(installed, Time::max()) << "trial " << trial;
+    observed.add(installed - t_join);
+  }
+  EXPECT_LE(observed.max(), bounds.join);
+  EXPECT_GE(observed.max() * 4, bounds.join);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyBoundTest,
+                         ::testing::Values(100u, 200u, 300u));
+
+TEST(LatencyBounds, ScaleWithParameters) {
+  Params fast, slow;
+  fast.heartbeat_period = Time::ms(5);
+  slow.heartbeat_period = Time::ms(100);
+  EXPECT_LT(analysis::latency_bounds(fast, 8).detection,
+            analysis::latency_bounds(slow, 8).detection);
+  Params small_tm, big_tm;
+  small_tm.membership_cycle = Time::ms(20);
+  big_tm.membership_cycle = Time::ms(90);
+  EXPECT_LT(analysis::latency_bounds(small_tm, 8).join,
+            analysis::latency_bounds(big_tm, 8).join);
+  // More nodes -> more surveillance skew -> larger detection bound.
+  EXPECT_LT(analysis::latency_bounds(fast, 4).detection,
+            analysis::latency_bounds(fast, 32).detection);
+}
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,168 @@
+// Property suites for the CAN MAC-level properties (paper Figure 2,
+// MCAN1-4) and LLC-level properties (Figure 3, LCAN1-4), validated on the
+// simulated bus under randomized fault injection — the operational
+// assumptions everything above them relies on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace canely::can {
+namespace {
+
+using sim::Time;
+
+struct Sink final : ControllerClient {
+  void on_rx(const Frame& frame, bool own) override {
+    if (!own) rx.push_back(frame);
+  }
+  void on_tx_confirm(const Frame& frame) override { cnf.push_back(frame); }
+  std::vector<Frame> rx;
+  std::vector<Frame> cnf;
+};
+
+class PropertyRig {
+ public:
+  PropertyRig(std::size_t n, std::uint64_t seed, double p_global,
+              double p_inconsistent)
+      : faults{sim::Rng{seed}, p_global, p_inconsistent} {
+    for (std::size_t i = 0; i < n; ++i) {
+      ctl.push_back(std::make_unique<Controller>(
+          static_cast<NodeId>(i), bus));
+      sinks.push_back(std::make_unique<Sink>());
+      ctl.back()->set_client(sinks.back().get());
+    }
+    bus.set_fault_injector(&faults);
+  }
+
+  sim::Engine engine;
+  Bus bus{engine};
+  RandomFaults faults;
+  std::vector<std::unique_ptr<Controller>> ctl;
+  std::vector<std::unique_ptr<Sink>> sinks;
+};
+
+class MacLlcProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+// MCAN1 (Broadcast) + MCAN2 (Error Detection): every copy of a frame that
+// any correct node accepts is bit-identical to what was sent — receivers
+// never see corrupted-but-accepted data.
+TEST_P(MacLlcProperties, Mcan1Mcan2ValueDomainCorrectness) {
+  PropertyRig rig{4, GetParam(), 0.05, 0.05};
+  std::map<std::uint32_t, std::vector<std::uint8_t>> sent;
+  sim::Rng rng{GetParam() ^ 0xBEEF};
+  for (int k = 0; k < 50; ++k) {
+    const auto id = static_cast<std::uint32_t>(0x100 + k);
+    std::vector<std::uint8_t> payload(1 + rng.below(8));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    sent[id] = payload;
+    rig.ctl[k % 4]->request_tx(Frame::make_data(id, payload));
+  }
+  rig.engine.run_until(Time::ms(100));
+  for (const auto& sink : rig.sinks) {
+    for (const auto& f : sink->rx) {
+      ASSERT_TRUE(sent.contains(f.id));
+      const auto& expect = sent[f.id];
+      ASSERT_EQ(f.dlc, expect.size());
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(f.data[i], expect[i]);
+      }
+    }
+  }
+}
+
+// MCAN4 (Bounded Transmission Delay, fault-free): a frame queued on an
+// otherwise idle bus completes within its exact wire length.
+TEST_P(MacLlcProperties, Mcan4BoundedDelayFaultFree) {
+  PropertyRig rig{3, GetParam(), 0.0, 0.0};
+  sim::Rng rng{GetParam()};
+  for (int k = 0; k < 20; ++k) {
+    std::vector<std::uint8_t> payload(rng.below(9));
+    const Frame f = Frame::make_data(static_cast<std::uint32_t>(k), payload);
+    const Time start = rig.engine.now();
+    const auto bound = sim::bits_to_time(
+        static_cast<std::int64_t>(frame_bits_on_wire(f) + kIntermissionBits),
+        1'000'000);
+    rig.ctl[0]->request_tx(f);
+    rig.engine.run_until(start + bound);
+    ASSERT_EQ(rig.sinks[1]->rx.size(), static_cast<std::size_t>(k + 1))
+        << "frame " << k << " exceeded its bound";
+  }
+}
+
+// LCAN1 (Validity) + LCAN3 (At-least-once): a correct, non-crashing
+// sender's message is eventually delivered to every correct node, at
+// least once, despite random global errors and inconsistent omissions
+// (CAN's automatic retransmission masks them at the LLC level).
+TEST_P(MacLlcProperties, Lcan1Lcan3ValidityAtLeastOnce) {
+  PropertyRig rig{4, GetParam(), 0.10, 0.10};
+  for (int k = 0; k < 30; ++k) {
+    const std::uint8_t payload[] = {static_cast<std::uint8_t>(k)};
+    rig.ctl[0]->request_tx(
+        Frame::make_data(static_cast<std::uint32_t>(0x80 + k), payload));
+  }
+  rig.engine.run_until(Time::ms(200));
+  for (std::size_t s = 1; s < 4; ++s) {
+    std::map<std::uint32_t, int> copies;
+    for (const auto& f : rig.sinks[s]->rx) ++copies[f.id];
+    for (int k = 0; k < 30; ++k) {
+      EXPECT_GE(copies[static_cast<std::uint32_t>(0x80 + k)], 1)
+          << "node " << s << " frame " << k;
+    }
+  }
+  // The sender got exactly one confirmation per message.
+  EXPECT_EQ(rig.sinks[0]->cnf.size(), 30u);
+}
+
+// LCAN2 (Best-effort Agreement) duplicates clause: inconsistent omissions
+// recovered by retransmission show up as duplicates at some receivers —
+// the phenomenon the paper's §4 postulates ("there may be message
+// duplicates when they are recovered").
+TEST_P(MacLlcProperties, Lcan2DuplicatesOnRecovery) {
+  PropertyRig rig{4, GetParam(), 0.0, 1.0};  // every attempt inconsistent...
+  // ...which the injector applies once per attempt; with retransmission
+  // the same frame reaches non-victims multiple times.
+  const std::uint8_t payload[] = {7};
+  rig.ctl[0]->request_tx(Frame::make_data(0x10, payload));
+  rig.engine.run_until(Time::ms(50));
+  std::size_t total_copies = 0;
+  for (std::size_t s = 1; s < 4; ++s) total_copies += rig.sinks[s]->rx.size();
+  // 3 receivers, delivered at least once each, and at least one duplicate
+  // somewhere (the non-victims of the first attempt saw it twice).
+  EXPECT_GT(total_copies, 3u);
+}
+
+// MCAN3 / LCAN4 (Bounded omission degrees): with a *scripted* injector
+// respecting bound k, any frame completes within k+1 attempts.
+TEST_P(MacLlcProperties, Mcan3BoundedOmissionDegree) {
+  const int k = static_cast<int>(2 + GetParam() % 3);
+  sim::Engine engine;
+  Bus bus{engine};
+  ScriptedFaults faults;
+  faults.add([](const TxContext&) { return true; },
+             Verdict::global_error(), /*shots=*/k);
+  bus.set_fault_injector(&faults);
+  Controller tx{0, bus}, rx{1, bus};
+  Sink s_tx, s_rx;
+  tx.set_client(&s_tx);
+  rx.set_client(&s_rx);
+  tx.request_tx(Frame::make_data(0x1, {}));
+  engine.run_until(Time::ms(50));
+  ASSERT_EQ(s_rx.rx.size(), 1u);
+  EXPECT_EQ(bus.stats().errors, static_cast<std::uint64_t>(k));
+  EXPECT_EQ(bus.stats().ok, 1u);
+  EXPECT_EQ(bus.stats().attempts, static_cast<std::uint64_t>(k) + 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacLlcProperties,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+}  // namespace
+}  // namespace canely::can

@@ -1,0 +1,129 @@
+// Reintegration scenarios: nodes that leave, are expelled, or bounce in
+// and out of the membership — the paper's assumption (§6.4) is only that
+// a removed node waits much longer than Tm before reintegrating; these
+// tests pin down what the implementation guarantees around that.
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+TEST(Reintegration, LeaveRejoinRepeatedly) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+  for (int round = 0; round < 5; ++round) {
+    c.node(3).leave();
+    c.settle(Time::ms(300));
+    ASSERT_TRUE(c.views_agree(NodeSet{0, 1, 2})) << "round " << round;
+    c.node(3).join();
+    c.settle(Time::ms(300));
+    ASSERT_TRUE(c.views_agree(NodeSet::first_n(4))) << "round " << round;
+  }
+}
+
+TEST(Reintegration, ExpelledNodeLearnsAndCanRejoin) {
+  // Force a false suspicion of node 2 by invoking FDA directly (as if a
+  // faulty observer suspected it): node 2 is expelled while alive, must
+  // be told, and must be able to rejoin afterwards.
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+
+  bool expelled_notified = false;
+  c.node(2).on_membership_change([&](NodeSet active, NodeSet) {
+    if (!active.contains(2)) expelled_notified = true;
+  });
+  c.node(0).fda().fda_can_req(2);  // false failure-sign
+  c.settle(Time::ms(200));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 3})) << c.any_view();
+  EXPECT_TRUE(expelled_notified);
+  EXPECT_FALSE(c.node(2).is_member());
+
+  // Reintegration (well after Tm): fda state for node 2 is reset on
+  // admission, so the stale failure-sign cannot kill it again.
+  c.settle(Time::ms(200));
+  c.node(2).join();
+  c.settle(Time::ms(400));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(4))) << c.any_view();
+  EXPECT_TRUE(c.node(2).is_member());
+}
+
+TEST(Reintegration, CrashedNodeStaysOut) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  c.node(1).crash();
+  c.settle(Time::ms(200));
+  ASSERT_TRUE(c.views_agree(NodeSet{0, 2, 3}));
+  // A crashed node's API is inert; nothing ever re-admits it.
+  c.node(1).join();
+  c.settle(Time::sec(1));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 2, 3})) << c.any_view();
+}
+
+TEST(Reintegration, LastMemberLeavesThenSystemReforms) {
+  Cluster c{3};
+  c.join_all();
+  c.settle(Time::ms(500));
+  c.node(0).leave();
+  c.settle(Time::ms(300));
+  c.node(1).leave();
+  c.settle(Time::ms(300));
+  // Node 2 alone in the view.
+  EXPECT_EQ(c.node(2).view(), (NodeSet{2}));
+  c.node(2).leave();
+  c.settle(Time::ms(300));
+  EXPECT_FALSE(c.node(2).is_member());
+
+  // Everyone rejoins from nothing: a fresh bootstrap must work.
+  c.join_all();
+  c.settle(Time::ms(500));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(3))) << c.any_view();
+}
+
+TEST(Reintegration, JoinDuringAnotherNodesFailureHandling) {
+  Params p;
+  p.tx_delay_bound = Time::ms(3);
+  Cluster c{5, p};
+  for (std::size_t i = 0; i < 4; ++i) c.node(i).join();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(4)));
+  // Crash and join land in the same cycle.
+  c.node(1).crash();
+  c.node(4).join();
+  c.settle(Time::ms(400));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 2, 3, 4})) << c.any_view();
+}
+
+TEST(Reintegration, GroupMembershipSurvivesSiteRejoin) {
+  Cluster c{4};
+  c.join_all();
+  c.settle(Time::ms(500));
+  c.node(2).join_group(5);
+  c.settle(Time::ms(20));
+  ASSERT_EQ(c.node(0).group_view(5), (NodeSet{2}));
+
+  c.node(2).leave();
+  c.settle(Time::ms(300));
+  // Out of the site view => out of every group view.
+  EXPECT_TRUE(c.node(0).group_view(5).empty());
+
+  c.node(2).join();
+  c.settle(Time::ms(400));
+  ASSERT_TRUE(c.node(2).is_member());
+  // The old announcement is still on the books: the group view follows
+  // the site view back.  (Upper layers wanting leave-means-leave should
+  // send leave_group explicitly before leaving the site.)
+  EXPECT_EQ(c.node(0).group_view(5), (NodeSet{2}));
+}
+
+}  // namespace
+}  // namespace canely::testing

@@ -1,0 +1,194 @@
+// Tests for the Reception History Agreement micro-protocol (Fig. 7):
+// convergence by intersection, the j-copies dissemination rule, and the
+// agreement property under inconsistent join/leave knowledge.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+/// Harness: drives RhaProtocol directly with controlled shared sets,
+/// bypassing the membership layer.
+class RhaHarness {
+ public:
+  explicit RhaHarness(std::size_t n) : cluster{n} {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& rha = cluster.node(i).rha();
+      rha.set_shared_sets_provider([this, i] { return sets[i]; });
+      rha.set_nty_handler([this, i](RhaEvent e, NodeSet rhv) {
+        if (e == RhaEvent::kEnd) ends[i].push_back(rhv);
+        if (e == RhaEvent::kInit) ++inits[i];
+      });
+    }
+  }
+
+  Cluster cluster;
+  std::map<std::size_t, RhaProtocol::SharedSets> sets;
+  std::map<std::size_t, std::vector<NodeSet>> ends;
+  std::map<std::size_t, int> inits;
+};
+
+TEST(Rha, ConsistentSetsAgreeInOneExecution) {
+  RhaHarness h{4};
+  const NodeSet members = NodeSet::first_n(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    h.sets[i] = {members, NodeSet{}, NodeSet{}};
+  }
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(h.ends[i][0], members);
+    EXPECT_EQ(h.inits[i], 1);
+  }
+}
+
+TEST(Rha, NonMemberCannotStartInIsolation) {
+  RhaHarness h{3};
+  for (std::size_t i = 0; i < 3; ++i) {
+    h.sets[i] = {NodeSet{0, 1}, NodeSet{}, NodeSet{}};  // node 2 outside
+  }
+  h.cluster.node(2).rha().rha_can_req();  // s00 guard: must be ignored
+  h.cluster.settle(Time::ms(20));
+  EXPECT_FALSE(h.cluster.node(2).rha().running());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(h.ends[i].empty());
+}
+
+TEST(Rha, ReceptionTriggersExecutionEverywhere) {
+  RhaHarness h{4};
+  for (std::size_t i = 0; i < 4; ++i) {
+    h.sets[i] = {NodeSet::first_n(4), NodeSet{}, NodeSet{}};
+  }
+  h.cluster.node(1).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  // Everyone ran exactly one execution (r03 reception-triggered start).
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.inits[i], 1);
+}
+
+TEST(Rha, InconsistentJoinKnowledgeConvergesToIntersection) {
+  // Node 3's join request reached only node 0 (inconsistent omission of
+  // the JOIN frame): R_J = {3} at node 0, empty elsewhere.  Agreement
+  // must settle on the intersection — node 3 NOT admitted (and the
+  // membership layer retries next cycle).
+  RhaHarness h{4};
+  const NodeSet members{0, 1, 2};
+  h.sets[0] = {members, NodeSet{3}, NodeSet{}};
+  h.sets[1] = {members, NodeSet{}, NodeSet{}};
+  h.sets[2] = {members, NodeSet{}, NodeSet{}};
+  h.sets[3] = {members, NodeSet{}, NodeSet{}};  // node 3: not a member
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(h.ends[i][0], members) << "node " << i;
+  }
+}
+
+TEST(Rha, LeaveKnownToOneRemovesEverywhere) {
+  // Only node 2 knows node 1 wants to leave; the removal must win (the
+  // intersection rule is exactly the "any node not included in both RHV
+  // sets is removed" of lines r04-r07).
+  RhaHarness h{4};
+  const NodeSet members = NodeSet::first_n(4);
+  for (std::size_t i = 0; i < 4; ++i) h.sets[i] = {members, {}, {}};
+  h.sets[2].leaving = NodeSet{1};
+  h.cluster.node(2).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u);
+    EXPECT_EQ(h.ends[i][0], (NodeSet{0, 2, 3})) << "node " << i;
+  }
+}
+
+TEST(Rha, CopiesBoundedByJPlusOne) {
+  // With consistent vectors, at most j+1 copies of the value circulate
+  // (line r08 aborts redundant retransmissions) — NOT one per node.
+  Params p;
+  p.inconsistent_degree_j = 2;
+  RhaHarness h{8};
+  // Rebuild with 8 nodes and j=2 is the default; count RHA frames.
+  for (std::size_t i = 0; i < 8; ++i) {
+    h.sets[i] = {NodeSet::first_n(8), NodeSet{}, NodeSet{}};
+  }
+  std::uint64_t rha_frames = 0;
+  h.cluster.bus().set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() && mid->type == MsgType::kRha &&
+        r.outcome == can::TxOutcome::kOk) {
+      ++rha_frames;
+    }
+  });
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 8; ++i) ASSERT_EQ(h.ends[i].size(), 1u);
+  // j+1 = 3 copies suffice; allow a small margin for frames already
+  // queued before their abort landed.
+  EXPECT_LE(rha_frames, 5u);
+  EXPECT_GE(rha_frames, 3u);
+}
+
+TEST(Rha, ExecutionStateClearsAtEnd) {
+  RhaHarness h{3};
+  for (std::size_t i = 0; i < 3; ++i) {
+    h.sets[i] = {NodeSet::first_n(3), NodeSet{}, NodeSet{}};
+  }
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  EXPECT_FALSE(h.cluster.node(0).rha().running());
+  EXPECT_EQ(h.cluster.node(0).rha().current_rhv(), NodeSet{});
+  // A second execution works from scratch.
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  EXPECT_EQ(h.ends[1].size(), 2u);
+}
+
+// --- agreement property under arbitrary inconsistent R_J patterns ----------
+//
+// Parameterized: each of nodes 0..2 independently knows / does not know
+// about joiner 3 (inconsistent dissemination of the JOIN request).  All
+// correct nodes must deliver the SAME final vector, and it must contain
+// node 3 only if the intersection rule says so (i.e. if all members knew).
+
+class RhaAgreementTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RhaAgreementTest, AllNodesDeliverTheSameVector) {
+  const std::uint32_t mask = GetParam();
+  RhaHarness h{4};
+  const NodeSet members{0, 1, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const bool knows = mask & (1u << i);
+    h.sets[i] = {members, knows ? NodeSet{3} : NodeSet{}, NodeSet{}};
+  }
+  h.sets[3] = {members, NodeSet{3}, NodeSet{}};  // the joiner knows itself
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+
+  ASSERT_EQ(h.ends[0].size(), 1u);
+  const NodeSet agreed = h.ends[0][0];
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u) << "node " << i << " mask=" << mask;
+    EXPECT_EQ(h.ends[i][0], agreed) << "node " << i << " mask=" << mask;
+  }
+  // The intersection admits 3 iff every member proposed it.
+  if (mask == 0b111) {
+    EXPECT_TRUE(agreed.contains(3));
+  } else {
+    EXPECT_FALSE(agreed.contains(3));
+  }
+  EXPECT_EQ(agreed.minus(NodeSet{3}), members);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnowledgePatterns, RhaAgreementTest,
+                         ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace canely::testing

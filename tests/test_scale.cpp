@@ -1,0 +1,96 @@
+// Scale tests: the stack at its architectural limit of 64 nodes (the RHV
+// bitmap fills the full 8-byte CAN data field), plus parameter scaling
+// checks across system sizes.
+
+#include <gtest/gtest.h>
+
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+Params scaled_params(std::size_t n) {
+  Params p;
+  p.n = n;
+  // Ttd must cover the post-admission ELS burst (n * ~80 bit-times) plus
+  // load; Th scaled up so the life-sign load stays moderate at n=64.
+  p.heartbeat_period = Time::ms(20);
+  p.tx_delay_bound = Time::ms(2) + Time::us(100) * static_cast<int>(n);
+  p.rha_timeout = Time::ms(10);
+  p.membership_cycle = Time::ms(50);
+  return p;
+}
+
+TEST(Scale, SixtyFourNodesFormOneView) {
+  constexpr std::size_t kN = 64;
+  Cluster c{kN, scaled_params(kN)};
+  c.join_all();
+  c.settle(Time::ms(800));
+  EXPECT_TRUE(c.views_agree(NodeSet::first_n(kN)))
+      << "view=" << c.any_view() << " (" << c.any_view().size() << ")";
+  EXPECT_EQ(c.node(63).view().size(), kN);
+}
+
+TEST(Scale, SixtyFourNodesSurviveCrashes) {
+  constexpr std::size_t kN = 64;
+  Cluster c{kN, scaled_params(kN)};
+  c.join_all();
+  c.settle(Time::ms(800));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(kN)));
+  c.node(10).crash();
+  c.node(40).crash();
+  c.node(63).crash();
+  c.settle(Time::sec(1));
+  NodeSet expect = NodeSet::first_n(kN);
+  expect.erase(10);
+  expect.erase(40);
+  expect.erase(63);
+  EXPECT_TRUE(c.views_agree(expect)) << c.any_view();
+}
+
+TEST(Scale, RhvBitmapUsesWholePayloadAt64) {
+  // The wire format must carry node 63: join a view that includes it and
+  // check the RHV-carrying frames use all 8 data bytes.
+  constexpr std::size_t kN = 64;
+  Cluster c{kN, scaled_params(kN)};
+  bool rhv_seen_with_top_bit = false;
+  c.bus().set_observer([&](const can::TxRecord& r) {
+    const auto mid = Mid::decode(r.frame);
+    if (mid.has_value() && mid->type == MsgType::kRha && !r.frame.remote &&
+        r.frame.dlc == 8 && (r.frame.data[7] & 0x80)) {
+      rhv_seen_with_top_bit = true;
+    }
+  });
+  c.join_all();
+  c.settle(Time::ms(800));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(kN)));
+  EXPECT_TRUE(rhv_seen_with_top_bit);
+}
+
+TEST(Scale, FormationCostGrowsModestly) {
+  // Frames needed to form the view should grow roughly linearly in n
+  // (join requests dominate), not quadratically.
+  std::uint64_t frames_8 = 0, frames_32 = 0;
+  {
+    Cluster c{8, scaled_params(8)};
+    c.join_all();
+    c.settle(Time::ms(800));
+    ASSERT_TRUE(c.views_agree(NodeSet::first_n(8)));
+    frames_8 = c.bus().stats().ok;
+  }
+  {
+    Cluster c{32, scaled_params(32)};
+    c.join_all();
+    c.settle(Time::ms(800));
+    ASSERT_TRUE(c.views_agree(NodeSet::first_n(32)));
+    frames_32 = c.bus().stats().ok;
+  }
+  EXPECT_LT(frames_32, frames_8 * 16);  // far below quadratic scaling
+  EXPECT_GT(frames_32, frames_8);
+}
+
+}  // namespace
+}  // namespace canely::testing

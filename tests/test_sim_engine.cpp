@@ -1,0 +1,187 @@
+// Unit tests for the discrete-event engine (src/sim/engine.hpp).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace canely::sim {
+namespace {
+
+TEST(Time, FactoriesAndConversions) {
+  EXPECT_EQ(Time::us(1).to_ns(), 1'000);
+  EXPECT_EQ(Time::ms(1).to_us(), 1'000);
+  EXPECT_EQ(Time::sec(1).to_ms(), 1'000);
+  EXPECT_EQ(Time::zero().to_ns(), 0);
+  EXPECT_DOUBLE_EQ(Time::ms(30).to_sec_f(), 0.030);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Time::ms(2) + Time::ms(3), Time::ms(5));
+  EXPECT_EQ(Time::ms(5) - Time::ms(3), Time::ms(2));
+  EXPECT_EQ(Time::us(10) * 3, Time::us(30));
+  EXPECT_EQ(3 * Time::us(10), Time::us(30));
+  EXPECT_EQ(Time::ms(10) / Time::ms(2), 5);
+  EXPECT_EQ(Time::ms(10) / 2, Time::ms(5));
+  EXPECT_LT(Time::us(999), Time::ms(1));
+}
+
+TEST(Time, BitTimeHelpers) {
+  EXPECT_EQ(bit_time(1'000'000), Time::us(1));   // 1 Mbps
+  EXPECT_EQ(bit_time(50'000), Time::us(20));     // 50 kbps
+  EXPECT_EQ(bits_to_time(130, 1'000'000), Time::us(130));
+}
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), Time::zero());
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(Time::ms(3), [&] { order.push_back(3); });
+  e.schedule_at(Time::ms(1), [&] { order.push_back(1); });
+  e.schedule_at(Time::ms(2), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), Time::ms(3));
+}
+
+TEST(Engine, SameTimeFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(Time::ms(1), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(Time::ms(1), [&] { ++fired; });
+  e.schedule_at(Time::ms(10), [&] { ++fired; });
+  EXPECT_EQ(e.run_until(Time::ms(5)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), Time::ms(5));  // clock advances even with no event
+  EXPECT_EQ(e.run_until(Time::ms(10)), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventAtBoundaryIsIncluded) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(Time::ms(5), [&] { fired = true; });
+  e.run_until(Time::ms(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  Time seen = Time::zero();
+  e.schedule_at(Time::ms(2), [&] {
+    e.schedule_after(Time::ms(3), [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, Time::ms(5));
+}
+
+TEST(Engine, CancelPreventsDispatch) {
+  Engine e;
+  bool fired = false;
+  EventId id = e.schedule_at(Time::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceFails) {
+  Engine e;
+  EventId id = e.schedule_at(Time::ms(1), [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelAfterDispatchFails) {
+  Engine e;
+  EventId id = e.schedule_at(Time::ms(1), [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelInvalidIdFails) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventId{}));
+  EXPECT_FALSE(e.cancel(EventId{12345}));
+}
+
+TEST(Engine, CancelOneOfManyLeavesOthersAlive) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(Time::ms(1), [&] { ++fired; });
+  EventId victim = e.schedule_at(Time::ms(2), [&] { ++fired; });
+  e.schedule_at(Time::ms(3), [&] { ++fired; });
+  e.cancel(victim);
+  EXPECT_EQ(e.pending(), 2u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(Time::ms(5), [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(Time::ms(1), [] {}), std::logic_error);
+}
+
+TEST(Engine, EmptyCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(Time::ms(1), Engine::Callback{}),
+               std::logic_error);
+}
+
+TEST(Engine, StopBreaksRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(Time::ms(1), [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(Time::ms(2), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  e.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, EventsScheduledDuringDispatchRun) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) e.schedule_after(Time::us(1), recurse);
+  };
+  e.schedule_at(Time::us(1), recurse);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.dispatched(), 5u);
+}
+
+TEST(Engine, RunUntilHandlesEventChainsWithinBound) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    e.schedule_after(Time::ms(1), chain);
+  };
+  e.schedule_at(Time::ms(1), chain);
+  e.run_until(Time::ms(10));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.pending(), 1u);  // the 11th link is queued
+}
+
+}  // namespace
+}  // namespace canely::sim

@@ -1,0 +1,156 @@
+// Unit tests for the alarm service (src/sim/timer.hpp) and the RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace canely::sim {
+namespace {
+
+class TimerTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  TimerService timers{engine};
+};
+
+TEST_F(TimerTest, AlarmFiresAfterDuration) {
+  bool fired = false;
+  timers.start_alarm(Time::ms(5), [&] { fired = true; });
+  engine.run_until(Time::ms(4));
+  EXPECT_FALSE(fired);
+  engine.run_until(Time::ms(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(TimerTest, NullTimerIsNeverActive) {
+  EXPECT_FALSE(timers.active(kNullTimer));
+  EXPECT_FALSE(timers.cancel_alarm(kNullTimer));
+}
+
+TEST_F(TimerTest, CancelPreventsExpiry) {
+  bool fired = false;
+  TimerId id = timers.start_alarm(Time::ms(5), [&] { fired = true; });
+  EXPECT_TRUE(timers.active(id));
+  EXPECT_TRUE(timers.cancel_alarm(id));
+  EXPECT_FALSE(timers.active(id));
+  engine.run_until(Time::ms(10));
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(TimerTest, CancelExpiredAlarmFails) {
+  TimerId id = timers.start_alarm(Time::ms(1), [] {});
+  engine.run_until(Time::ms(2));
+  EXPECT_FALSE(timers.cancel_alarm(id));
+}
+
+TEST_F(TimerTest, AlarmInactiveDuringItsOwnCallback) {
+  bool was_active = true;
+  TimerId id{};
+  id = timers.start_alarm(Time::ms(1), [&] { was_active = timers.active(id); });
+  engine.run_until(Time::ms(1));
+  EXPECT_FALSE(was_active);
+}
+
+TEST_F(TimerTest, RestartFromCallback) {
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) timers.start_alarm(Time::ms(1), tick);
+  };
+  timers.start_alarm(Time::ms(1), tick);
+  engine.run_until(Time::ms(10));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST_F(TimerTest, DeadlineReporting) {
+  TimerId id = timers.start_alarm(Time::ms(7), [] {});
+  EXPECT_EQ(timers.deadline(id), Time::ms(7));
+  EXPECT_EQ(timers.deadline(kNullTimer), Time::max());
+}
+
+TEST_F(TimerTest, CancelAllClearsEverything) {
+  int fires = 0;
+  for (int i = 1; i <= 5; ++i) {
+    timers.start_alarm(Time::ms(i), [&] { ++fires; });
+  }
+  EXPECT_EQ(timers.pending_count(), 5u);
+  timers.cancel_all();
+  EXPECT_EQ(timers.pending_count(), 0u);
+  engine.run_until(Time::ms(10));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(TimerTest, IndependentTimersCoexist) {
+  std::vector<int> order;
+  timers.start_alarm(Time::ms(2), [&] { order.push_back(2); });
+  timers.start_alarm(Time::ms(1), [&] { order.push_back(1); });
+  engine.run_until(Time::ms(3));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- RNG -------------------------------------------------------------------
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng{9};
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, SampleDistinct) {
+  Rng rng{11};
+  const auto picks = rng.sample(20, 8);
+  EXPECT_EQ(picks.size(), 8u);
+  std::set<std::size_t> uniq(picks.begin(), picks.end());
+  EXPECT_EQ(uniq.size(), 8u);
+  for (auto p : picks) EXPECT_LT(p, 20u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent{5};
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+}  // namespace
+}  // namespace canely::sim

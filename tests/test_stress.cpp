@@ -1,0 +1,145 @@
+// Randomized stress / property suite: arbitrary churn schedules under
+// randomized bus faults, parameterized by seed.  Invariants checked after
+// every settling window:
+//
+//   SAFETY    all current members hold identical views;
+//   ACCURACY  the common view equals the model's expected live set;
+//   LIVENESS  every legal request (join/leave/crash detection) takes
+//             effect within a bounded settling time.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "testing.hpp"
+
+namespace canely::testing {
+namespace {
+
+using can::NodeSet;
+using sim::Time;
+
+class StressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressTest, RandomChurnKeepsViewsConsistent) {
+  sim::Rng rng{GetParam()};
+  constexpr std::size_t kN = 10;
+
+  Params params;
+  params.n = kN;
+  params.tx_delay_bound = Time::ms(4);
+  Cluster c{kN, params};
+
+  // Mild random faults on the wire throughout.
+  can::RandomFaults faults{rng.fork(), 0.005, 0.005};
+  c.bus().set_fault_injector(&faults);
+
+  // Model state.
+  enum class S { kOut, kMember, kCrashed };
+  std::array<S, kN> state{};
+  state.fill(S::kOut);
+
+  // Founding members.
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.node(i).join();
+    state[i] = S::kMember;
+  }
+  c.settle(Time::ms(500));
+
+  // Some traffic so implicit heartbeats are exercised too.
+  c.node(0).start_periodic(1, Time::ms(7), {0});
+  c.node(2).start_periodic(1, Time::ms(9), {2});
+
+  auto expected = [&] {
+    NodeSet s;
+    for (std::size_t i = 0; i < kN; ++i) {
+      if (state[i] == S::kMember) s.insert(static_cast<can::NodeId>(i));
+    }
+    return s;
+  };
+  ASSERT_TRUE(c.views_agree(expected()));
+
+  int crashes = 0;
+  for (int step = 0; step < 12; ++step) {
+    // Pick a random applicable operation.
+    const std::size_t who = static_cast<std::size_t>(rng.below(kN));
+    const auto op = rng.below(3);
+    switch (op) {
+      case 0:  // join
+        if (state[who] == S::kOut) {
+          c.node(who).join();
+          state[who] = S::kMember;
+        }
+        break;
+      case 1:  // leave (keep at least 3 members)
+        if (state[who] == S::kMember && expected().size() > 3) {
+          c.node(who).leave();
+          state[who] = S::kOut;
+        }
+        break;
+      case 2:  // crash (at most 3 per run, keep at least 3 members)
+        if (state[who] == S::kMember && expected().size() > 3 &&
+            crashes < 3) {
+          c.node(who).crash();
+          state[who] = S::kCrashed;
+          ++crashes;
+        }
+        break;
+    }
+    c.settle(Time::ms(400));
+    const NodeSet expect = expected();
+    EXPECT_TRUE(c.views_agree(expect))
+        << "seed=" << GetParam() << " step=" << step << " expect=" << expect
+        << " got=" << c.any_view();
+  }
+
+  // Final quiescence: run on and re-check stability.
+  c.settle(Time::sec(1));
+  EXPECT_TRUE(c.views_agree(expected()))
+      << "seed=" << GetParam() << " final, expect=" << expected()
+      << " got=" << c.any_view();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+// --- fault-heavy variant: inconsistent omissions against protocol frames ----
+
+class ProtocolFaultStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFaultStress, ViewsSurviveInconsistentProtocolOmissions) {
+  sim::Rng rng{GetParam() ^ 0xA5A5};
+  Params params;
+  params.n = 6;
+  params.tx_delay_bound = Time::ms(4);
+  Cluster c{6, params};
+
+  // Target protocol frames specifically with inconsistent omissions,
+  // staying within the j-per-interval spirit (2% of frames).
+  can::RandomFaults faults{rng.fork(), 0.0, 0.02};
+  c.bus().set_fault_injector(&faults);
+
+  c.join_all();
+  c.settle(Time::ms(600));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(6)))
+      << "seed=" << GetParam() << " got=" << c.any_view();
+
+  c.node(4).crash();
+  c.settle(Time::ms(400));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 1, 2, 3, 5}))
+      << "seed=" << GetParam() << " got=" << c.any_view();
+
+  c.node(1).leave();
+  c.settle(Time::ms(400));
+  EXPECT_TRUE(c.views_agree(NodeSet{0, 2, 3, 5}))
+      << "seed=" << GetParam() << " got=" << c.any_view();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFaultStress,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace canely::testing

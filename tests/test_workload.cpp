@@ -1,0 +1,95 @@
+// Tests for the workload module: SAE-like sets, utilization accounting,
+// and the workload -> response-time-analysis bridge used to budget Ttd.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/sae.hpp"
+
+namespace canely::workload {
+namespace {
+
+TEST(SaeWorkload, HasTheFourClassicBuckets) {
+  const auto set = sae_like_set(8);
+  EXPECT_EQ(set.size(), 20u);
+  std::set<std::int64_t> periods;
+  for (const auto& s : set) periods.insert(s.period.to_ms());
+  EXPECT_TRUE(periods.contains(5));
+  EXPECT_TRUE(periods.contains(10));
+  EXPECT_TRUE(periods.contains(100));
+  EXPECT_TRUE(periods.contains(1000));
+}
+
+TEST(SaeWorkload, SpreadsSendersOverNodes) {
+  const auto set = sae_like_set(4);
+  std::set<can::NodeId> senders;
+  for (const auto& s : set) senders.insert(s.sender);
+  EXPECT_EQ(senders.size(), 4u);
+  for (can::NodeId n : senders) EXPECT_LT(n, 4);
+}
+
+TEST(SaeWorkload, PrioritiesAreUnique) {
+  const auto set = sae_like_set(8);
+  std::set<std::uint32_t> prios;
+  for (const auto& s : set) prios.insert(s.priority);
+  EXPECT_EQ(prios.size(), set.size());
+}
+
+TEST(SaeWorkload, UtilizationModerateAt1Mbps) {
+  const auto set = sae_like_set(8);
+  const double u = utilization(set, 1'000'000);
+  EXPECT_GT(u, 0.05);
+  EXPECT_LT(u, 0.40);  // schedulable headroom, per the module contract
+}
+
+TEST(UniformCyclic, OneStreamPerNode) {
+  const auto set = uniform_cyclic_set(6, sim::Time::ms(10), 4);
+  EXPECT_EQ(set.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(set[i].sender, static_cast<can::NodeId>(i));
+    EXPECT_EQ(set[i].dlc, 4u);
+    EXPECT_EQ(set[i].period, sim::Time::ms(10));
+  }
+}
+
+TEST(WorkloadRta, SaeSetIsSchedulable) {
+  const auto set = sae_like_set(8);
+  analysis::ResponseTimeAnalysis rta{
+      to_message_specs(set, /*include_protocol_overlay=*/false, 8,
+                       sim::Time::ms(10), sim::Time::ms(30)),
+      1'000'000};
+  EXPECT_TRUE(rta.all_schedulable());
+  ASSERT_TRUE(rta.worst_response().has_value());
+  // Everything fits well inside the slowest period.
+  EXPECT_LT(*rta.worst_response(), sim::Time::ms(100));
+}
+
+TEST(WorkloadRta, ProtocolOverlayInflatesButStaysSchedulable) {
+  const auto set = sae_like_set(8);
+  analysis::ResponseTimeAnalysis plain{
+      to_message_specs(set, false, 8, sim::Time::ms(10), sim::Time::ms(30)),
+      1'000'000};
+  analysis::ResponseTimeAnalysis overlay{
+      to_message_specs(set, true, 8, sim::Time::ms(10), sim::Time::ms(30)),
+      1'000'000};
+  ASSERT_TRUE(plain.all_schedulable());
+  ASSERT_TRUE(overlay.all_schedulable());
+  EXPECT_GT(*overlay.worst_response(), *plain.worst_response());
+  EXPECT_GT(overlay.utilization(), plain.utilization());
+}
+
+TEST(WorkloadRta, OverlayGivesASaneTtdBudget) {
+  // The derived Ttd for the default deployment must comfortably contain
+  // the Params default (2 ms) plus burst slack — this test documents the
+  // link between the analysis and the failure detector's parameter.
+  const auto set = uniform_cyclic_set(8, sim::Time::ms(5));
+  analysis::ResponseTimeAnalysis rta{
+      to_message_specs(set, true, 8, sim::Time::ms(10), sim::Time::ms(30)),
+      1'000'000, analysis::ErrorHypothesis{2, sim::Time::ms(10)}};
+  ASSERT_TRUE(rta.all_schedulable());
+  EXPECT_LT(*rta.worst_response(), sim::Time::ms(3));
+}
+
+}  // namespace
+}  // namespace canely::workload

@@ -1,0 +1,73 @@
+#pragma once
+// Shared scaffolding for the CANELy test suites.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::testing {
+
+/// A ready-made cluster: engine + bus + n CANELy nodes (ids 0..n-1).
+class Cluster {
+ public:
+  explicit Cluster(std::size_t n, Params params = {},
+                   can::BusConfig bus_config = {})
+      : params_{[&] {
+          params.n = n;
+          return params;
+        }()},
+        bus_{engine_, bus_config} {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<Node>(
+          bus_, static_cast<can::NodeId>(i), params_));
+    }
+  }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] can::Bus& bus() { return bus_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// All nodes request to join.
+  void join_all() {
+    for (auto& n : nodes_) n->join();
+  }
+
+  /// Run until all live nodes agree on the expected full view, or fail.
+  void settle(sim::Time budget) {
+    engine_.run_until(engine_.now() + budget);
+  }
+
+  /// True when every expected member's view equals `expected` exactly.
+  /// (Nodes outside `expected` — crashed, left, or never joined — are not
+  /// required to hold the view.)
+  [[nodiscard]] bool views_agree(can::NodeSet expected) const {
+    for (const auto& n : nodes_) {
+      if (n->crashed() || !expected.contains(n->id())) continue;
+      if (n->view() != expected) return false;
+    }
+    return true;
+  }
+
+  /// The view of the first non-crashed node (for diagnostics).
+  [[nodiscard]] can::NodeSet any_view() const {
+    for (const auto& n : nodes_) {
+      if (!n->crashed()) return n->view();
+    }
+    return {};
+  }
+
+ private:
+  sim::Engine engine_;
+  Params params_;
+  can::Bus bus_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace canely::testing

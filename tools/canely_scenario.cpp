@@ -1,0 +1,48 @@
+// canely_scenario — run a membership scenario script (see
+// src/scenario/scenario.hpp for the DSL) and report expectations.
+//
+//   $ ./tools/canely_scenario scenarios/crash_detection.scn
+//
+// Exit status: 0 when every expectation held, 1 otherwise.
+
+#include <cstring>
+#include <iostream>
+
+#include "scenario/scenario.hpp"
+
+int main(int argc, char** argv) {
+  bool trace = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-t") == 0 ||
+        std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::cerr << "usage: canely_scenario [-t] <script.scn>\n"
+              << "  -t   dump every bus frame (candump-style)\n";
+    return 2;
+  }
+  canely::scenario::FrameTrace sink;
+  if (trace) {
+    sink = [](const std::string& line) { std::cout << line << "\n"; };
+  }
+  const auto report = canely::scenario::run_script_file(path, sink);
+  if (!report.parse_error.empty()) {
+    std::cerr << "error: " << report.parse_error << "\n";
+    return 2;
+  }
+  for (const auto& e : report.expectations) {
+    std::cout << (e.passed ? "  PASS  " : "  FAIL  ") << e.description;
+    if (!e.passed && !e.detail.empty()) std::cout << "  (" << e.detail << ")";
+    std::cout << "\n";
+  }
+  std::cout << "bus: " << report.frames_ok << " frames ok, "
+            << report.frames_error << " destroyed, " << report.bits_total
+            << " bit-times over " << report.duration.to_ms() << " ms\n";
+  std::cout << (report.ok ? "OK\n" : "FAILED\n");
+  return report.ok ? 0 : 1;
+}
