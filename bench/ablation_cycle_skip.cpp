@@ -7,12 +7,17 @@
 // compare the standing protocol bandwidth; then verify that churn is
 // handled identically in both modes (the optimization must not cost
 // correctness or latency when changes DO happen).
+//
+// The two configurations are independent simulations and run on
+// campaign::Runner (trivially small, but it buys the shared CLI and the
+// BENCH_*.json trajectory for free).
 
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "sim/engine.hpp"
@@ -80,12 +85,26 @@ Outcome run(bool skip_idle_cycles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts =
+      campaign::parse_cli(argc, argv, "BENCH_ablation_cycle_skip.json");
+  if (opts.help) {
+    campaign::print_cli_usage(argv[0]);
+    return 2;
+  }
+
+  campaign::Grid grid;
+  grid.axis("skip_idle", {1, 0}).master_seed(opts.seed);
+  campaign::Runner runner{opts.threads};
+  const auto outcome =
+      runner.run<Outcome>(grid, [](const campaign::RunSpec& s) {
+        return run(s.param("skip_idle") != 0);
+      });
+  const Outcome& skip = *outcome.cell(grid, 0).at(0);
+  const Outcome& always = *outcome.cell(grid, 1).at(0);
+
   std::cout << "Ablation — idle-cycle RHA skipping (16 nodes, Tm = 30 ms, "
                "quiet system)\n\n";
-  const Outcome skip = run(true);
-  const Outcome always = run(false);
-
   std::cout << std::fixed << std::setprecision(3);
   std::cout << "                      |  skip idle (paper) | always run RHA\n";
   std::cout << "  --------------------+--------------------+---------------\n";
@@ -99,6 +118,29 @@ int main() {
   std::cout << "  join latency        |      " << std::setw(6)
             << skip.join_latency.to_ms_f() << "ms      |    " << std::setw(6)
             << always.join_latency.to_ms_f() << "ms\n";
+
+  if (!opts.json_path.empty()) {
+    campaign::Json cells = campaign::Json::array();
+    for (std::size_t cell = 0; cell < grid.cells(); ++cell) {
+      const Outcome& o = *outcome.cell(grid, cell).at(0);
+      campaign::Json metrics = campaign::Json::object();
+      metrics.set("rha_bandwidth_pct",
+                  campaign::Json::number(o.rha_bandwidth_pct));
+      metrics.set("total_protocol_pct",
+                  campaign::Json::number(o.total_protocol_pct));
+      metrics.set("join_latency_ms",
+                  campaign::Json::number(o.join_latency.to_ms_f()));
+      campaign::Json cell_json = campaign::Json::object();
+      cell_json.set("params",
+                    campaign::params_json(grid.cell_params(cell)));
+      cell_json.set("metrics", std::move(metrics));
+      cells.push(std::move(cell_json));
+    }
+    campaign::Json root =
+        campaign::trajectory_header("ablation_cycle_skip", grid);
+    root.set("cells", std::move(cells));
+    if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
 
   std::cout << "\n  -> a quiet system pays zero RHA bandwidth with the "
                "paper's optimization;\n     always-on RHA burns (j+1) RHV "

@@ -8,12 +8,18 @@
 //
 // Sweep over victim-subset sizes and group sizes; report inconsistency
 // rates and frame counts.
+//
+// Both sweeps fan their independent deterministic trials across
+// campaign::Runner.  The emitted BENCH_ablation_fda.json carries the
+// agreement grid as the primary trajectory plus a "clustering" object
+// with the second grid's axes and cells.
 
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "sim/engine.hpp"
@@ -105,22 +111,72 @@ std::pair<std::uint64_t, std::uint64_t> clustering_cost(std::size_t n,
   return {bus.stats().ok, bus.stats().bits_total};
 }
 
+struct ClusterCost {
+  std::uint64_t frames{0};
+  std::uint64_t bits{0};
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = campaign::parse_cli(argc, argv, "BENCH_ablation_fda.json");
+  if (opts.help) {
+    campaign::print_cli_usage(argv[0]);
+    return 2;
+  }
+  campaign::Runner runner{opts.threads};
+
+  // Sweep (a): agreement under inconsistent omissions + sender crash.
+  campaign::Grid agreement;
+  agreement.axis("victims", {1, 2, 3, 4, 5})
+      .axis("use_fda", {0, 1})
+      .master_seed(opts.seed);
+  const auto agreement_out =
+      runner.run<int>(agreement, [](const campaign::RunSpec& s) {
+        return trial(8, static_cast<std::size_t>(s.param("victims")),
+                     s.param("use_fda") != 0);
+      });
+
+  // Sweep (b): frames per FDA execution with/without wired-AND merge.
+  campaign::Grid clustering;
+  clustering.axis("n", {4, 8, 16, 32})
+      .axis("clustering", {1, 0})
+      .master_seed(opts.seed);
+  const auto clustering_out =
+      runner.run<ClusterCost>(clustering, [](const campaign::RunSpec& s) {
+        const auto [frames, bits] =
+            clustering_cost(static_cast<std::size_t>(s.param("n")),
+                            s.param("clustering") != 0);
+        return ClusterCost{frames, bits};
+      });
+
   std::cout << "Ablation A — agreement: survivors notified after an "
                "inconsistent\nfailure-sign omission + sender crash "
                "(8 nodes, 6 survivors):\n\n";
   std::cout << "  victims | naive signalling | FDA (Fig. 6)\n";
   std::cout << "  --------+------------------+-------------\n";
+  campaign::Json agreement_cells = campaign::Json::array();
   bool agreement_ok = true;
   for (std::size_t v = 1; v <= 5; ++v) {
-    const int naive = trial(8, v, /*use_fda=*/false);
-    const int fda = trial(8, v, /*use_fda=*/true);
+    // Cell layout: victims-major, use_fda minor — {v,0} then {v,1}.
+    const std::size_t base = (v - 1) * 2;
+    const int naive = *agreement_out.cell(agreement, base).at(0);
+    const int fda = *agreement_out.cell(agreement, base + 1).at(0);
     std::cout << "     " << v << "    |       " << naive << " of 6       |   "
               << fda << " of 6\n";
     if (fda != 6) agreement_ok = false;
     if (naive != static_cast<int>(6 - v)) agreement_ok = false;
+  }
+  for (std::size_t cell = 0; cell < agreement.cells(); ++cell) {
+    campaign::Json metrics = campaign::Json::object();
+    metrics.set("notified",
+                campaign::Json::integer(
+                    *agreement_out.cell(agreement, cell).at(0)));
+    campaign::Json cell_json = campaign::Json::object();
+    cell_json.set("params",
+                  campaign::params_json(agreement.cell_params(cell)));
+    cell_json.set("metrics", std::move(metrics));
+    agreement_cells.push(std::move(cell_json));
   }
   std::cout << "\n  -> naive signalling loses exactly the victims; FDA "
                "recovers all of them.\n";
@@ -131,20 +187,46 @@ int main() {
                "(bits)\n";
   std::cout << "  ------+-------------------------+-----------------------"
                "---\n";
+  campaign::Json clustering_cells = campaign::Json::array();
   bool clustering_ok = true;
-  for (std::size_t n : {4u, 8u, 16u, 32u}) {
-    const auto [f_on, b_on] = clustering_cost(n, true);
-    const auto [f_off, b_off] = clustering_cost(n, false);
+  for (std::size_t row = 0; row < 4; ++row) {
+    const std::size_t n = clustering.cell_params(row * 2)[0].second;
+    const ClusterCost& on = *clustering_out.cell(clustering, row * 2).at(0);
+    const ClusterCost& off =
+        *clustering_out.cell(clustering, row * 2 + 1).at(0);
     std::cout << "   " << std::setw(3) << n << "  |        " << std::setw(2)
-              << f_on << " (" << std::setw(5) << b_on << ")      |        "
-              << std::setw(2) << f_off << " (" << std::setw(5) << b_off
-              << ")\n";
-    if (f_on != 2) clustering_ok = false;          // original + merged echo
-    if (f_off != n) clustering_ok = false;         // original + n-1 echoes
+              << on.frames << " (" << std::setw(5) << on.bits
+              << ")      |        " << std::setw(2) << off.frames << " ("
+              << std::setw(5) << off.bits << ")\n";
+    if (on.frames != 2) clustering_ok = false;   // original + merged echo
+    if (off.frames != n) clustering_ok = false;  // original + n-1 echoes
+  }
+  for (std::size_t cell = 0; cell < clustering.cells(); ++cell) {
+    const ClusterCost& c = *clustering_out.cell(clustering, cell).at(0);
+    campaign::Json metrics = campaign::Json::object();
+    metrics.set("frames", campaign::Json::integer(
+                              static_cast<std::int64_t>(c.frames)));
+    metrics.set("bits",
+                campaign::Json::integer(static_cast<std::int64_t>(c.bits)));
+    campaign::Json cell_json = campaign::Json::object();
+    cell_json.set("params",
+                  campaign::params_json(clustering.cell_params(cell)));
+    cell_json.set("metrics", std::move(metrics));
+    clustering_cells.push(std::move(cell_json));
   }
   std::cout << "\n  -> with the wired-AND merge the echo is O(1); without "
                "it, O(n) —\n     the bandwidth lever Fig. 10's FDA budget "
                "rests on.\n";
+
+  if (!opts.json_path.empty()) {
+    campaign::Json root =
+        campaign::trajectory_header("ablation_fda", agreement);
+    root.set("cells", std::move(agreement_cells));
+    campaign::Json cl = campaign::trajectory_header("ablation_fda", clustering);
+    cl.set("cells", std::move(clustering_cells));
+    root.set("clustering", std::move(cl));
+    if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
 
   const bool ok = agreement_ok && clustering_ok;
   std::cout << (ok ? "\nSHAPE OK\n" : "\nSHAPE MISMATCH\n");

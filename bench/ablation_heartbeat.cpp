@@ -10,12 +10,16 @@
 //
 // Also compare against an "explicit-only" strawman: a CANopen-style
 // heartbeat that always transmits, whatever the application does.
+//
+// Each (period, mode) cell is one independent deterministic simulation,
+// fanned across campaign::Runner's worker pool.
 
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "sim/engine.hpp"
@@ -129,33 +133,75 @@ Outcome run(sim::Time app_period, bool app_traffic_counts_as_heartbeat) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts =
+      campaign::parse_cli(argc, argv, "BENCH_ablation_heartbeat.json");
+  if (opts.help) {
+    campaign::print_cli_usage(argv[0]);
+    return 2;
+  }
+
+  campaign::Grid grid;
+  grid.axis("app_period_ms", {2, 5, 8, 15, 25, 40})
+      .axis("implicit", {1, 0})
+      .master_seed(opts.seed);
+  campaign::Runner runner{opts.threads};
+  const auto outcome =
+      runner.run<Outcome>(grid, [](const campaign::RunSpec& s) {
+        return run(sim::Time::ms(static_cast<int>(s.param("app_period_ms"))),
+                   s.param("implicit") != 0);
+      });
+
   std::cout << "Ablation — implicit heartbeats (8 nodes, Th = 10 ms, "
-               "1 Mbps)\n\n";
+               "1 Mbps; "
+            << grid.size() << " runs on " << runner.threads()
+            << " threads)\n\n";
   std::cout << "  app period | mode      | ELS/s/node | FD bandwidth | "
                "detection\n";
   std::cout << "  -----------+-----------+------------+--------------+------"
                "----\n";
+  campaign::Json cells = campaign::Json::array();
   bool ok = true;
-  for (int period_ms : {2, 5, 8, 15, 25, 40}) {
-    for (bool implicit : {true, false}) {
-      const Outcome o = run(sim::Time::ms(period_ms), implicit);
-      std::cout << "     " << std::setw(3) << period_ms << " ms   | "
-                << (implicit ? "implicit " : "explicit ") << " |   "
-                << std::fixed << std::setprecision(1) << std::setw(6)
-                << o.els_per_sec_per_node << "   |     " << std::setw(5)
-                << std::setprecision(2) << o.fd_bandwidth_pct << "%   |  "
-                << std::setprecision(1) << o.detection_latency.to_ms_f()
-                << " ms\n";
-      if (o.detection_latency > sim::Time::ms(30)) ok = false;
-      if (implicit && period_ms < 10 && o.els_per_sec_per_node > 5.0) {
-        ok = false;  // fast app traffic must suppress nearly all ELS
-      }
-      if (!implicit && o.els_per_sec_per_node < 80.0) {
-        ok = false;  // explicit-only always pays ~1/Th = 100 ELS/s
-      }
+  for (std::size_t cell = 0; cell < grid.cells(); ++cell) {
+    const auto params = grid.cell_params(cell);
+    const int period_ms = static_cast<int>(params[0].second);
+    const bool implicit = params[1].second != 0;
+    const Outcome& o = *outcome.cell(grid, cell).at(0);
+    std::cout << "     " << std::setw(3) << period_ms << " ms   | "
+              << (implicit ? "implicit " : "explicit ") << " |   "
+              << std::fixed << std::setprecision(1) << std::setw(6)
+              << o.els_per_sec_per_node << "   |     " << std::setw(5)
+              << std::setprecision(2) << o.fd_bandwidth_pct << "%   |  "
+              << std::setprecision(1) << o.detection_latency.to_ms_f()
+              << " ms\n";
+    if (o.detection_latency > sim::Time::ms(30)) ok = false;
+    if (implicit && period_ms < 10 && o.els_per_sec_per_node > 5.0) {
+      ok = false;  // fast app traffic must suppress nearly all ELS
     }
+    if (!implicit && o.els_per_sec_per_node < 80.0) {
+      ok = false;  // explicit-only always pays ~1/Th = 100 ELS/s
+    }
+
+    campaign::Json metrics = campaign::Json::object();
+    metrics.set("els_per_sec_per_node",
+                campaign::Json::number(o.els_per_sec_per_node));
+    metrics.set("fd_bandwidth_pct",
+                campaign::Json::number(o.fd_bandwidth_pct));
+    metrics.set("detection_ms",
+                campaign::Json::number(o.detection_latency.to_ms_f()));
+    campaign::Json cell_json = campaign::Json::object();
+    cell_json.set("params", campaign::params_json(params));
+    cell_json.set("metrics", std::move(metrics));
+    cells.push(std::move(cell_json));
   }
+
+  if (!opts.json_path.empty()) {
+    campaign::Json root =
+        campaign::trajectory_header("ablation_heartbeat", grid);
+    root.set("cells", std::move(cells));
+    if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
+
   std::cout <<
       "\n  -> with application periods below Th, implicit heartbeating "
       "drives the\n     explicit life-sign rate to ~0 while detection "

@@ -9,6 +9,11 @@
 // Two columns per scenario: the reconstructed analytic worst-case model
 // (analysis/bandwidth.hpp) and the utilization actually measured on the
 // simulated bus running the real protocol stack.
+//
+// The 28 (Tm, scenario) measurements are independent simulations and run
+// on campaign::Runner; the protocol stack draws no randomness, so the
+// numbers — and the BENCH_fig10_bandwidth.json trajectory — are the same
+// for any --threads.
 
 #include <iomanip>
 #include <iostream>
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "analysis/bandwidth.hpp"
+#include "campaign/campaign.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "sim/engine.hpp"
@@ -109,7 +115,14 @@ double measure(Scenario scenario, sim::Time tm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts =
+      campaign::parse_cli(argc, argv, "BENCH_fig10_bandwidth.json");
+  if (opts.help) {
+    campaign::print_cli_usage(argv[0]);
+    return 2;
+  }
+
   using analysis::BandwidthModel;
   analysis::BandwidthParams bp;
   bp.n = kNodes;
@@ -117,44 +130,82 @@ int main() {
   bp.f = kCrashes;
   BandwidthModel model{bp};
 
+  // Grid: Tm (slow axis) x scenario (fast axis); one deterministic
+  // simulation per run, fanned across the worker pool.
+  campaign::Grid grid;
+  grid.axis("tm_ms", {30, 40, 50, 60, 70, 80, 90})
+      .axis("scenario", {0, 1, 2, 3})
+      .master_seed(opts.seed);
+  campaign::Runner runner{opts.threads};
+  const auto outcome = runner.run<double>(grid, [](const campaign::RunSpec& s) {
+    return measure(static_cast<Scenario>(static_cast<int>(s.param("scenario"))),
+                   sim::Time::ms(static_cast<int>(s.param("tm_ms"))));
+  });
+
   std::cout <<
       "Figure 10 — CAN bandwidth utilization by the site membership "
       "protocols\n"
       "n=32, b=8, f=4, c=20, 1 Mbps.  Analytic = conservative worst-case "
       "model;\nmeasured = real protocol stack on the simulated bus "
-      "(averaged over 4 cycles\ncontaining the scenario's events).\n\n";
+      "(averaged over 4 cycles\ncontaining the scenario's events; "
+      << grid.size() << " runs on " << runner.threads() << " threads).\n\n";
   std::cout << "  Tm(ms) |  no-changes   | f crash fail. |  join/leave   | "
                "multiple(c=20)\n";
   std::cout << "         |  model  meas  |  model  meas  |  model  meas  |  "
                "model  meas\n";
   std::cout << "  -------+---------------+---------------+---------------+--"
                "-------------\n";
-  for (int tm_ms = 30; tm_ms <= 90; tm_ms += 10) {
+  campaign::Json cells = campaign::Json::array();
+  for (std::size_t cell = 0; cell < grid.cells(); ++cell) {
+    const auto params = grid.cell_params(cell);
+    const int tm_ms = static_cast<int>(params[0].second);
+    const int scenario = static_cast<int>(params[1].second);
     const sim::Time tm = sim::Time::ms(tm_ms);
     const double tm_bits = tm.to_us_f();
-    const double a0 = BandwidthModel::utilization(model.no_changes(), tm_bits);
-    const double a1 =
-        BandwidthModel::utilization(model.crash_failures(), tm_bits);
-    const double a2 =
-        BandwidthModel::utilization(model.single_join_leave(), tm_bits);
-    const double a3 =
-        BandwidthModel::utilization(model.multiple_join_leave(kChurn),
-                                    tm_bits);
-    const double m0 = measure(Scenario::kNoChanges, tm);
-    const double m1 = measure(Scenario::kCrashFailures, tm);
-    const double m2 = measure(Scenario::kSingleJoinLeave, tm);
-    const double m3 = measure(Scenario::kMultiple, tm);
+    double analytic = 0;
+    switch (static_cast<Scenario>(scenario)) {
+      case Scenario::kNoChanges:
+        analytic = BandwidthModel::utilization(model.no_changes(), tm_bits);
+        break;
+      case Scenario::kCrashFailures:
+        analytic = BandwidthModel::utilization(model.crash_failures(), tm_bits);
+        break;
+      case Scenario::kSingleJoinLeave:
+        analytic =
+            BandwidthModel::utilization(model.single_join_leave(), tm_bits);
+        break;
+      case Scenario::kMultiple:
+        analytic = BandwidthModel::utilization(
+            model.multiple_join_leave(kChurn), tm_bits);
+        break;
+    }
+    const double measured = *outcome.cell(grid, cell).at(0);
+
     auto pct = [](double u) {
       std::ostringstream os;
       os << std::fixed << std::setprecision(2) << std::setw(5) << 100 * u
          << "%";
       return os.str();
     };
-    std::cout << "    " << std::setw(2) << tm_ms << "   | " << pct(a0) << " "
-              << pct(m0) << " | " << pct(a1) << " " << pct(m1) << " | "
-              << pct(a2) << " " << pct(m2) << " | " << pct(a3) << " "
-              << pct(m3) << "\n";
+    if (scenario == 0) std::cout << "    " << std::setw(2) << tm_ms << "   |";
+    std::cout << " " << pct(analytic) << " " << pct(measured)
+              << (scenario == 3 ? "\n" : " |");
+
+    campaign::Json metrics = campaign::Json::object();
+    metrics.set("model_utilization", campaign::Json::number(analytic));
+    metrics.set("measured_utilization", campaign::Json::number(measured));
+    campaign::Json cell_json = campaign::Json::object();
+    cell_json.set("params", campaign::params_json(params));
+    cell_json.set("metrics", std::move(metrics));
+    cells.push(std::move(cell_json));
   }
+
+  if (!opts.json_path.empty()) {
+    campaign::Json root = campaign::trajectory_header("fig10_bandwidth", grid);
+    root.set("cells", std::move(cells));
+    if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
+
   // The paper's own stack packs the mid into base-format (11-bit)
   // identifiers; our reproduction needs 29-bit ones (type+ref+node do not
   // fit 11 bits at n = 32).  For apples-to-apples against the paper's

@@ -1,0 +1,60 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace canely::campaign {
+
+double percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted{samples.begin(), samples.end()};
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  double acc = 0;
+  for (double v : sorted) acc += v;
+  s.mean = acc / static_cast<double>(sorted.size());
+  auto rank = [&](double p) {
+    const double r = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(std::llround(r));
+    return sorted[std::min(idx, sorted.size() - 1)];
+  };
+  s.p50 = rank(50);
+  s.p90 = rank(90);
+  s.p99 = rank(99);
+  if (sorted.size() > 1) {
+    double sq = 0;
+    for (double v : sorted) {
+      const double d = v - s.mean;
+      sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(sorted.size() - 1));
+  }
+  return s;
+}
+
+double fraction_true(std::span<const std::uint8_t> flags) {
+  if (flags.empty()) return 0;
+  std::size_t on = 0;
+  for (std::uint8_t f : flags) on += (f != 0);
+  return static_cast<double>(on) / static_cast<double>(flags.size());
+}
+
+double total(std::span<const double> samples) {
+  double acc = 0;
+  for (double v : samples) acc += v;
+  return acc;
+}
+
+}  // namespace canely::campaign

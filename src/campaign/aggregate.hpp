@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic reductions over campaign results: mean/min/max/stddev,
+// exact nearest-rank percentiles, and consistency (fraction-true)
+// summaries.  All reductions are pure functions of the sample VALUES in
+// index order — they sort copies where order matters — so aggregating a
+// parallel campaign's results yields bytes identical to the sequential
+// run (runner.hpp's contract).
+//
+// Metric motivation: detection-latency percentiles and false-suspicion
+// counts are the standard figures of merit for unreliable failure
+// detectors (Duarte et al.; Rapid, ATC'18) — every refactored bench
+// reports its cells through these summaries.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace canely::campaign {
+
+/// Summary statistics of a sample set.
+struct Summary {
+  std::size_t count{0};
+  double mean{0};
+  double min{0};
+  double max{0};
+  double p50{0};
+  double p90{0};
+  double p99{0};
+  double stddev{0};  ///< sample standard deviation (n-1)
+};
+
+/// Summarize `samples` (empty input yields an all-zero Summary).
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Exact nearest-rank percentile, p in [0, 100]; 0 on empty input.
+[[nodiscard]] double percentile(std::span<const double> samples, double p);
+
+/// Fraction of non-zero entries — the "consistency" reduction: feed it
+/// one 0/1 observation per run (e.g. "all views agreed at every
+/// checkpoint") and it yields the agreement rate across the cell.
+[[nodiscard]] double fraction_true(std::span<const std::uint8_t> flags);
+
+/// Sum of a sample set (deterministic left-to-right accumulation).
+[[nodiscard]] double total(std::span<const double> samples);
+
+}  // namespace canely::campaign

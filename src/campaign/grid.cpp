@@ -1,0 +1,67 @@
+#include "campaign/grid.hpp"
+
+#include <stdexcept>
+
+namespace canely::campaign {
+
+double RunSpec::param(const std::string& name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return value;
+  }
+  throw std::out_of_range("RunSpec::param: no axis named '" + name + "'");
+}
+
+Grid& Grid::axis(std::string name, std::vector<double> values) {
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+Grid& Grid::repeats(std::size_t n) {
+  repeats_ = n;
+  return *this;
+}
+
+Grid& Grid::master_seed(std::uint64_t seed) {
+  master_seed_ = seed;
+  return *this;
+}
+
+std::size_t Grid::cells() const {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<std::pair<std::string, double>> Grid::cell_params(
+    std::size_t cell) const {
+  // Decompose the cell index with the first axis varying slowest.
+  std::vector<std::pair<std::string, double>> params(axes_.size());
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const Axis& ax = axes_[a];
+    params[a] = {ax.name, ax.values[cell % ax.values.size()]};
+    cell /= ax.values.size();
+  }
+  return params;
+}
+
+RunSpec Grid::run(std::size_t index) const {
+  if (index >= size()) {
+    throw std::out_of_range("Grid::run: index past the end of the grid");
+  }
+  RunSpec spec;
+  spec.index = index;
+  spec.cell = index / repeats_;
+  spec.repeat = index % repeats_;
+  spec.seed = fork_seed(master_seed_, index);
+  spec.params = cell_params(spec.cell);
+  return spec;
+}
+
+std::vector<RunSpec> Grid::runs() const {
+  std::vector<RunSpec> all;
+  all.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) all.push_back(run(i));
+  return all;
+}
+
+}  // namespace canely::campaign

@@ -1,0 +1,97 @@
+#pragma once
+// Experiment grids: the cartesian product of named parameter axes times a
+// repeat count, enumerated in a fixed order.
+//
+// Every run of a campaign is fully described by its *run index* alone:
+// the index decides the cell (which combination of axis values), the
+// repeat ordinal within the cell, and — crucially — the RNG seed, which
+// is forked from the grid's master seed as a pure function of the index.
+// Nothing about a run depends on which worker thread executes it or in
+// which order runs complete; this is the determinism anchor the parallel
+// Runner relies on (see runner.hpp).
+//
+// Enumeration order: axes vary in declaration order, the first axis
+// slowest, with the repeat ordinal innermost —
+//
+//   index = ((i0 * |axis1| + i1) * ... + ik) * repeats + repeat
+//
+// so the runs of one cell occupy the contiguous block
+// [cell * repeats, (cell + 1) * repeats).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace canely::campaign {
+
+/// Complete description of one run: everything a run function may depend
+/// on.  A run function MUST derive all randomness from `seed` and must
+/// not read any other mutable shared state, or the sequential/parallel
+/// equivalence guarantee is void.
+struct RunSpec {
+  std::size_t index{0};   ///< global run index, 0..Grid::size()-1
+  std::size_t cell{0};    ///< index / repeats: which axis combination
+  std::size_t repeat{0};  ///< index % repeats: repetition ordinal
+  std::uint64_t seed{0};  ///< forked from the master seed by index alone
+
+  /// Axis values for this run, one per axis, in axis declaration order.
+  std::vector<std::pair<std::string, double>> params;
+
+  /// Value of the named axis; throws std::out_of_range if absent.
+  [[nodiscard]] double param(const std::string& name) const;
+};
+
+/// Derive the per-run seed: a splitmix64 mix of (master, index).  Pure
+/// function — forking run i never draws from a shared stream, so the
+/// seeds are independent of evaluation order and of every other run.
+[[nodiscard]] constexpr std::uint64_t fork_seed(std::uint64_t master,
+                                                std::size_t index) {
+  std::uint64_t state = master + 0x9e3779b97f4a7c15ULL *
+                                     (static_cast<std::uint64_t>(index) + 1);
+  return sim::splitmix64(state);
+}
+
+/// A seed x parameter x fault-intensity sweep.
+class Grid {
+ public:
+  /// Append an axis.  Values are doubles; encode enums/booleans as small
+  /// integers.  An empty axis makes the grid empty.
+  Grid& axis(std::string name, std::vector<double> values);
+
+  /// Repetitions per cell (default 1); each repeat gets its own seed.
+  Grid& repeats(std::size_t n);
+
+  /// Master seed all per-run seeds are forked from (default 42).
+  Grid& master_seed(std::uint64_t seed);
+
+  [[nodiscard]] std::size_t cells() const;
+  [[nodiscard]] std::size_t repeat_count() const { return repeats_; }
+  [[nodiscard]] std::uint64_t seed() const { return master_seed_; }
+  [[nodiscard]] std::size_t size() const { return cells() * repeats_; }
+
+  /// The spec of run `index` (0 <= index < size()).
+  [[nodiscard]] RunSpec run(std::size_t index) const;
+
+  /// All runs, in index order.
+  [[nodiscard]] std::vector<RunSpec> runs() const;
+
+  /// The axis values of cell `cell`, in axis declaration order (the
+  /// params of every run in the cell, without materializing a RunSpec).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> cell_params(
+      std::size_t cell) const;
+
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+  };
+  [[nodiscard]] const std::vector<Axis>& axes() const { return axes_; }
+
+ private:
+  std::vector<Axis> axes_;
+  std::size_t repeats_{1};
+  std::uint64_t master_seed_{42};
+};
+
+}  // namespace canely::campaign

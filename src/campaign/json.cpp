@@ -1,0 +1,172 @@
+#include "campaign/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace canely::campaign {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInteger;
+  j.integer_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set on a non-object");
+  }
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push on a non-array");
+  }
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::write(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += format_number(number_);
+      break;
+    case Kind::kInteger: {
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof(buf), integer_);
+      out.append(buf, res.ptr);
+      break;
+    }
+    case Kind::kString:
+      write_escaped(out, string_);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(out, indent, depth + 1);
+        array_[i].write(out, indent, depth + 1);
+      }
+      if (!array_.empty()) newline(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        newline(out, indent, depth + 1);
+        write_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.write(out, indent, depth + 1);
+      }
+      if (!object_.empty()) newline(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+  f << text;
+  if (!f) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace canely::campaign

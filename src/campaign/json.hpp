@@ -1,0 +1,68 @@
+#pragma once
+// Minimal JSON emitter for campaign trajectories (BENCH_*.json).
+//
+// Insertion-ordered objects and shortest-round-trip number formatting
+// (std::to_chars) make the serialization a pure function of the value
+// tree: the same campaign aggregate always dumps to the same bytes,
+// which is how test_campaign.cpp asserts sequential/parallel equality
+// at the output level.  Writing only — the repo never parses JSON.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace canely::campaign {
+
+/// A JSON value: null, bool, number, string, array, or object.
+class Json {
+ public:
+  Json() = default;  // null
+
+  [[nodiscard]] static Json boolean(bool b);
+  [[nodiscard]] static Json number(double v);
+  [[nodiscard]] static Json integer(std::int64_t v);
+  [[nodiscard]] static Json string(std::string s);
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  /// Object member (insertion-ordered; duplicate keys overwrite).
+  Json& set(const std::string& key, Json value);
+
+  /// Array element.
+  Json& push(Json value);
+
+  /// Serialize.  `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kInteger,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_{Kind::kNull};
+  bool bool_{false};
+  double number_{0};
+  std::int64_t integer_{0};
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+/// Format a double exactly as the emitter does (shortest round-trip).
+[[nodiscard]] std::string format_number(double v);
+
+/// Write `text` to `path` atomically-enough for bench output (truncate +
+/// write); throws std::runtime_error on I/O failure.
+void write_file(const std::string& path, const std::string& text);
+
+}  // namespace canely::campaign

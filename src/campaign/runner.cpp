@@ -1,0 +1,60 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace canely::campaign {
+
+Runner::Runner(std::size_t threads) : threads_{threads} {
+  if (threads_ == 0) {
+    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+void Runner::dispatch(std::size_t count,
+                      const std::function<void(std::size_t)>& body) {
+  cancelled_.store(false, std::memory_order_relaxed);
+  const std::size_t workers = std::min(threads_, count);
+
+  if (workers <= 1) {
+    // Sequential reference path — the baseline the parallel path must be
+    // byte-identical to.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancelled()) break;
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      if (cancelled()) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+        }
+        cancel();  // a failing run aborts the campaign
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace canely::campaign

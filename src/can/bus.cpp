@@ -4,6 +4,24 @@
 #include <stdexcept>
 
 namespace canely::can {
+namespace {
+
+/// First stuffed wire bit at which two frames sharing an arbitration key
+/// diverge — the instant both colliding transmitters detect the bit
+/// error (one of them reads back a dominant bit it did not send, or vice
+/// versa).  Divergence is guaranteed: unequal frames differ in the RTR
+/// bit, the control field, the data field, or the CRC.
+std::int32_t first_divergent_wire_bit(const Frame& a, const Frame& b) {
+  const std::vector<std::uint8_t> wa = stuff(raw_bits(a));
+  const std::vector<std::uint8_t> wb = stuff(raw_bits(b));
+  const std::size_t n = std::min(wa.size(), wb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (wa[i] != wb[i]) return static_cast<std::int32_t>(i);
+  }
+  return static_cast<std::int32_t>(n);  // shorter stream ran out first
+}
+
+}  // namespace
 
 Bus::Bus(sim::Engine& engine, BusConfig config, const sim::Tracer* tracer)
     : engine_{engine}, config_{config}, tracer_{tracer} {}
@@ -78,6 +96,7 @@ void Bus::begin_arbitration() {
   // configuration error CAN detects as a bit error).
   NodeSet co;
   bool collision = false;
+  std::int32_t divergence_bit = -1;
   for (Controller* c : controllers_) {
     const Frame* f = c->peek_tx();
     if (f == nullptr) continue;
@@ -85,6 +104,8 @@ void Bus::begin_arbitration() {
     if (f->arbitration_key() != winner->arbitration_key()) continue;
     if (!(*f == *winner)) {
       collision = true;
+      const std::int32_t d = first_divergent_wire_bit(*f, *winner);
+      divergence_bit = divergence_bit < 0 ? d : std::min(divergence_bit, d);
       co.insert(c->node());
       continue;
     }
@@ -105,10 +126,13 @@ void Bus::begin_arbitration() {
 
   Verdict verdict;
   if (collision) {
-    // Both transmitters detect the mismatch early; model as a destroyed
-    // frame of roughly the arbitration+control field length.
-    verdict = Verdict::global_error(static_cast<std::int32_t>(
-        frame.format == IdFormat::kBase ? 19 : 39));
+    // The frames ride the wired-AND medium bit-for-bit until they first
+    // diverge; there a transmitter reads back a level it did not drive
+    // and signals the error.  Identical payloads never reach this branch
+    // (they merge as co-transmissions above), so MID aliasing — two nodes
+    // emitting the same identifier with different content — destroys the
+    // frame at the exact divergence bit instead of silently merging.
+    verdict = Verdict::global_error(divergence_bit);
   } else {
     TxContext ctx{frame,   primary->node(), co,
                   receivers, attempt,        start, tx_index_};

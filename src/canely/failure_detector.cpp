@@ -27,6 +27,13 @@ void FailureDetector::fd_can_req_stop(can::NodeId r) {
   monitored_[r] = false;
   timers_.cancel_alarm(tid_[r]);  // f17-f18
   tid_[r] = sim::kNullTimer;
+  if (r == driver_.node()) {
+    // Withdraw a still-pending explicit life-sign: a node whose self-
+    // surveillance stops (it left, or was expelled) must not leave an
+    // ELS behind — on a bus with no other live node the frame would
+    // never be acknowledged and would retry forever.
+    driver_.can_abort_req(Mid{MsgType::kEls, 0, r});
+  }
 }
 
 void FailureDetector::fd_alarm_start(can::NodeId r) {
@@ -54,10 +61,15 @@ void FailureDetector::on_activity(can::NodeId r) {
 void FailureDetector::on_expiry(can::NodeId r) {
   if (r == driver_.node()) {
     // f07-f08: the local node stayed silent for a whole heartbeat period;
-    // broadcast an explicit life-sign.  The timer restarts when the ELS
-    // loops back as can-rtr.ind (own transmissions included).
+    // broadcast an explicit life-sign.  The loopback can-rtr.ind normally
+    // restarts the timer, but the ELS can die before reaching the wire
+    // (bus-off clears the controller queue; an abort can race it), so the
+    // timer is re-armed HERE, unconditionally: if the ELS never loops
+    // back, the next expiry retries the life-sign instead of leaving the
+    // node silent until its peers falsely suspect it.
     ++els_sent_;
     driver_.can_rtr_req(Mid{MsgType::kEls, 0, r});
+    fd_alarm_start(r);
   } else {
     // f09-f10: remote node silent beyond Th + Ttd => it has failed;
     // disseminate consistently through FDA.

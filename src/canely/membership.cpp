@@ -51,6 +51,27 @@ void MembershipService::msh_can_req_join() {
 void MembershipService::msh_can_req_leave() {
   // s07-s09: only members ask to leave.
   if (!rf_.contains(driver_.node())) return;
+  // Deviation (documented): a singleton member cannot run the leave
+  // handshake.  With no other live node the LEAVE remote frame is never
+  // acknowledged (perpetual kAckError), so it never loops back as
+  // can-rtr.ind, R_L stays empty, and the cycle timer retransmits the
+  // frame forever — the node can never depart.  Retire the service
+  // locally instead; anyone joining later finds a silent bus and
+  // bootstraps afresh (s18-s19).
+  if (rf_.minus(can::NodeSet{driver_.node()}).empty() && rj_.empty()) {
+    for (can::NodeId s : rf_) fd_.fd_can_req_stop(s);
+    timers_.cancel_alarm(tid_);
+    tid_ = sim::kNullTimer;
+    started_ = false;
+    rf_.clear();
+    rl_.clear();
+    rjp_.clear();
+    ff_.clear();
+    ++views_;
+    trace("singleton leave: no peer can acknowledge; retiring locally");
+    if (change_) change_(can::NodeSet{}, can::NodeSet{driver_.node()});
+    return;
+  }
   driver_.can_rtr_req(Mid{MsgType::kLeave, 0, driver_.node()});  // s08
 }
 
@@ -180,6 +201,11 @@ void MembershipService::msh_data_proc() {
     fd_.fd_can_req_start(s);  // a04-a05
   }
   if (admitted.contains(driver_.node())) {
+    // The join is satisfied; withdraw the request frame if it is still
+    // queued.  A node that bootstrapped on a previously-silent bus
+    // (s18-s19) got in through the locally-recorded request — its JOIN
+    // frame was never acknowledged and would otherwise retry forever.
+    driver_.can_abort_req(Mid{MsgType::kJoin, 0, driver_.node()});
     // The local node just became a member: begin surveillance of every
     // member, not only fellow joiners.  (The paper omits this detail "for
     // simplicity of exposition"; without it a joiner would monitor nobody.)

@@ -31,6 +31,13 @@ RhaProtocol::RhaProtocol(CanDriver& driver, sim::TimerService& timers,
       MsgType::kRha,
       [this](const Mid& mid, std::span<const std::uint8_t> payload,
              bool /*own*/) { on_data_ind(mid, payload); });
+  // Once our RHV reached the wire there is nothing left to abort: clear
+  // the pending flag, or a later abort_pending() would issue a stale
+  // can-abort.req that can destroy an unrelated, newer RHA frame whose
+  // mid happens to match (same cardinality, same sender).
+  driver_.on_data_cnf(MsgType::kRha, [this](const Mid& mid) {
+    if (have_pending_ && mid == last_sent_mid_) have_pending_ = false;
+  });
 }
 
 void RhaProtocol::rha_can_req() {

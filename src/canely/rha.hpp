@@ -71,6 +71,12 @@ class RhaProtocol {
   /// Completed executions at this node (diagnostics).
   [[nodiscard]] std::uint64_t executions() const { return executions_; }
 
+  /// True while an own RHV signal is queued but not yet on the wire
+  /// (can-data.cnf pending).  Diagnostics/tests: a confirmed signal must
+  /// clear this, or a later abort could target a newer frame whose mid
+  /// collides with the transmitted one.
+  [[nodiscard]] bool pending() const { return have_pending_; }
+
  private:
   void rha_init_send(can::NodeSet rw);                         // a00-a09
   void on_data_ind(const Mid& mid, std::span<const std::uint8_t> payload);

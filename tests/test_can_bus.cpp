@@ -142,6 +142,56 @@ TEST_F(BusTest, SameIdDifferentDataIsACollision) {
   EXPECT_GT(bus->stats().attempts, 1u);
 }
 
+TEST_F(BusTest, CollisionErrorBitTracksPayloadDivergence) {
+  // The destroyed-frame length of a collision is the first stuffed wire
+  // bit where the contenders diverge, not a fixed arbitration+control
+  // constant: frames that agree deep into the data field occupy the bus
+  // correspondingly longer before the bit error is signalled.
+  auto first_collision_bits = [](std::uint8_t diff_byte) {
+    sim::Engine eng;
+    Bus wire{eng};
+    Controller a{0, wire}, b{1, wire};
+    std::uint8_t pa[8] = {}, pb[8] = {};
+    pb[diff_byte] = 0xFF;  // identical up to (excluding) diff_byte
+    a.request_tx(Frame::make_data(0x42, pa));
+    b.request_tx(Frame::make_data(0x42, pb));
+    std::size_t bits = 0;
+    wire.set_observer([&](const TxRecord& r) {
+      if (bits == 0 && r.outcome == TxOutcome::kCollision) bits = r.bits;
+    });
+    eng.run_until(sim::Time::ms(1));
+    return bits;
+  };
+  const std::size_t early = first_collision_bits(0);
+  const std::size_t late = first_collision_bits(7);
+  // Divergence in data byte 0 is detected right after the control field
+  // (~19 unstuffed bits + stuffing + error flag + intermission)...
+  EXPECT_GT(early, 19u + kErrorFlagBits + kIntermissionBits);
+  EXPECT_LT(early, 50u);
+  // ...while 7 identical leading bytes push detection ~56 wire bits out.
+  EXPECT_GT(late, early + 50);
+}
+
+TEST_F(BusTest, CollisionNeverMergesAndConfinesBothTransmitters) {
+  // MID aliasing end-game: two nodes emitting the same identifier with
+  // different payloads must never have their frames merged or delivered;
+  // the deadlock resolves through fault confinement (TEC +8 per
+  // collision, bus-off at 256 clears both queues) — CAN's answer to a
+  // protocol configuration error.
+  make_nodes(3);
+  const std::uint8_t a[] = {1};
+  const std::uint8_t b[] = {2};
+  ctl[0]->request_tx(Frame::make_data(0x42, a));
+  ctl[1]->request_tx(Frame::make_data(0x42, b));
+  engine.run_until(sim::Time::ms(20));
+  EXPECT_TRUE(rec[2]->rx.empty());  // neither payload, and no hybrid
+  EXPECT_EQ(bus->stats().collisions, 32u);  // 32 * 8 = 256 = bus-off
+  EXPECT_TRUE(rec[0]->bus_off);
+  EXPECT_TRUE(rec[1]->bus_off);
+  EXPECT_FALSE(ctl[0]->alive());
+  EXPECT_FALSE(ctl[1]->alive());
+}
+
 TEST_F(BusTest, GlobalErrorCausesRetransmission) {
   make_nodes(2);
   ScriptedFaults faults;

@@ -157,6 +157,57 @@ TEST_F(FdTest, LateActivityAfterSuspicionStillConverges) {
   EXPECT_FALSE(c->node(1).fd().monitoring(3));
 }
 
+TEST(FdLiveness, ElsKilledBeforeWireDoesNotStrandSelfSurveillance) {
+  // Regression: the self-surveillance timer must be re-armed on every
+  // expiry, not only by the ELS loopback.  If the life-sign dies before
+  // reaching the wire — here a bus-error storm drives the sender bus-off,
+  // and fault confinement clears its controller queue — the old code left
+  // the timer parked waiting for a can-rtr.ind that never comes: the node
+  // stayed silent forever and its peers falsely suspected it.
+  Params params;
+  params.heartbeat_period = Time::ms(10);
+  // Generous Ttd so the 20 ms retry beats the peers' ~22 ms budget.
+  params.tx_delay_bound = Time::ms(12);
+  Cluster c{4, params};
+  c.node(0).controller().enable_bus_off_recovery(true);
+
+  // Destroy every ELS node 0 sends before t = 15 ms.  The CAN controller
+  // retries each destroyed attempt (TEC +8 per error), so the first ELS
+  // at t = 10 ms rides the bus straight into bus-off, which clears the
+  // queue: the life-sign is gone for good, not merely delayed.
+  can::ScriptedFaults faults;
+  faults.add(
+      [](const can::TxContext& ctx) {
+        const auto mid = Mid::decode(ctx.frame);
+        return mid.has_value() && mid->type == MsgType::kEls &&
+               mid->node == 0 && ctx.start < Time::ms(15);
+      },
+      can::Verdict::global_error(), /*shots=*/-1);
+  c.bus().set_fault_injector(&faults);
+
+  std::array<std::vector<can::NodeId>, 4> ntys;
+  for (std::size_t i = 0; i < 4; ++i) {
+    c.node(i).fd().set_nty_handler(
+        [&ntys, i](can::NodeId r) { ntys[i].push_back(r); });
+    for (std::size_t j = 0; j < 4; ++j) {
+      c.node(i).fd().fd_can_req_start(static_cast<can::NodeId>(j));
+    }
+  }
+
+  c.settle(Time::ms(40));
+
+  // The storm really happened: errors burned through to bus-off.
+  EXPECT_GE(c.bus().stats().errors, 32u);
+  // The re-armed timer retried the life-sign at t = 20 ms (post-recovery,
+  // post-window), so node 0 signed at least twice...
+  EXPECT_GE(c.node(0).fd().els_sent(), 2u);
+  EXPECT_TRUE(c.node(0).controller().alive());
+  // ...and nobody ever suspected a live node.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ntys[i].empty()) << "node " << i << " falsely suspected";
+  }
+}
+
 TEST_F(FdTest, ImplicitHeartbeatBandwidthAdvantage) {
   // Measured counterpart of §6.3's claim: with cyclic application traffic
   // below Th, failure detection consumes zero extra frames.

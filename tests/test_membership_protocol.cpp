@@ -214,5 +214,73 @@ TEST(MembershipProtocol, MassChurnTwentyNodes) {
   EXPECT_TRUE(c.views_agree(expect)) << c.any_view();
 }
 
+TEST(MembershipProtocol, SingletonLeaveRetiresServiceLocally) {
+  // Regression: the sole member's LEAVE remote frame can never be
+  // acknowledged (there is no other controller), so it never loops back
+  // and R_L stays empty — under the old code the node cycled and
+  // retransmitted the LEAVE forever, unable to depart.  The last member
+  // must retire the service locally instead.
+  Cluster c{1};
+  std::vector<std::pair<NodeSet, NodeSet>> changes;
+  c.node(0).on_membership_change([&](NodeSet active, NodeSet departed) {
+    changes.emplace_back(active, departed);
+  });
+  c.node(0).join();
+  c.settle(Time::ms(300));  // past Tjoin_wait: bootstrap view {0}
+  ASSERT_EQ(c.node(0).view(), NodeSet{0});
+  ASSERT_TRUE(c.node(0).is_member());
+
+  c.node(0).leave();
+  // The final notification arrives immediately: empty view, self departed.
+  ASSERT_FALSE(changes.empty());
+  EXPECT_EQ(changes.back().first, NodeSet{});
+  EXPECT_EQ(changes.back().second, NodeSet{0});
+  EXPECT_TRUE(c.node(0).view().empty());
+  EXPECT_FALSE(c.node(0).is_member());
+
+  // The service really stopped: the bus stays silent from here on.  (A
+  // frame already on the wire at leave time cannot be aborted; give it
+  // 1 ms to complete before snapshotting.)
+  c.settle(Time::ms(1));
+  const std::uint64_t attempts = c.bus().stats().attempts;
+  c.settle(Time::ms(500));
+  EXPECT_EQ(c.bus().stats().attempts, attempts);
+
+  // And the departure is clean enough to join again afterwards.
+  c.node(0).join();
+  c.settle(Time::ms(300));
+  EXPECT_EQ(c.node(0).view(), NodeSet{0});
+}
+
+TEST(MembershipProtocol, LastSurvivorCanLeaveAfterChurnAndFailure) {
+  // Same hazard via a different route: node 0 becomes a singleton through
+  // a crash (folded in while a quorum could still run FDA) and a peer's
+  // voluntary leave.  Its own subsequent leave must complete locally
+  // rather than hang on an unacknowledgeable LEAVE frame.
+  Cluster c{3};
+  c.join_all();
+  c.settle(Time::ms(500));
+  ASSERT_TRUE(c.views_agree(NodeSet::first_n(3)));
+
+  c.node(1).crash();
+  c.settle(Time::ms(200));  // detection + next cycle folds the failure in
+  ASSERT_EQ(c.node(0).view(), (NodeSet{0, 2}));
+
+  c.node(2).leave();  // normal handshake: node 0 acknowledges
+  c.settle(Time::ms(200));
+  ASSERT_EQ(c.node(0).view(), NodeSet{0});
+
+  std::vector<std::pair<NodeSet, NodeSet>> changes;
+  c.node(0).on_membership_change([&](NodeSet active, NodeSet departed) {
+    changes.emplace_back(active, departed);
+  });
+  c.node(0).leave();
+  c.settle(Time::ms(100));
+  ASSERT_FALSE(changes.empty());
+  EXPECT_EQ(changes.back().first, NodeSet{});
+  EXPECT_EQ(changes.back().second, NodeSet{0});
+  EXPECT_FALSE(c.node(0).is_member());
+}
+
 }  // namespace
 }  // namespace canely::testing

@@ -109,6 +109,51 @@ TEST(Rha, LeaveKnownToOneRemovesEverywhere) {
   }
 }
 
+TEST(Rha, EqualCardinalityDistinctVectorsConvergeWithoutCollision) {
+  // Two nodes start concurrent executions holding DIFFERENT vectors of
+  // EQUAL cardinality: node 0 believes 3 is leaving, node 1 believes 2
+  // is.  Both RHVs have cardinality 3, so a mid keyed only by {RHA,#RHV}
+  // would alias onto one identifier and the differing payloads would
+  // collide on the wire.  The sender field in the mid keeps the
+  // identifiers distinct: the vectors serialize cleanly, intersect, and
+  // every node delivers {0,1} with zero bus collisions.
+  RhaHarness h{4};
+  const NodeSet members = NodeSet::first_n(4);
+  for (std::size_t i = 0; i < 4; ++i) h.sets[i] = {members, {}, {}};
+  h.sets[0].leaving = NodeSet{3};
+  h.sets[1].leaving = NodeSet{2};
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.node(1).rha().rha_can_req();
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(h.ends[i][0], (NodeSet{0, 1})) << "node " << i;
+  }
+  EXPECT_EQ(h.cluster.bus().stats().collisions, 0u);
+}
+
+TEST(Rha, ConfirmedSignalClearsPendingAbortTarget) {
+  // Regression: once the own RHV reaches the wire (can-data.cnf) there is
+  // nothing left to abort, and the pending flag must drop.  Two nodes
+  // with j = 2 never hit the >j-copies abort (r08), so only the cnf path
+  // can clear it — under the old code both nodes stayed "pending" for the
+  // whole execution, leaving a stale can-abort.req target armed.
+  RhaHarness h{2};
+  for (std::size_t i = 0; i < 2; ++i) {
+    h.sets[i] = {NodeSet::first_n(2), NodeSet{}, NodeSet{}};
+  }
+  h.cluster.node(0).rha().rha_can_req();
+  h.cluster.settle(Time::ms(2));  // mid-execution: Trha = 5 ms
+  ASSERT_TRUE(h.cluster.node(0).rha().running());
+  EXPECT_FALSE(h.cluster.node(0).rha().pending());
+  EXPECT_FALSE(h.cluster.node(1).rha().pending());
+  h.cluster.settle(Time::ms(20));
+  for (std::size_t i = 0; i < 2; ++i) {
+    ASSERT_EQ(h.ends[i].size(), 1u);
+    EXPECT_EQ(h.ends[i][0], NodeSet::first_n(2));
+  }
+}
+
 TEST(Rha, CopiesBoundedByJPlusOne) {
   // With consistent vectors, at most j+1 copies of the value circulate
   // (line r08 aborts redundant retransmissions) — NOT one per node.

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# CI driver: the checks a change must pass before merging.
+#
+#   tools/ci.sh            run every stage
+#   tools/ci.sh tier1      strict build (CANELY_WERROR=ON) + full ctest
+#   tools/ci.sh asan       AddressSanitizer + UBSan build, full ctest
+#   tools/ci.sh tsan       ThreadSanitizer build, campaign-runner tests
+#                          (the only code that spawns threads) + benches
+#                          at --threads 4
+#
+# Each stage uses its own build tree under build-ci/ so the stages never
+# poison each other's CMake caches or object files.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_build_test() {
+  local dir="$1" ctest_args="$2"
+  shift 2
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON "$@" >/dev/null
+  cmake --build "$dir" -j "$JOBS"
+  (cd "$dir" && eval ctest --output-on-failure -j "$JOBS" "$ctest_args")
+}
+
+stage_tier1() {
+  echo "=== tier1: -Werror build + full test suite ==="
+  configure_build_test build-ci/tier1 ""
+}
+
+stage_asan() {
+  echo "=== asan: AddressSanitizer + UBSan, full test suite ==="
+  configure_build_test build-ci/asan "" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+}
+
+stage_tsan() {
+  echo "=== tsan: ThreadSanitizer over the campaign thread pool ==="
+  local dir=build-ci/tsan
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
+  # Only the campaign runner spawns threads; build and exercise exactly
+  # the targets that drive its pool, rather than the whole (serial) suite.
+  cmake --build "$dir" -j "$JOBS" --target \
+    test_campaign fault_campaign fig10_bandwidth \
+    ablation_heartbeat ablation_cycle_skip ablation_fda
+  "$dir/tests/test_campaign"
+  for bench in fault_campaign fig10_bandwidth ablation_heartbeat \
+               ablation_cycle_skip ablation_fda; do
+    echo "--- tsan: $bench --threads 4 ---"
+    "$dir/bench/$bench" --threads 4 --no-json >/dev/null
+  done
+}
+
+main() {
+  local stages=("$@")
+  if [ ${#stages[@]} -eq 0 ]; then
+    stages=(tier1 asan tsan)
+  fi
+  for s in "${stages[@]}"; do
+    case "$s" in
+      tier1) stage_tier1 ;;
+      asan) stage_asan ;;
+      tsan) stage_tsan ;;
+      *)
+        echo "unknown stage: $s (expected tier1, asan, or tsan)" >&2
+        exit 2
+        ;;
+    esac
+  done
+  echo "=== ci: all stages passed ==="
+}
+
+main "$@"
