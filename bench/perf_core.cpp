@@ -1,0 +1,273 @@
+// Core-simulator microbenchmarks (DESIGN.md "Engine internals";
+// EXPERIMENTS.md "perf_core"): wall-clock throughput of the hot paths
+// every protocol experiment is built on —
+//
+//   * engine_churn  — events/sec through sim::Engine under a mixed
+//     schedule / cancel / dispatch workload (the surveillance-timer
+//     pattern: most alarms are cancelled and re-armed, few expire);
+//   * engine_fifo   — events/sec for pure schedule -> dispatch chains;
+//   * bus_load      — frames/sec through a near-saturated 8/32/64-node
+//     bus (arbitration + serialization + delivery fan-out);
+//   * membership_cycle — full CANELy membership formations/sec (8 nodes
+//     join, converge to a common view), the end-to-end macro number.
+//
+// Unlike the protocol benches the measured values are wall-clock rates,
+// so BENCH_core.json is a perf *trajectory* — comparable across commits
+// on the same machine, not gated by thresholds.  The simulated workload
+// itself is deterministic (sim::Rng, fixed seeds); only the timings vary.
+//
+//   perf_core [--reps N] [--quick] [--seed S] [--json PATH | --no-json]
+//
+// --quick divides every workload size by 10 (CI smoke).
+
+#include <chrono>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "can/bitstream.hpp"
+#include "can/bus.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace canely;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Schedule/cancel churn: keep a working set of pending events; every
+/// round schedules a burst, cancels half of the outstanding set at
+/// random, and dispatches what comes due.  The callback capture (32
+/// bytes) is sized like the real timer/bus lambdas.  Returns engine
+/// operations (schedule + cancel + dispatch) per wall-clock second.
+double engine_churn_rate(std::uint64_t seed, std::uint64_t target_dispatches) {
+  sim::Engine engine;
+  sim::Rng rng{seed};
+  std::vector<sim::EventId> outstanding;
+  outstanding.reserve(1024);
+  std::uint64_t sink = 0;
+  std::uint64_t ops = 0;
+  const std::uint64_t a = rng.next_u64(), b = rng.next_u64();
+  const auto t0 = Clock::now();
+  while (engine.dispatched() < target_dispatches) {
+    for (int i = 0; i < 8; ++i) {
+      outstanding.push_back(engine.schedule_after(
+          sim::Time::ns(1 + static_cast<std::int64_t>(rng.below(2000))),
+          [&sink, a, b, s = ops] { sink += a ^ b ^ s; }));
+      ++ops;
+    }
+    for (int i = 0; i < 4 && !outstanding.empty(); ++i) {
+      const auto idx = static_cast<std::size_t>(rng.below(outstanding.size()));
+      engine.cancel(outstanding[idx]);
+      ++ops;
+      outstanding[idx] = outstanding.back();
+      outstanding.pop_back();
+    }
+    ops += engine.run_for(sim::Time::ns(1000));
+  }
+  const double secs = seconds_since(t0);
+  if (sink == 0xdead) std::cerr << "";  // keep the accumulator observable
+  return static_cast<double>(ops) / secs;
+}
+
+/// Pure FIFO throughput: schedule->dispatch chains with no cancellation.
+double engine_fifo_rate(std::uint64_t target_dispatches) {
+  sim::Engine engine;
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  while (engine.dispatched() < target_dispatches) {
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule_after(sim::Time::ns(1 + i), [&sink] { ++sink; });
+    }
+    engine.run_for(sim::Time::ns(128));
+  }
+  const double secs = seconds_since(t0);
+  if (sink == 0xdead) std::cerr << "";
+  return static_cast<double>(engine.dispatched()) / secs;
+}
+
+/// Near-saturated bus: n controllers, each offered one data frame per
+/// n*frame_time/0.9, run until `target_frames` complete.  Frames/sec.
+double bus_load_rate(std::size_t n, std::uint64_t target_frames) {
+  sim::Engine engine;
+  can::Bus bus{engine};
+  std::vector<std::unique_ptr<can::Controller>> ctl;
+  ctl.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ctl.push_back(
+        std::make_unique<can::Controller>(static_cast<can::NodeId>(i), bus));
+  }
+  const std::uint8_t payload[4] = {0x5A, 0xA5, 0x0F, 0xF0};
+  const auto proto = can::Frame::make_data(0x100, payload);
+  const auto frame_time = sim::bits_to_time(
+      static_cast<std::int64_t>(can::frame_bits_on_wire(proto) +
+                                can::kIntermissionBits),
+      bus.config().bit_rate_bps);
+  // Offered load ~0.9 of capacity, spread round-robin over the nodes.
+  const sim::Time period = frame_time * static_cast<std::int64_t>(n) * 10 / 9;
+  struct Source {
+    can::Controller* c;
+    can::Frame frame;
+  };
+  std::vector<Source> sources;
+  for (std::size_t i = 0; i < n; ++i) {
+    sources.push_back(Source{
+        ctl[i].get(),
+        can::Frame::make_data(0x100 + static_cast<std::uint32_t>(i), payload)});
+  }
+  // One self-rescheduling pump per node, phase-staggered.
+  std::function<void(std::size_t)> pump = [&](std::size_t i) {
+    sources[i].c->request_tx(sources[i].frame);
+    engine.schedule_after(period, [&pump, i] { pump(i); });
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    engine.schedule_after(period * static_cast<std::int64_t>(i) /
+                              static_cast<std::int64_t>(n),
+                          [&pump, i] { pump(i); });
+  }
+  const auto t0 = Clock::now();
+  while (bus.stats().ok < target_frames) {
+    engine.run_for(sim::Time::ms(10));
+  }
+  const double secs = seconds_since(t0);
+  return static_cast<double>(bus.stats().ok) / secs;
+}
+
+/// Full membership formation: n nodes join and converge.  Formations/sec.
+double membership_cycle_rate(std::size_t n, std::uint64_t formations) {
+  const auto t0 = Clock::now();
+  for (std::uint64_t k = 0; k < formations; ++k) {
+    sim::Engine engine;
+    can::Bus bus{engine};
+    Params params;
+    params.n = n;
+    params.tx_delay_bound = sim::Time::ms(5);
+    std::vector<std::unique_ptr<Node>> nodes;
+    nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(
+          std::make_unique<Node>(bus, static_cast<can::NodeId>(i), params));
+    }
+    for (auto& nd : nodes) nd->join();
+    engine.run_until(sim::Time::ms(400));
+    if (nodes[0]->view() != can::NodeSet::first_n(n)) {
+      std::cerr << "perf_core: membership view did not form\n";
+      return 0.0;
+    }
+  }
+  return static_cast<double>(formations) / seconds_since(t0);
+}
+
+campaign::Json cell(const char* scenario, campaign::Json params,
+                    const char* metric, const campaign::Summary& s) {
+  params.set("scenario", campaign::Json::string(scenario));
+  campaign::Json metrics = campaign::Json::object();
+  metrics.set(metric, campaign::summary_json(s));
+  campaign::Json c = campaign::Json::object();
+  c.set("params", std::move(params));
+  c.set("metrics", std::move(metrics));
+  return c;
+}
+
+void report(const char* name, const campaign::Summary& s, const char* unit) {
+  std::cout << "  " << std::left << std::setw(24) << name << std::right
+            << std::setw(12) << std::fixed << std::setprecision(0) << s.p50
+            << " " << unit << "  (min " << s.min << ", max " << s.max << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the perf-only flags before handing argv to the shared CLI.
+  std::size_t reps = 5;
+  std::uint64_t scale = 1;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (i > 0 && std::strcmp(argv[i], "--quick") == 0) {
+      scale = 10;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const auto opts = campaign::parse_cli(static_cast<int>(rest.size()),
+                                        rest.data(), "BENCH_core.json");
+  if (opts.help) {
+    campaign::print_cli_usage(argv[0]);
+    std::cerr << "  --reps N      measurement repetitions (default 5)\n"
+              << "  --quick       divide workload sizes by 10 (CI smoke)\n";
+    return 2;
+  }
+  if (reps == 0) reps = 1;
+
+  const std::uint64_t churn_events = 2'000'000 / scale;
+  const std::uint64_t fifo_events = 2'000'000 / scale;
+  const std::uint64_t bus_frames = 20'000 / scale;
+  const std::uint64_t formations = 20 / scale + 1;
+
+  std::cout << "perf_core — simulator hot-path throughput (" << reps
+            << " reps" << (scale > 1 ? ", quick" : "") << ")\n\n";
+
+  std::vector<double> churn, fifo, members;
+  std::vector<std::vector<double>> bus_rates;
+  const std::size_t bus_sizes[] = {8, 32, 64};
+  bus_rates.resize(std::size(bus_sizes));
+  for (std::size_t r = 0; r < reps; ++r) {
+    churn.push_back(engine_churn_rate(opts.seed + r, churn_events));
+    fifo.push_back(engine_fifo_rate(fifo_events));
+    for (std::size_t bi = 0; bi < std::size(bus_sizes); ++bi) {
+      bus_rates[bi].push_back(bus_load_rate(bus_sizes[bi], bus_frames));
+    }
+    members.push_back(membership_cycle_rate(8, formations));
+  }
+
+  const auto churn_s = campaign::summarize(churn);
+  const auto fifo_s = campaign::summarize(fifo);
+  const auto members_s = campaign::summarize(members);
+  report("engine_churn", churn_s, "ops/s");
+  report("engine_fifo", fifo_s, "events/s");
+  campaign::Json cells = campaign::Json::array();
+  cells.push(cell("engine_churn", campaign::Json::object(), "events_per_sec",
+                  churn_s));
+  cells.push(cell("engine_fifo", campaign::Json::object(), "events_per_sec",
+                  fifo_s));
+  for (std::size_t bi = 0; bi < std::size(bus_sizes); ++bi) {
+    const auto s = campaign::summarize(bus_rates[bi]);
+    const std::string label =
+        "bus_load_n" + std::to_string(bus_sizes[bi]);
+    report(label.c_str(), s, "frames/s");
+    campaign::Json params = campaign::Json::object();
+    params.set("nodes", campaign::Json::integer(
+                            static_cast<std::int64_t>(bus_sizes[bi])));
+    cells.push(cell("bus_load", std::move(params), "frames_per_sec", s));
+  }
+  report("membership_cycle", members_s, "formations/s");
+  {
+    campaign::Json params = campaign::Json::object();
+    params.set("nodes", campaign::Json::integer(8));
+    cells.push(cell("membership_cycle", std::move(params),
+                    "formations_per_sec", members_s));
+  }
+
+  if (!opts.json_path.empty()) {
+    campaign::Json root = campaign::Json::object();
+    root.set("bench", campaign::Json::string("perf_core"));
+    root.set("master_seed",
+             campaign::Json::integer(static_cast<std::int64_t>(opts.seed)));
+    root.set("repeats",
+             campaign::Json::integer(static_cast<std::int64_t>(reps)));
+    root.set("cells", std::move(cells));
+    if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
+  return 0;
+}

@@ -1,18 +1,29 @@
 #include "can/bitstream.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace canely::can {
 namespace {
 
-void push_bit(std::vector<std::uint8_t>& bits, bool recessive) {
-  bits.push_back(recessive ? 1 : 0);
-}
-
-void push_field(std::vector<std::uint8_t>& bits, std::uint32_t value,
-                int width) {
-  for (int i = width - 1; i >= 0; --i) {
-    push_bit(bits, (value >> i) & 1);
+/// Sequential bit writer over a caller-provided buffer — the
+/// allocation-free serialization core shares one code path with the
+/// vector-returning convenience wrappers.
+class BitWriter {
+ public:
+  explicit BitWriter(std::uint8_t* out) : out_{out} {}
+  void bit(bool recessive) { out_[n_++] = recessive ? 1 : 0; }
+  void field(std::uint32_t value, int width) {
+    for (int i = width - 1; i >= 0; --i) {
+      bit((value >> i) & 1);
+    }
   }
-}
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  std::uint8_t* out_;
+  std::size_t n_{0};
+};
 
 }  // namespace
 
@@ -28,43 +39,46 @@ std::uint16_t crc15(std::span<const std::uint8_t> bits) {
   return crc;
 }
 
-std::vector<std::uint8_t> raw_bits(const Frame& frame) {
-  std::vector<std::uint8_t> bits;
-  bits.reserve(128);
-
-  push_bit(bits, false);  // SOF (dominant)
+std::size_t raw_bits_into(const Frame& frame, std::uint8_t* out) {
+  BitWriter w{out};
+  w.bit(false);  // SOF (dominant)
   if (frame.format == IdFormat::kBase) {
-    push_field(bits, frame.id & 0x7FF, 11);  // identifier
-    push_bit(bits, frame.remote);            // RTR
-    push_bit(bits, false);                   // IDE (dominant = base)
-    push_bit(bits, false);                   // r0
+    w.field(frame.id & 0x7FF, 11);  // identifier
+    w.bit(frame.remote);            // RTR
+    w.bit(false);                   // IDE (dominant = base)
+    w.bit(false);                   // r0
   } else {
-    push_field(bits, (frame.id >> 18) & 0x7FF, 11);  // base identifier
-    push_bit(bits, true);                            // SRR (recessive)
-    push_bit(bits, true);                            // IDE (recessive = ext)
-    push_field(bits, frame.id & 0x3FFFF, 18);        // identifier extension
-    push_bit(bits, frame.remote);                    // RTR
-    push_bit(bits, false);                           // r1
-    push_bit(bits, false);                           // r0
+    w.field((frame.id >> 18) & 0x7FF, 11);  // base identifier
+    w.bit(true);                            // SRR (recessive)
+    w.bit(true);                            // IDE (recessive = ext)
+    w.field(frame.id & 0x3FFFF, 18);        // identifier extension
+    w.bit(frame.remote);                    // RTR
+    w.bit(false);                           // r1
+    w.bit(false);                           // r0
   }
-  push_field(bits, frame.dlc & 0xF, 4);  // DLC
+  w.field(frame.dlc & 0xF, 4);  // DLC
   if (!frame.remote) {
     for (std::size_t i = 0; i < frame.dlc; ++i) {
-      push_field(bits, frame.data[i], 8);
+      w.field(frame.data[i], 8);
     }
   }
-  const std::uint16_t crc = crc15(bits);
-  push_field(bits, crc, 15);
+  const std::uint16_t crc = crc15({out, w.size()});
+  w.field(crc, 15);
+  return w.size();
+}
+
+std::vector<std::uint8_t> raw_bits(const Frame& frame) {
+  std::vector<std::uint8_t> bits(kMaxRawBits);
+  bits.resize(raw_bits_into(frame, bits.data()));
   return bits;
 }
 
-std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits) {
-  std::vector<std::uint8_t> out;
-  out.reserve(bits.size() + bits.size() / 4);
+std::size_t stuff_into(std::span<const std::uint8_t> bits, std::uint8_t* out) {
+  std::size_t n = 0;
   int run = 0;
   int last = -1;
   for (std::uint8_t b : bits) {
-    out.push_back(b);
+    out[n++] = b;
     if (b == last) {
       ++run;
     } else {
@@ -73,11 +87,17 @@ std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits) {
     }
     if (run == 5) {
       const std::uint8_t complement = b ? 0 : 1;
-      out.push_back(complement);
+      out[n++] = complement;
       last = complement;
       run = 1;
     }
   }
+  return n;
+}
+
+std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint8_t> out(bits.size() + bits.size() / 4 + 1);
+  out.resize(stuff_into(bits, out.data()));
   return out;
 }
 
@@ -101,9 +121,55 @@ std::size_t count_stuff_bits(std::span<const std::uint8_t> bits) {
   return stuffed;
 }
 
+namespace {
+
+/// Frame::wire_memo_key layout: bit 63 = valid, bits 35..42 = cached
+/// on-wire bit count (max 147 < 256), bits 0..34 = every field that
+/// feeds serialization (id, format, remote, dlc).  The payload snapshot
+/// lives separately in wire_memo_data.
+constexpr std::uint64_t kMemoBitsMask = 0xFFULL << 35;
+
+constexpr std::uint64_t memo_key(const Frame& f, std::size_t wire_bits) {
+  return (1ULL << 63) | (static_cast<std::uint64_t>(wire_bits & 0xFF) << 35) |
+         (static_cast<std::uint64_t>(f.dlc & 0xF) << 31) |
+         (static_cast<std::uint64_t>(f.remote ? 1 : 0) << 30) |
+         (static_cast<std::uint64_t>(f.format == IdFormat::kExtended ? 1 : 0)
+          << 29) |
+         (f.id & 0x1FFF'FFFF);
+}
+
+}  // namespace
+
 std::size_t frame_bits_on_wire(const Frame& frame) {
-  const auto bits = raw_bits(frame);
-  return bits.size() + count_stuff_bits(bits) + kFrameTailBits;
+  static_assert(sizeof(frame.data) == sizeof(std::uint64_t));
+  std::uint64_t data;
+  std::memcpy(&data, frame.data.data(), sizeof data);
+  const std::uint64_t key = memo_key(frame, 0);
+  if ((frame.wire_memo_key & ~kMemoBitsMask) == key &&
+      frame.wire_memo_data == data) {
+    return (frame.wire_memo_key >> 35) & 0xFF;
+  }
+  std::uint8_t raw[kMaxRawBits];
+  const std::size_t n = raw_bits_into(frame, raw);
+  const std::size_t wire_bits =
+      n + count_stuff_bits({raw, n}) + kFrameTailBits;
+  frame.wire_memo_key = memo_key(frame, wire_bits);
+  frame.wire_memo_data = data;
+  return wire_bits;
+}
+
+std::int32_t first_divergent_wire_bit(const Frame& a, const Frame& b) {
+  std::uint8_t ra[kMaxRawBits];
+  std::uint8_t rb[kMaxRawBits];
+  std::uint8_t wa[kMaxStuffedBits];
+  std::uint8_t wb[kMaxStuffedBits];
+  const std::size_t na = stuff_into({ra, raw_bits_into(a, ra)}, wa);
+  const std::size_t nb = stuff_into({rb, raw_bits_into(b, rb)}, wb);
+  const std::size_t n = std::min(na, nb);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (wa[i] != wb[i]) return static_cast<std::int32_t>(i);
+  }
+  return static_cast<std::int32_t>(n);  // shorter stream ran out first
 }
 
 std::optional<std::vector<std::uint8_t>> destuff(

@@ -38,10 +38,24 @@ inline constexpr std::size_t kOverloadFlagBits = 6;
 inline constexpr std::size_t kOverloadDelimiterBits = 8;
 inline constexpr std::size_t kSuspendTransmissionBits = 8;  ///< error-passive
 
+/// Longest possible unstuffed SOF..CRC sequence: an extended data frame
+/// with 8 data bytes (1 SOF + 32 arbitration/control + 64 data + 15 CRC
+/// + 6 more arbitration bits of the extended format = 118).  Sizes the
+/// stack buffers of the allocation-free serialization paths below.
+inline constexpr std::size_t kMaxRawBits = 118;
+/// Same, after worst-case bit stuffing (one stuff bit per 4 after the
+/// first 5): 118 + (118 - 1) / 4 = 147.
+inline constexpr std::size_t kMaxStuffedBits =
+    kMaxRawBits + (kMaxRawBits - 1) / 4;
+
 /// Serialize the stuffable portion of a frame (SOF through the 15 CRC
 /// bits), one bit per byte (0 = dominant, 1 = recessive), *before*
 /// stuffing.  The CRC is computed and appended by this function.
 [[nodiscard]] std::vector<std::uint8_t> raw_bits(const Frame& frame);
+
+/// Allocation-free core of raw_bits(): serialize into `out`, which must
+/// have room for kMaxRawBits entries.  Returns the number of bits written.
+std::size_t raw_bits_into(const Frame& frame, std::uint8_t* out);
 
 /// CRC-15-CAN (x^15+x^14+x^10+x^8+x^7+x^4+x^3+1) over a bit sequence.
 [[nodiscard]] std::uint16_t crc15(std::span<const std::uint8_t> bits);
@@ -49,6 +63,12 @@ inline constexpr std::size_t kSuspendTransmissionBits = 8;  ///< error-passive
 /// Apply ISO 11898 bit stuffing (a complement bit after every run of five
 /// equal bits) to a bit sequence.
 [[nodiscard]] std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits);
+
+/// Allocation-free core of stuff(): write the stuffed sequence into
+/// `out`, which must have room for `bits.size() + (bits.size() - 1) / 4`
+/// entries (kMaxStuffedBits when the input is a frame serialization).
+/// Returns the number of bits written.
+std::size_t stuff_into(std::span<const std::uint8_t> bits, std::uint8_t* out);
 
 /// Number of stuff bits that stuffing would insert.
 [[nodiscard]] std::size_t count_stuff_bits(std::span<const std::uint8_t> bits);
@@ -65,8 +85,19 @@ inline constexpr std::size_t kSuspendTransmissionBits = 8;  ///< error-passive
     std::span<const std::uint8_t> bits);
 
 /// Exact number of bits this frame occupies on the wire, from SOF through
-/// the last EOF bit (intermission NOT included).
+/// the last EOF bit (intermission NOT included).  Memoized in the frame
+/// (Frame::wire_memo_key): the first call serializes and stuffs, repeat
+/// calls on an unmodified frame are a couple of compares.
 [[nodiscard]] std::size_t frame_bits_on_wire(const Frame& frame);
+
+/// First stuffed wire bit at which two frames sharing an arbitration key
+/// diverge — the instant both colliding transmitters detect the bit
+/// error (one of them reads back a dominant bit it did not send, or vice
+/// versa).  Divergence is guaranteed for unequal frames: they differ in
+/// the RTR bit, the control field, the data field, or the CRC.
+/// Allocation-free (stack buffers only).
+[[nodiscard]] std::int32_t first_divergent_wire_bit(const Frame& a,
+                                                    const Frame& b);
 
 /// Worst-case on-wire length (maximum stuffing) for a frame with `dlc`
 /// data bytes — the classic bound used in response-time analysis

@@ -4,44 +4,27 @@
 #include <stdexcept>
 
 namespace canely::can {
-namespace {
-
-/// First stuffed wire bit at which two frames sharing an arbitration key
-/// diverge — the instant both colliding transmitters detect the bit
-/// error (one of them reads back a dominant bit it did not send, or vice
-/// versa).  Divergence is guaranteed: unequal frames differ in the RTR
-/// bit, the control field, the data field, or the CRC.
-std::int32_t first_divergent_wire_bit(const Frame& a, const Frame& b) {
-  const std::vector<std::uint8_t> wa = stuff(raw_bits(a));
-  const std::vector<std::uint8_t> wb = stuff(raw_bits(b));
-  const std::size_t n = std::min(wa.size(), wb.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    if (wa[i] != wb[i]) return static_cast<std::int32_t>(i);
-  }
-  return static_cast<std::int32_t>(n);  // shorter stream ran out first
-}
-
-}  // namespace
 
 Bus::Bus(sim::Engine& engine, BusConfig config, const sim::Tracer* tracer)
     : engine_{engine}, config_{config}, tracer_{tracer} {}
 
 void Bus::attach(Controller& controller) {
-  if (controller_for(controller.node()) != nullptr) {
+  if (controller.node() >= kMaxNodes) {
+    throw std::logic_error("Bus::attach: node id out of range");
+  }
+  if (by_node_[controller.node()] != nullptr) {
     throw std::logic_error("Bus::attach: duplicate node id");
   }
   controllers_.push_back(&controller);
+  by_node_[controller.node()] = &controller;
 }
 
 void Bus::detach(Controller& controller) {
   std::erase(controllers_, &controller);
-}
-
-Controller* Bus::controller_for(NodeId node) const {
-  for (Controller* c : controllers_) {
-    if (c->node() == node) return c;
+  if (controller.node() < kMaxNodes &&
+      by_node_[controller.node()] == &controller) {
+    by_node_[controller.node()] = nullptr;
   }
-  return nullptr;
 }
 
 void Bus::on_tx_request() {
@@ -83,9 +66,19 @@ void Bus::begin_arbitration() {
   }
   if (winner == nullptr) {
     if (earliest_suspended != sim::Time::max()) {
-      engine_.schedule_at(earliest_suspended, [this] {
-        if (!arbitration_scheduled_) begin_arbitration();
-      });
+      // Coalesce: keep at most one pending wake-up, moved earlier when a
+      // shorter suspension appears.  (Previously every idle arbitration
+      // scheduled a fresh event, so a busy suspended node piled up
+      // duplicate no-op retries.)
+      if (!suspend_retry_pending_ || earliest_suspended < suspend_retry_at_) {
+        if (suspend_retry_pending_) engine_.cancel(suspend_retry_event_);
+        suspend_retry_pending_ = true;
+        suspend_retry_at_ = earliest_suspended;
+        suspend_retry_event_ = engine_.schedule_at(earliest_suspended, [this] {
+          suspend_retry_pending_ = false;
+          if (!arbitration_scheduled_) begin_arbitration();
+        });
+      }
     }
     return;  // bus stays idle
   }
@@ -183,53 +176,65 @@ void Bus::begin_arbitration() {
   stats_.overload_frames += static_cast<std::uint64_t>(overloads);
 
   transmitting_ = true;
-  const bool was_collision = collision;
-  engine_.schedule_after(
-      bit() * static_cast<std::int64_t>(bits),
-      [this, frame, co, receivers, verdict, start, bits, attempt,
-       was_collision] {
-        transmitting_ = false;
-        if (was_collision) {
-          // Penalize all contenders and count the wasted bus time.
-          for (NodeId id : co) {
-            if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
-              c->bus_tx_failed(frame, false);
-            }
-          }
-          for (NodeId id : receivers) {
-            if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
-              c->bus_rx_error();
-            }
-          }
-          ++stats_.attempts;
-          ++stats_.collisions;
-          stats_.bits_total += bits;
-          stats_.bits_wasted += bits;
-          if (observer_) {
-            auto observer = observer_;  // may replace/clear itself mid-call
-            observer(TxRecord{start, engine_.now(), frame, *co.begin(), co,
-                              {}, TxOutcome::kCollision, bits, attempt});
-          }
-          schedule_arbitration();
-          return;
-        }
-        complete_transmission(frame, co, receivers, verdict, start, bits,
-                              attempt);
-      });
+  in_flight_ = InFlight{frame,   co,   receivers, verdict,
+                        start,   bits, attempt,   collision};
+  engine_.schedule_after(bit() * static_cast<std::int64_t>(bits),
+                         [this] { finish_transmission(); });
 }
 
-void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
-                                Verdict verdict, sim::Time start,
-                                std::size_t bits, int attempt) {
+void Bus::finish_transmission() {
+  transmitting_ = false;
+  // Copy out: controller callbacks may request new transmissions, and the
+  // next begin_arbitration() repopulates in_flight_.
+  const InFlight fx = in_flight_;
+  if (fx.collision) {
+    // Penalize all contenders and count the wasted bus time.
+    for (NodeId id : fx.co) {
+      if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+        c->bus_tx_failed(fx.frame, false);
+      }
+    }
+    for (NodeId id : fx.receivers) {
+      if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+        c->bus_rx_error();
+      }
+    }
+    ++stats_.attempts;
+    ++stats_.collisions;
+    stats_.bits_total += fx.bits;
+    stats_.bits_wasted += fx.bits;
+    if (observer_) {
+      auto observer = observer_;  // may replace/clear itself mid-call
+      observer(TxRecord{fx.start, engine_.now(), fx.frame, *fx.co.begin(),
+                        fx.co, {}, TxOutcome::kCollision, fx.bits,
+                        fx.attempt});
+    }
+    schedule_arbitration();
+    return;
+  }
+  complete_transmission(fx.frame, fx.co, fx.receivers, fx.verdict, fx.start,
+                        fx.bits, fx.attempt);
+}
+
+void Bus::complete_transmission(const Frame& frame, NodeSet co,
+                                NodeSet receivers, Verdict verdict,
+                                sim::Time start, std::size_t bits,
+                                int attempt) {
   // Nodes may have crashed mid-frame; deliver only to the living.  If
   // every co-transmitter died mid-frame the frame was cut short: treat as
   // a global error with no retransmission (the sender is gone) — this is
   // precisely how an inconsistent omission becomes an inconsistent
   // *message* omission when the sender fails before retransmitting (§6.1).
+  // One lookup pass; the outcome branches below reuse the pointers.
+  Controller* alive[kMaxNodes];
+  std::size_t n_alive = 0;
   NodeSet co_alive;
   for (NodeId id : co) {
-    Controller* c = controller_for(id);
-    if (c != nullptr && c->alive()) co_alive.insert(id);
+    Controller* c = by_node_[id];
+    if (c != nullptr && c->alive()) {
+      co_alive.insert(id);
+      alive[n_alive++] = c;
+    }
   }
   if (co_alive.empty()) {
     verdict.kind = FaultKind::kGlobalError;
@@ -254,8 +259,8 @@ void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
       stats_.bits_good += bits;
       // Confirm first (pops the queue head), then indicate to everyone,
       // own transmissions included (§5, Fig. 4).
-      for (NodeId id : co_alive) {
-        controller_for(id)->bus_tx_succeeded(frame);
+      for (std::size_t i = 0; i < n_alive; ++i) {
+        alive[i]->bus_tx_succeeded(frame);
       }
       for (Controller* c : controllers_) {
         if (!c->alive()) continue;
@@ -273,9 +278,11 @@ void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
       rec.outcome = TxOutcome::kError;
       ++stats_.errors;
       stats_.bits_wasted += bits;
-      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, false);
+      for (std::size_t i = 0; i < n_alive; ++i) {
+        alive[i]->bus_tx_failed(frame, false);
+      }
       for (NodeId id : receivers) {
-        if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+        if (Controller* c = by_node_[id]; c != nullptr && c->alive()) {
           c->bus_rx_error();
         }
       }
@@ -286,10 +293,12 @@ void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
       ++stats_.inconsistent;
       stats_.bits_wasted += bits;
       // Transmitters observed the error flag in the EOF: they retransmit.
-      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, false);
+      for (std::size_t i = 0; i < n_alive; ++i) {
+        alive[i]->bus_tx_failed(frame, false);
+      }
       // Non-victim receivers accepted the frame before the late error.
       for (NodeId id : receivers) {
-        Controller* c = controller_for(id);
+        Controller* c = by_node_[id];
         if (c == nullptr || !c->alive()) continue;
         if (verdict.victims.contains(id)) {
           c->bus_rx_error();
@@ -305,7 +314,9 @@ void Bus::complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
       rec.outcome = TxOutcome::kAckError;
       ++stats_.ack_errors;
       stats_.bits_wasted += bits;
-      for (NodeId id : co_alive) controller_for(id)->bus_tx_failed(frame, true);
+      for (std::size_t i = 0; i < n_alive; ++i) {
+        alive[i]->bus_tx_failed(frame, true);
+      }
       break;
     }
   }

@@ -15,6 +15,7 @@
 //  * errors hitting the last-but-one bit at a subset of nodes produce the
 //    inconsistent-omission failure mode of [18] (see fault.hpp).
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -112,15 +113,34 @@ class Bus {
   // -- controller registration (Controller ctor/dtor use these) ------------
   void attach(Controller& controller);
   void detach(Controller& controller);
-  [[nodiscard]] Controller* controller_for(NodeId node) const;
+  /// O(1): node ids index a fixed table (kMaxNodes entries).
+  [[nodiscard]] Controller* controller_for(NodeId node) const {
+    return node < kMaxNodes ? by_node_[node] : nullptr;
+  }
 
   /// A controller signals that it has (new) pending transmit work.
   void on_tx_request();
 
  private:
+  /// The transmission currently occupying the bus.  Kept as a member so
+  /// the end-of-frame event is a [this]-only capture (8 bytes, inline in
+  /// the engine's slot) instead of a ~90-byte closure; at most one
+  /// transmission is in flight (guarded by transmitting_).
+  struct InFlight {
+    Frame frame;
+    NodeSet co;
+    NodeSet receivers;
+    Verdict verdict;
+    sim::Time start;
+    std::size_t bits{};
+    int attempt{};
+    bool collision{false};
+  };
+
   void schedule_arbitration();
   void begin_arbitration();
-  void complete_transmission(Frame frame, NodeSet co, NodeSet receivers,
+  void finish_transmission();
+  void complete_transmission(const Frame& frame, NodeSet co, NodeSet receivers,
                              Verdict verdict, sim::Time start,
                              std::size_t bits, int attempt);
   void trace(std::string text) const;
@@ -131,11 +151,19 @@ class Bus {
   FaultInjector* injector_{nullptr};
   ReceptionFilter* filter_{nullptr};
   std::function<void(const TxRecord&)> observer_;
-  std::vector<Controller*> controllers_;
+  std::vector<Controller*> controllers_;      ///< attach order (delivery order)
+  std::array<Controller*, kMaxNodes> by_node_{};  ///< O(1) node -> controller
+  InFlight in_flight_;
   BusStats stats_;
   std::uint64_t tx_index_{0};
   bool transmitting_{false};
   bool arbitration_scheduled_{false};
+  // All-contenders-suspended retry, coalesced: at most one pending
+  // wake-up, tracked so repeated idle arbitrations don't pile up
+  // duplicate events (each failed arbitration used to schedule another).
+  bool suspend_retry_pending_{false};
+  sim::Time suspend_retry_at_{};
+  sim::EventId suspend_retry_event_{};
 };
 
 }  // namespace canely::can

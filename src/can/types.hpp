@@ -9,6 +9,7 @@
 // value type in memory.  The stack therefore supports up to 64 nodes.
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <ostream>
@@ -106,7 +107,14 @@ class NodeSet {
   }
 
  private:
-  static constexpr std::uint64_t bit(NodeId id) { return 1ULL << id; }
+  // A shift by id >= 64 is undefined behaviour; ids out of range are a
+  // caller bug.  Assert in debug builds; in release the id degrades to
+  // the empty mask (insert/erase become no-ops, contains returns false)
+  // instead of whatever the hardware's shifter happens to produce.
+  static constexpr std::uint64_t bit(NodeId id) {
+    assert(id < kMaxNodes && "NodeId out of range");
+    return id < kMaxNodes ? 1ULL << id : 0;
+  }
   std::uint64_t bits_{0};
 };
 

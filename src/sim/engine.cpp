@@ -1,46 +1,22 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
 #include <utility>
 
 namespace canely::sim {
 
-EventId Engine::schedule_at(Time t, Callback cb) {
-  if (t < now_) {
-    throw std::logic_error("Engine::schedule_at: time in the past");
-  }
-  if (!cb) {
-    throw std::logic_error("Engine::schedule_at: empty callback");
-  }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Event{t, seq, std::move(cb)});
-  live_.insert(seq);
-  return EventId{seq};
-}
-
-bool Engine::cancel(EventId id) {
-  // An event is cancellable exactly while it is still queued: its seq is in
-  // `live_`.  Erasing it both reports success and makes dispatch skip the
-  // stale queue entry when it surfaces.
-  if (!id.valid()) return false;
-  return live_.erase(id.seq) == 1;
-}
-
 bool Engine::dispatch_next() {
   while (!queue_.empty()) {
-    // const_cast: priority_queue::top() is const but we must move the
-    // callback out before pop; the element is removed immediately after.
-    Event& ev = const_cast<Event&>(queue_.top());
-    if (!live_.contains(ev.seq)) {  // cancelled
-      queue_.pop();
-      continue;
-    }
-    Callback cb = std::move(ev.cb);
-    now_ = ev.t;
-    live_.erase(ev.seq);
+    const QEntry e = queue_.top();
     queue_.pop();
+    if (!entry_live(e)) continue;  // cancelled; stale entry
+    Slot& slot = slots_[e.slot()];
+    Callback cb = std::move(slot.cb);
+    slot.cur_seq = 0;
+    free_slot(e.slot());
+    --live_;
+    now_ = e.t;
     ++dispatched_;
-    cb();
+    cb();  // may reallocate slots_; `slot` is dead from here
     return true;
   }
   return false;
@@ -49,13 +25,27 @@ bool Engine::dispatch_next() {
 std::size_t Engine::run_until(Time t) {
   stopped_ = false;
   std::size_t n = 0;
-  while (!stopped_) {
-    // Drop leading cancelled entries so the next live event time is visible.
-    while (!queue_.empty() && !live_.contains(queue_.top().seq)) {
+  // One flat loop instead of peek + dispatch_next(): each entry is
+  // popped and checked exactly once.  Stale (cancelled) entries are
+  // dropped no matter their timestamp; a live entry past `t` ends the
+  // run (it stays queued — only top() was read).
+  while (!stopped_ && !queue_.empty()) {
+    const QEntry e = queue_.top();
+    if (!entry_live(e)) {
       queue_.pop();
+      continue;
     }
-    if (queue_.empty() || queue_.top().t > t) break;
-    if (dispatch_next()) ++n;
+    if (e.t > t) break;
+    queue_.pop();
+    Slot& slot = slots_[e.slot()];
+    Callback cb = std::move(slot.cb);
+    slot.cur_seq = 0;
+    free_slot(e.slot());
+    --live_;
+    now_ = e.t;
+    ++dispatched_;
+    cb();  // may reallocate slots_; `slot` is dead from here
+    ++n;
   }
   if (now_ < t) now_ = t;
   return n;

@@ -7,28 +7,42 @@
 // fire in scheduling order (FIFO, via a monotonically increasing sequence
 // number).  A whole run is therefore a pure function of its inputs, which
 // the property-test suites rely on.
+//
+// Internals (DESIGN.md "Engine internals"): callbacks live in a pooled
+// slot vector recycled through a free list; the priority queue holds only
+// 16-byte POD entries ordered by (time, seq).  An EventId encodes
+// (slot, generation): cancel() bumps nothing but frees the slot, and the
+// stale queue entry is skipped at pop time when its generation no longer
+// matches (lazy deletion, exactly as the seed implementation skipped
+// seqs missing from its live-set — dispatch order is unchanged).  With
+// the small-buffer `sim::Callback` payload, steady-state
+// schedule->dispatch performs no heap allocation.
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <stdexcept>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace canely::sim {
 
 /// Handle returned by Engine::schedule_*; usable to cancel the event.
+/// Opaque: encodes the event's pool slot and a generation tag (the
+/// scheduling sequence number's low 32 bits).  A handle outlives its
+/// event safely — cancel() on a dispatched, cancelled, or recycled slot
+/// sees a generation mismatch and returns false.
 struct EventId {
-  std::uint64_t seq{0};
-  [[nodiscard]] constexpr bool valid() const { return seq != 0; }
+  std::uint64_t raw{0};
+  [[nodiscard]] constexpr bool valid() const { return raw != 0; }
   friend constexpr bool operator==(EventId, EventId) = default;
 };
 
 /// Single-threaded discrete-event simulation engine.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -38,16 +52,60 @@ class Engine {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `t` (>= now()).
-  EventId schedule_at(Time t, Callback cb);
+  /// Defined inline: schedule/cancel are the simulator's hottest calls
+  /// and must fold into their call sites.  The callable is constructed
+  /// directly in the event slot — no intermediate Callback move.
+  template <typename F, typename = std::enable_if_t<
+                            std::is_constructible_v<Callback, F&&>>>
+  EventId schedule_at(Time t, F&& cb) {
+    if (t < now_) {
+      throw std::logic_error("Engine::schedule_at: time in the past");
+    }
+    const std::uint64_t seq = next_seq_++;
+    const auto seq_lo = static_cast<std::uint32_t>(seq);
+    const std::uint32_t s = alloc_slot();
+    Slot& slot = slots_[s];
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      slot.cb = std::forward<F>(cb);
+    } else {
+      slot.cb.emplace(std::forward<F>(cb));
+    }
+    if (!slot.cb) {
+      free_slot(s);
+      --next_seq_;
+      throw std::logic_error("Engine::schedule_at: empty callback");
+    }
+    slot.cur_seq = seq_lo;
+    queue_.push(QEntry{t, static_cast<std::uint64_t>(seq_lo) << 32 | s});
+    ++live_;
+    return EventId{encode(s, seq_lo)};
+  }
 
   /// Schedule `cb` to run `delay` after now().
-  EventId schedule_after(Time delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  template <typename F, typename = std::enable_if_t<
+                            std::is_constructible_v<Callback, F&&>>>
+  EventId schedule_after(Time delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Cancel a pending event.  Returns false if it already ran, was already
-  /// cancelled, or the id is invalid.
-  bool cancel(EventId id);
+  /// cancelled, or the id is invalid.  An event is cancellable exactly
+  /// while its slot is armed under the handle's generation; disarming
+  /// both reports success and makes dispatch skip the stale queue entry
+  /// when it surfaces (lazy deletion).
+  bool cancel(EventId id) {
+    const std::uint64_t hi = id.raw >> 32;
+    if (hi == 0 || hi > slots_.size()) return false;
+    const auto s = static_cast<std::uint32_t>(hi - 1);
+    Slot& slot = slots_[s];
+    const auto lo = static_cast<std::uint32_t>(id.raw);
+    if (lo == 0 || slot.cur_seq != lo) return false;
+    slot.cb.reset();  // release captured resources now, not at slot reuse
+    slot.cur_seq = 0;
+    free_slot(s);
+    --live_;
+    return true;
+  }
 
   /// Run all events with timestamp <= `t`; afterwards now() == max(t, now).
   /// Returns the number of events dispatched.
@@ -66,25 +124,140 @@ class Engine {
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
 
   /// Number of live (non-cancelled) events still queued.
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFF;
+
+  // EventId layout: (slot + 1) in the high 32 bits — so 0 stays the
+  // distinguished invalid handle — and the slot generation in the low 32.
+  static constexpr std::uint64_t encode(std::uint32_t slot,
+                                        std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) + 1) << 32 | gen;
+  }
+
+  // 64 bytes — one cache line.  cur_seq doubles as the armed flag and
+  // the generation tag: 0 = free/disarmed (seq numbers start at 1),
+  // otherwise the low 32 bits of the owning event's sequence number.
+  struct Slot {
     Callback cb;
+    std::uint32_t cur_seq{0};
+    std::uint32_t next_free{kNoSlot};
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+
+  // What the priority queue actually shuffles: 16 trivially copyable
+  // bytes — no callback, so a sift level is one SSE move, and four
+  // entries share a cache line.  `key` packs (seq_lo << 32 | slot).
+  struct QEntry {
+    Time t;
+    std::uint64_t key;
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key);
     }
+    [[nodiscard]] std::uint32_t seq_lo() const {
+      return static_cast<std::uint32_t>(key >> 32);
+    }
+  };
+
+  // Strict total dispatch order.  FIFO tie-break on the truncated
+  // sequence number: wraparound-safe subtraction, exact as long as
+  // same-instant events coexisting in the queue span fewer than 2^31
+  // schedule calls — which a queue that fits in memory always satisfies.
+  static bool before(const QEntry& a, const QEntry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return static_cast<std::int32_t>(a.seq_lo() - b.seq_lo()) < 0;
+  }
+
+  // Two-level priority queue: a small insertion-sorted staging array in
+  // front of a binary heap.  Most simulation events are dispatched or
+  // cancelled soon after they are scheduled, so they enter and leave
+  // through the staging array (a handful of 16-byte moves) and never
+  // pay the heap's sift costs; the heap only absorbs overflow when more
+  // than kStage events are in flight.  Dispatch order is identical to a
+  // single heap: `before` is one strict total order, and top() always
+  // compares the staging minimum against the heap minimum.
+  class EventQueue {
+   public:
+    [[nodiscard]] bool empty() const {
+      return stage_n_ == 0 && heap_.empty();
+    }
+    void push(const QEntry& e) {
+      if (stage_n_ == kStage) flush();
+      // Insertion sort, latest-dispatching first; the minimum sits at
+      // the end, so pop from staging is O(1).
+      std::size_t hole = stage_n_++;
+      while (hole > 0 && before(stage_[hole - 1], e)) {
+        stage_[hole] = stage_[hole - 1];
+        --hole;
+      }
+      stage_[hole] = e;
+    }
+    // top() records which structure holds the minimum so pop() doesn't
+    // repeat the comparison.  Contract: pop() must directly follow a
+    // top() call with no intervening push() — which is how the engine's
+    // dispatch loops use the queue.
+    [[nodiscard]] const QEntry& top() {
+      if (stage_n_ == 0) {
+        top_in_stage_ = false;
+        return heap_.front();
+      }
+      if (!heap_.empty() && before(heap_.front(), stage_[stage_n_ - 1])) {
+        top_in_stage_ = false;
+        return heap_.front();
+      }
+      top_in_stage_ = true;
+      return stage_[stage_n_ - 1];
+    }
+    void pop() {  // removes top()
+      if (top_in_stage_) {
+        --stage_n_;
+        return;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), after);
+      heap_.pop_back();
+    }
+
+   private:
+    static constexpr std::size_t kStage = 16;
+    static bool after(const QEntry& a, const QEntry& b) {
+      return before(b, a);
+    }
+    void flush() {
+      for (std::size_t i = 0; i < stage_n_; ++i) {
+        heap_.push_back(stage_[i]);
+        std::push_heap(heap_.begin(), heap_.end(), after);
+      }
+      stage_n_ = 0;
+    }
+    QEntry stage_[kStage];
+    std::size_t stage_n_{0};
+    bool top_in_stage_{false};
+    std::vector<QEntry> heap_;
   };
 
   bool dispatch_next();  // pops and runs one live event; false if none.
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;  // seqs of queued, not-cancelled events
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slots_[s].next_free;
+      return s;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  void free_slot(std::uint32_t s) {
+    slots_[s].next_free = free_head_;
+    free_head_ = s;
+  }
+  [[nodiscard]] bool entry_live(const QEntry& e) const {
+    return slots_[e.slot()].cur_seq == e.seq_lo();
+  }
+
+  EventQueue queue_;
+  std::vector<Slot> slots_;        // grows to the max concurrent event count
+  std::uint32_t free_head_{kNoSlot};
+  std::size_t live_{0};
   Time now_{Time::zero()};
   std::uint64_t next_seq_{1};
   std::uint64_t dispatched_{0};

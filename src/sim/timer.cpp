@@ -4,38 +4,89 @@
 
 namespace canely::sim {
 
-TimerId TimerService::start_alarm(Time duration, std::function<void()> on_expiry) {
-  const TimerId id = next_id_++;
-  const Time when = engine_.now() + duration;
-  EventId ev = engine_.schedule_at(
-      when, [this, id, cb = std::move(on_expiry)]() mutable {
-        // Remove before invoking so the callback observes the timer as
-        // inactive and may immediately restart it under a fresh id.
-        pending_.erase(id);
-        cb();
-      });
-  pending_.emplace(id, Entry{ev, when});
-  return id;
+namespace {
+constexpr TimerId encode(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<TimerId>(slot) + 1) << 32 | gen;
+}
+}  // namespace
+
+const TimerService::Slot* TimerService::lookup(TimerId id) const {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return nullptr;
+  const Slot& slot = slots_[hi - 1];
+  if (!slot.armed || slot.gen != static_cast<std::uint32_t>(id)) {
+    return nullptr;
+  }
+  return &slot;
+}
+
+void TimerService::release(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.armed = false;
+  slot.next_free = free_head_;
+  free_head_ = s;
+  --live_;
+}
+
+TimerId TimerService::start_alarm(Time duration, Callback on_expiry) {
+  std::uint32_t s;
+  if (free_head_ != kNoSlot) {
+    s = free_head_;
+    free_head_ = slots_[s].next_free;
+  } else {
+    slots_.emplace_back();
+    s = static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  Slot& slot = slots_[s];
+  ++slot.gen;
+  const std::uint32_t gen = slot.gen;
+  slot.cb = std::move(on_expiry);
+  slot.when = engine_.now() + duration;
+  slot.armed = true;
+  slot.event =
+      engine_.schedule_at(slot.when, [this, s, gen] { fire(s, gen); });
+  ++live_;
+  return encode(s, gen);
+}
+
+void TimerService::fire(std::uint32_t s, std::uint32_t gen) {
+  Slot& slot = slots_[s];
+  if (!slot.armed || slot.gen != gen) return;  // defensive; cancel unschedules
+  Callback cb = std::move(slot.cb);
+  // Release before invoking so the callback observes the timer as
+  // inactive and may immediately restart it (possibly reusing this slot
+  // under a fresh generation).
+  release(s);
+  cb();  // may reallocate slots_; `slot` is dead from here
 }
 
 bool TimerService::cancel_alarm(TimerId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  engine_.cancel(it->second.event);
-  pending_.erase(it);
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return false;
+  const auto s = static_cast<std::uint32_t>(hi - 1);
+  Slot& slot = slots_[s];
+  if (!slot.armed || slot.gen != static_cast<std::uint32_t>(id)) {
+    return false;
+  }
+  engine_.cancel(slot.event);
+  slot.cb.reset();
+  release(s);
   return true;
 }
 
 Time TimerService::deadline(TimerId id) const {
-  auto it = pending_.find(id);
-  return it == pending_.end() ? Time::max() : it->second.deadline;
+  const Slot* slot = lookup(id);
+  return slot == nullptr ? Time::max() : slot->when;
 }
 
 void TimerService::cancel_all() {
-  for (auto& [id, entry] : pending_) {
-    engine_.cancel(entry.event);
+  for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+    Slot& slot = slots_[s];
+    if (!slot.armed) continue;
+    engine_.cancel(slot.event);
+    slot.cb.reset();
+    release(s);
   }
-  pending_.clear();
 }
 
 }  // namespace canely::sim

@@ -5,23 +5,33 @@
 // Each protocol entity owns a TimerService; a timer is identified by a
 // TimerId ("tid" in the paper), with kNullTimer playing the role of the
 // pseudo-code's `tid := NULL`.
+//
+// Storage is a slot vector recycled through a free list — the same
+// (slot, generation) scheme as the engine's event pool, so every
+// operation is an index instead of a hash lookup.  The user's expiry
+// callback stays in the timer slot; the engine-side event is a 16-byte
+// [this, slot, gen] closure, so arming an alarm never heap-allocates.
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 
 namespace canely::sim {
 
 /// Opaque timer identifier.  0 is the distinguished "no timer" value.
+/// Encodes (slot + 1, generation); stale ids from fired or cancelled
+/// alarms are rejected by the generation check, never recycled.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kNullTimer = 0;
 
 /// One-shot alarms on top of the discrete-event engine.
 class TimerService {
  public:
+  using Callback = sim::Callback;
+
   explicit TimerService(Engine& engine) : engine_{engine} {}
   TimerService(const TimerService&) = delete;
   TimerService& operator=(const TimerService&) = delete;
@@ -29,32 +39,44 @@ class TimerService {
   /// Start a one-shot alarm that fires `duration` from now.
   /// The expiry callback runs at most once; the timer is considered
   /// inactive from the moment the callback begins executing.
-  TimerId start_alarm(Time duration, std::function<void()> on_expiry);
+  TimerId start_alarm(Time duration, Callback on_expiry);
 
   /// Cancel a pending alarm; no-op (returns false) if it already fired,
   /// was cancelled, or `id` is kNullTimer.
   bool cancel_alarm(TimerId id);
 
   /// True while the alarm is pending.
-  [[nodiscard]] bool active(TimerId id) const { return pending_.contains(id); }
+  [[nodiscard]] bool active(TimerId id) const { return lookup(id) != nullptr; }
 
   /// Expiry instant of a pending alarm; Time::max() if not pending.
   [[nodiscard]] Time deadline(TimerId id) const;
 
   /// Number of pending alarms.
-  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
 
   /// Cancel every pending alarm (used when a node crashes).
   void cancel_all();
 
  private:
-  struct Entry {
-    EventId event;
-    Time deadline;
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFF;
+
+  struct Slot {
+    Callback cb;
+    EventId event{};
+    Time when{};
+    std::uint32_t gen{0};
+    std::uint32_t next_free{kNoSlot};
+    bool armed{false};
   };
+
+  [[nodiscard]] const Slot* lookup(TimerId id) const;
+  void fire(std::uint32_t s, std::uint32_t gen);
+  void release(std::uint32_t s);
+
   Engine& engine_;
-  std::unordered_map<TimerId, Entry> pending_;
-  TimerId next_id_{1};
+  std::vector<Slot> slots_;  // grows to the max concurrent alarm count
+  std::uint32_t free_head_{kNoSlot};
+  std::size_t live_{0};
 };
 
 }  // namespace canely::sim

@@ -170,6 +170,33 @@ std::string dump_trajectory(const Grid& g,
   return root.dump(2);
 }
 
+/// FNV-1a over a byte string.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// The goldenized determinism contract for the simulator core: a
+// simulation-backed campaign (full node stack — engine, timers, bus,
+// membership — with a seed-chosen crash per run) must dump byte-identical
+// JSON across engine/bus rewrites.  The constant was captured from the
+// pre-optimization engine (PR 1); any change to event dispatch order,
+// timer semantics, or bus delivery order shows up here as a hash change.
+TEST(CampaignRunner, GoldenTrajectoryHashIsStable) {
+  Grid g;
+  g.axis("hb", {0, 5}).repeats(3).master_seed(2026);
+  const std::string json =
+      dump_trajectory(g, Runner{1}.run<double>(g, simulated_trial));
+  EXPECT_EQ(fnv1a(json), 1069868970218217984ULL)
+      << "trajectory bytes changed — event dispatch order is no longer "
+         "identical to the goldenized engine:\n"
+      << json;
+}
+
 TEST(CampaignRunner, DumpedJsonIsByteIdenticalAcrossThreadCounts) {
   Grid g;
   g.axis("x", {1, 2, 3}).axis("y", {0, 1}).repeats(5).master_seed(4242);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "can/bitstream.hpp"
@@ -199,6 +200,107 @@ TEST(Frame, InvalidConstructionThrows) {
   std::vector<std::uint8_t> nine(9);
   EXPECT_THROW((void)Frame::make_data(1, nine), std::invalid_argument);
   EXPECT_THROW((void)Frame::make_remote(1, 9), std::invalid_argument);
+}
+
+/// Ground-truth wire length, bypassing the memo entirely.
+std::size_t wire_bits_fresh(const Frame& f) {
+  const auto raw = raw_bits(f);
+  return raw.size() + count_stuff_bits(raw) + kFrameTailBits;
+}
+
+TEST(WireLength, MemoMatchesRecomputationAcrossAllShapes) {
+  // Property: for every format x {data, remote} x DLC, the memoized
+  // frame_bits_on_wire equals a from-scratch recomputation — on the first
+  // call (cold memo) and on a repeat call (memo hit) — and the
+  // allocation-free *_into paths produce the same bits as the
+  // vector-returning ones.
+  sim::Rng rng{0xB175};
+  for (const IdFormat format : {IdFormat::kBase, IdFormat::kExtended}) {
+    for (const bool remote : {false, true}) {
+      for (std::uint8_t dlc = 0; dlc <= 8; ++dlc) {
+        for (int rep = 0; rep < 8; ++rep) {
+          const std::uint32_t id = static_cast<std::uint32_t>(rng.below(
+              format == IdFormat::kBase ? 0x800 : 0x2000'0000));
+          Frame f;
+          if (remote) {
+            f = Frame::make_remote(id, dlc, format);
+          } else {
+            std::vector<std::uint8_t> payload(dlc);
+            for (auto& b : payload) {
+              b = static_cast<std::uint8_t>(rng.below(256));
+            }
+            f = Frame::make_data(id, payload, format);
+          }
+          const std::size_t expect = wire_bits_fresh(f);
+          ASSERT_EQ(frame_bits_on_wire(f), expect) << f;  // cold memo
+          ASSERT_EQ(frame_bits_on_wire(f), expect) << f;  // memo hit
+
+          std::uint8_t raw_buf[kMaxRawBits];
+          const auto raw_vec = raw_bits(f);
+          const std::size_t raw_n = raw_bits_into(f, raw_buf);
+          ASSERT_EQ(raw_n, raw_vec.size()) << f;
+          ASSERT_TRUE(std::equal(raw_vec.begin(), raw_vec.end(), raw_buf))
+              << f;
+
+          std::uint8_t stuffed_buf[kMaxStuffedBits];
+          const auto stuffed_vec = stuff(raw_vec);
+          const std::size_t stuffed_n = stuff_into(raw_vec, stuffed_buf);
+          ASSERT_EQ(stuffed_n, stuffed_vec.size()) << f;
+          ASSERT_TRUE(std::equal(stuffed_vec.begin(), stuffed_vec.end(),
+                                 stuffed_buf))
+              << f;
+        }
+      }
+    }
+  }
+}
+
+TEST(WireLength, MemoInvalidatedByFieldMutation) {
+  // The memo key mirrors every serialized field; mutating a frame after a
+  // length query must trigger recomputation, never a stale hit.
+  const std::uint8_t payload[] = {0xAA, 0x55, 0x00, 0xFF};
+  Frame f = Frame::make_data(0x123, payload);
+  (void)frame_bits_on_wire(f);  // prime the memo
+
+  f.data[2] = 0xFF;  // changes stuffing runs
+  EXPECT_EQ(frame_bits_on_wire(f), wire_bits_fresh(f));
+  f.id = 0x000;
+  EXPECT_EQ(frame_bits_on_wire(f), wire_bits_fresh(f));
+  f.dlc = 2;
+  EXPECT_EQ(frame_bits_on_wire(f), wire_bits_fresh(f));
+  f.remote = true;
+  EXPECT_EQ(frame_bits_on_wire(f), wire_bits_fresh(f));
+  f.format = IdFormat::kExtended;
+  EXPECT_EQ(frame_bits_on_wire(f), wire_bits_fresh(f));
+}
+
+TEST(WireLength, FirstDivergentWireBitMatchesNaiveComparison) {
+  // The allocation-free collision helper must agree with a direct
+  // comparison of the stuffed streams.
+  sim::Rng rng{0xD1FF};
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::uint32_t id = static_cast<std::uint32_t>(rng.below(0x800));
+    std::vector<std::uint8_t> pa(rng.below(9));
+    std::vector<std::uint8_t> pb(rng.below(9));
+    for (auto& b : pa) b = static_cast<std::uint8_t>(rng.below(256));
+    for (auto& b : pb) b = static_cast<std::uint8_t>(rng.below(256));
+    const Frame a = Frame::make_data(id, pa);
+    const Frame b = rng.below(4) == 0 ? Frame::make_remote(id, a.dlc)
+                                      : Frame::make_data(id, pb);
+
+    const auto wa = stuff(raw_bits(a));
+    const auto wb = stuff(raw_bits(b));
+    const std::size_t n = std::min(wa.size(), wb.size());
+    std::int32_t want = static_cast<std::int32_t>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (wa[i] != wb[i]) {
+        want = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+    EXPECT_EQ(first_divergent_wire_bit(a, b), want) << a << " vs " << b;
+    EXPECT_EQ(first_divergent_wire_bit(b, a), want) << a << " vs " << b;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,68 @@
+// NodeId / NodeSet bounds behaviour (src/can/types.hpp).
+//
+// NodeSet is a 64-bit bitmap; an id >= kMaxNodes used to feed a shift by
+// >= 64 — undefined behaviour that on x86 silently aliased id mod 64.
+// The fix asserts in debug builds and degrades to the empty mask in
+// release builds; both sides are pinned here.
+
+#include <gtest/gtest.h>
+
+#include "can/types.hpp"
+
+namespace canely::can {
+namespace {
+
+#ifdef NDEBUG
+
+TEST(NodeSet, OutOfRangeIdsAreNoOpsInRelease) {
+  NodeSet s;
+  s.insert(static_cast<NodeId>(kMaxNodes));  // would alias node 0 under UB
+  s.insert(static_cast<NodeId>(255));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.bits(), 0u);
+  EXPECT_FALSE(s.contains(static_cast<NodeId>(kMaxNodes)));
+  EXPECT_FALSE(s.contains(static_cast<NodeId>(255)));
+
+  // Out-of-range erase/contains must not disturb valid members.
+  s.insert(0);
+  s.insert(63);
+  s.erase(static_cast<NodeId>(200));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+#else
+
+TEST(NodeSetDeathTest, OutOfRangeIdAssertsInDebug) {
+  NodeSet s;
+  EXPECT_DEATH(s.insert(static_cast<NodeId>(kMaxNodes)),
+               "NodeId out of range");
+  EXPECT_DEATH((void)s.contains(static_cast<NodeId>(255)),
+               "NodeId out of range");
+}
+
+#endif
+
+TEST(NodeSet, BoundaryIdsStayExact) {
+  NodeSet s;
+  s.insert(0);
+  s.insert(static_cast<NodeId>(kMaxNodes - 1));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(static_cast<NodeId>(kMaxNodes - 1)));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.bits(), (1ULL << 63) | 1ULL);
+  s.erase(static_cast<NodeId>(kMaxNodes - 1));
+  EXPECT_FALSE(s.contains(static_cast<NodeId>(kMaxNodes - 1)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(NodeSet, FirstNSaturatesAtMaxNodes) {
+  EXPECT_EQ(NodeSet::first_n(0).size(), 0u);
+  EXPECT_EQ(NodeSet::first_n(3).bits(), 0b111u);
+  EXPECT_EQ(NodeSet::first_n(kMaxNodes).size(), kMaxNodes);
+  EXPECT_EQ(NodeSet::first_n(kMaxNodes + 10).size(), kMaxNodes);
+}
+
+}  // namespace
+}  // namespace canely::can

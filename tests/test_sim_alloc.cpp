@@ -1,0 +1,173 @@
+// Allocation accounting for the simulator hot path.
+//
+// The engine's contract (DESIGN.md "Engine internals") is that
+// steady-state schedule -> dispatch performs no heap allocation for
+// callbacks that fit sim::Callback's inline buffer: event slots and queue
+// storage are pooled and recycled, and the callable lives inside the
+// slot.  This binary replaces the global allocator with a counting one
+// and pins that contract down, including the deliberate heap fallback for
+// oversized captures.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/timer.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept {
+  if (p != nullptr) {
+    g_deletes.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+  }
+}
+void operator delete[](void* p) noexcept { operator delete(p); }
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
+
+namespace canely::sim {
+namespace {
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+std::uint64_t deletes() { return g_deletes.load(std::memory_order_relaxed); }
+
+TEST(Alloc, SteadyStateScheduleDispatchIsAllocationFree) {
+  Engine e;
+  std::uint64_t sum = 0;
+  // A 32-byte capture — representative of the protocol-layer closures,
+  // comfortably inside Callback's 48-byte inline buffer.
+  auto round = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t x = static_cast<std::uint64_t>(i);
+      const std::uint64_t y = x * 3;
+      const std::uint64_t z = x ^ 7;
+      e.schedule_after(Time::ns(i % 53), [&sum, x, y, z] { sum += x + y + z; });
+    }
+    e.run();
+  };
+  round(256);  // warm-up: grows the slot pool and queue storage once
+  const std::uint64_t before = news();
+  for (int r = 0; r < 10; ++r) round(256);
+  const std::uint64_t delta = news() - before;
+  EXPECT_EQ(delta, 0u);
+  EXPECT_NE(sum, 0u);
+}
+
+TEST(Alloc, CancelChurnIsAllocationFree) {
+  Engine e;
+  std::uint64_t sum = 0;
+  std::vector<EventId> ids;
+  ids.reserve(512);
+  auto round = [&](int n) {
+    ids.clear();  // capacity survives: no reallocation after warm-up
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t x = static_cast<std::uint64_t>(i);
+      ids.push_back(
+          e.schedule_after(Time::ns(i % 97), [&sum, x] { sum += x; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) e.cancel(ids[i]);
+    e.run();
+  };
+  round(512);
+  const std::uint64_t before = news();
+  for (int r = 0; r < 10; ++r) round(512);
+  const std::uint64_t delta = news() - before;
+  EXPECT_EQ(delta, 0u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Alloc, TimerServiceSteadyStateIsAllocationFree) {
+  Engine e;
+  TimerService timers{e};
+  std::uint64_t fired = 0;
+  std::vector<TimerId> ids;
+  ids.reserve(128);
+  auto round = [&](int n) {
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t x = static_cast<std::uint64_t>(i);
+      ids.push_back(timers.start_alarm(Time::us(1 + i % 5),
+                                       Callback{[&fired, x] { fired += x; }}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+      timers.cancel_alarm(ids[i]);
+    }
+    e.run();
+  };
+  round(128);
+  const std::uint64_t before = news();
+  for (int r = 0; r < 10; ++r) round(128);
+  const std::uint64_t delta = news() - before;
+  EXPECT_EQ(delta, 0u);
+  EXPECT_EQ(timers.pending_count(), 0u);
+}
+
+TEST(Alloc, InlineCallableNeverTouchesHeap) {
+  const std::uint64_t heap_before = Callback::heap_constructions();
+  const std::uint64_t news_before = news();
+  int hit = 0;
+  const std::uint64_t a = 1, b = 2, c = 3, d = 4;  // 40-byte capture
+  Callback cb{[&hit, a, b, c, d] {
+    hit = static_cast<int>(a + b + c + d);
+  }};
+  Callback cb2 = std::move(cb);
+  cb2();
+  const std::uint64_t heap_delta = Callback::heap_constructions() - heap_before;
+  const std::uint64_t news_delta = news() - news_before;
+  EXPECT_EQ(hit, 10);
+  EXPECT_EQ(heap_delta, 0u);
+  EXPECT_EQ(news_delta, 0u);
+}
+
+TEST(Alloc, OversizedCallableFallsBackToHeapAndIsReclaimed) {
+  const std::uint64_t heap_before = Callback::heap_constructions();
+  const std::uint64_t news_before = news();
+  const std::uint64_t deletes_before = deletes();
+  int hit = 0;
+  {
+    std::array<std::uint64_t, 9> big{};  // 72 bytes > kInlineSize
+    big[8] = 7;
+    Callback cb{[big, &hit] { hit += static_cast<int>(big[8]); }};
+    Callback cb2 = std::move(cb);  // relocates the boxed pointer: no alloc
+    cb2();
+    cb2();
+  }
+  const std::uint64_t heap_delta = Callback::heap_constructions() - heap_before;
+  const std::uint64_t news_delta = news() - news_before;
+  const std::uint64_t deletes_delta = deletes() - deletes_before;
+  EXPECT_EQ(hit, 14);  // moved-to callback still owns the capture
+  EXPECT_EQ(heap_delta, 1u);
+  EXPECT_EQ(news_delta, 1u);
+  EXPECT_EQ(deletes_delta, 1u);  // exactly one box, freed exactly once
+}
+
+TEST(Alloc, OversizedCallableWorksThroughTheEngine) {
+  Engine e;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, 12> big{};
+  big[11] = 41;
+  e.schedule_after(Time::us(1), [big, &sum] { sum += big[11] + 1; });
+  e.run();
+  EXPECT_EQ(sum, 42u);
+}
+
+}  // namespace
+}  // namespace canely::sim

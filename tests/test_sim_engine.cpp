@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/rng.hpp"
 
 namespace canely::sim {
 namespace {
@@ -170,6 +172,51 @@ TEST(Engine, EventsScheduledDuringDispatchRun) {
   EXPECT_EQ(e.dispatched(), 5u);
 }
 
+// --- the determinism golden -------------------------------------------------
+//
+// A pseudo-random schedule/cancel/run interleave whose dispatch order
+// (event label + dispatch instant, FNV-1a-mixed) is pinned to a constant
+// captured from the seed implementation (PR 1's priority-queue +
+// unordered_set engine).  The slot/generation rewrite must preserve the
+// dispatch order — and the cancel() return values — bit for bit.
+TEST(Engine, GoldenDispatchOrderHash) {
+  Engine e;
+  Rng rng{0xC0FFEE};
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  std::vector<EventId> issued;
+  int label = 0;
+  for (int round = 0; round < 200; ++round) {
+    const auto burst = 1 + rng.below(8);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const int my = label++;
+      issued.push_back(e.schedule_after(
+          Time::ns(static_cast<std::int64_t>(rng.below(5000))),
+          [&mix, &e, my] {
+            mix(static_cast<std::uint64_t>(my));
+            mix(static_cast<std::uint64_t>(e.now().to_ns()));
+          }));
+    }
+    // Cancel a random sample of everything ever issued: hits pending,
+    // dispatched, and already-cancelled events alike.
+    const auto cancels = rng.below(issued.size()) / 2;
+    for (std::uint64_t i = 0; i < cancels; ++i) {
+      const auto idx = static_cast<std::size_t>(rng.below(issued.size()));
+      mix(e.cancel(issued[idx]) ? 1 : 0);
+    }
+    e.run_for(Time::ns(static_cast<std::int64_t>(rng.below(3000))));
+    mix(e.pending());
+  }
+  e.run();
+  mix(e.dispatched());
+  EXPECT_EQ(h, 5039619941919453717ULL);
+}
+
 TEST(Engine, RunUntilHandlesEventChainsWithinBound) {
   Engine e;
   int count = 0;
@@ -181,6 +228,138 @@ TEST(Engine, RunUntilHandlesEventChainsWithinBound) {
   e.run_until(Time::ms(10));
   EXPECT_EQ(count, 10);
   EXPECT_EQ(e.pending(), 1u);  // the 11th link is queued
+}
+
+// Reference semantics for the pooled engine: a flat list of events plus a
+// live-flag, dispatch order (time, scheduling sequence).  This is what the
+// seed implementation (std::priority_queue + live-seq set) computed; the
+// slot/generation engine must be observably identical under arbitrary
+// schedule/cancel churn.
+struct ReferenceEngine {
+  struct Ev {
+    Time t;
+    std::uint64_t seq;
+    int label;
+    bool live;
+  };
+  std::vector<Ev> events;  // indexed by label
+  std::uint64_t next_seq{1};
+  Time now{Time::zero()};
+
+  int schedule(Time t, int label) {
+    events.push_back(Ev{t, next_seq++, label, true});
+    return label;
+  }
+  bool cancel(int label) {
+    if (label < 0 || static_cast<std::size_t>(label) >= events.size()) {
+      return false;
+    }
+    if (!events[static_cast<std::size_t>(label)].live) return false;
+    events[static_cast<std::size_t>(label)].live = false;
+    return true;
+  }
+  // Dispatch everything with t <= horizon, in (t, seq) order; returns the
+  // dispatched labels.
+  std::vector<int> run_until(Time horizon) {
+    std::vector<Ev*> due;
+    for (Ev& ev : events) {
+      if (ev.live && ev.t <= horizon) due.push_back(&ev);
+    }
+    std::sort(due.begin(), due.end(), [](const Ev* a, const Ev* b) {
+      if (a->t != b->t) return a->t < b->t;
+      return a->seq < b->seq;
+    });
+    std::vector<int> order;
+    for (Ev* ev : due) {
+      ev->live = false;
+      order.push_back(ev->label);
+    }
+    if (now < horizon) now = horizon;
+    return order;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const Ev& ev : events) n += ev.live ? 1 : 0;
+    return n;
+  }
+};
+
+TEST(Engine, CancelChurnMatchesReferenceSemantics) {
+  // Randomized schedule/cancel/run rounds; the engine and the reference
+  // must agree on dispatch order, every cancel() return value, and
+  // pending() after each round.  Exercises slot recycling under heavy
+  // churn (cancelled slots are reused with fresh generations).
+  Engine e;
+  ReferenceEngine ref;
+  Rng rng{20260806};
+  std::vector<EventId> ids;       // engine handle per label
+  std::vector<int> engine_order;  // labels in engine dispatch order
+
+  int label = 0;
+  for (int round = 0; round < 200; ++round) {
+    const auto burst = 1 + rng.below(12);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      const Time t =
+          e.now() + Time::ns(static_cast<std::int64_t>(rng.below(4000)));
+      const int my = label++;
+      ids.push_back(e.schedule_at(t, [&engine_order, my] {
+        engine_order.push_back(my);
+      }));
+      ref.schedule(t, my);
+    }
+    // Cancel a random sample of every handle ever issued — pending,
+    // dispatched, cancelled, and forged ids alike.
+    const auto cancels = rng.below(static_cast<std::uint64_t>(label)) / 2;
+    for (std::uint64_t i = 0; i < cancels; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(label)));
+      ASSERT_EQ(e.cancel(ids[idx]), ref.cancel(static_cast<int>(idx)))
+          << "cancel disagreement at round " << round << " label " << idx;
+    }
+    EXPECT_FALSE(e.cancel(EventId{}));
+    EXPECT_FALSE(e.cancel(EventId{0xDEADBEEFULL << 32 | 12345}));
+
+    const Time horizon =
+        e.now() + Time::ns(static_cast<std::int64_t>(rng.below(3000)));
+    engine_order.clear();
+    e.run_until(horizon);
+    const std::vector<int> want = ref.run_until(horizon);
+    ASSERT_EQ(engine_order, want) << "dispatch order diverged at round "
+                                  << round;
+    ASSERT_EQ(e.pending(), ref.pending()) << "pending diverged at round "
+                                          << round;
+  }
+  engine_order.clear();
+  e.run();
+  EXPECT_EQ(engine_order, ref.run_until(Time::max()));
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, PendingAccountingSurvivesMassCancellation) {
+  Engine e;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        e.schedule_at(Time::us(1 + i % 7), [&fired] { ++fired; }));
+  }
+  EXPECT_EQ(e.pending(), 1000u);
+  for (const EventId id : ids) EXPECT_TRUE(e.cancel(id));
+  EXPECT_EQ(e.pending(), 0u);
+  for (const EventId id : ids) EXPECT_FALSE(e.cancel(id));  // double cancel
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_EQ(fired, 0);  // every queued entry was stale
+
+  // The pool must be fully recycled: scheduling again reuses the freed
+  // slots and the accounting starts clean.
+  for (int i = 0; i < 1000; ++i) {
+    e.schedule_after(Time::us(1), [&fired] { ++fired; });
+  }
+  EXPECT_EQ(e.pending(), 1000u);
+  e.run();
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(e.pending(), 0u);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 #   tools/ci.sh tsan       ThreadSanitizer build, campaign-runner tests
 #                          (the only code that spawns threads) + benches
 #                          at --threads 4
+#   tools/ci.sh perf       Release build, perf_core --quick smoke: the
+#                          bench must run and emit a structurally valid
+#                          BENCH_core.json (rates are a tracked
+#                          trajectory, never threshold-gated in CI)
 #
 # Each stage uses its own build tree under build-ci/ so the stages never
 # poison each other's CMake caches or object files.
@@ -56,18 +60,54 @@ stage_tsan() {
   done
 }
 
+stage_perf() {
+  echo "=== perf: Release perf_core smoke + BENCH_core.json shape ==="
+  local dir=build-ci/perf
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target perf_core
+  local json=build-ci/perf/BENCH_core.json
+  (cd "$dir" && ./bench/perf_core --quick --json BENCH_core.json)
+  # Structural validation only: the emitted trajectory must contain every
+  # scenario cell with a positive rate.  Absolute numbers are machine-
+  # dependent and tracked via the committed BENCH_core.json, not gated.
+  python3 - "$json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "perf_core", doc.get("bench")
+cells = {}
+for cell in doc["cells"]:
+    p = cell["params"]
+    key = p["scenario"] + (":%d" % p["nodes"] if "nodes" in p else "")
+    (metric,) = cell["metrics"].values()
+    cells[key] = metric["mean"]
+
+expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
+            "bus_load:64", "membership_cycle:8"]
+missing = [k for k in expected if k not in cells]
+assert not missing, f"missing cells: {missing}"
+bad = {k: v for k, v in cells.items() if not v > 0}
+assert not bad, f"non-positive rates: {bad}"
+print("BENCH_core.json: %d cells, all rates positive" % len(cells))
+EOF
+}
+
 main() {
   local stages=("$@")
   if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 asan tsan)
+    stages=(tier1 asan tsan perf)
   fi
   for s in "${stages[@]}"; do
     case "$s" in
       tier1) stage_tier1 ;;
       asan) stage_asan ;;
       tsan) stage_tsan ;;
+      perf) stage_perf ;;
       *)
-        echo "unknown stage: $s (expected tier1, asan, or tsan)" >&2
+        echo "unknown stage: $s (expected tier1, asan, tsan, or perf)" >&2
         exit 2
         ;;
     esac
