@@ -1,0 +1,213 @@
+// check_explorer — systematic fault-space exploration of the CANELy
+// membership scenario (src/check).
+//
+// Default: exhaustively enumerate every single-fault placement (frame x
+// victim subset x sender-crash) against the n=8 membership scenario and
+// assert that no invariant monitor fires — the checker's reproduction of
+// the paper's §6.1/§6.2 claim.  With --no-fda the FDA agreement step is
+// ablated and the explorer switches to the targeted second-order search,
+// finds a membership-agreement counterexample, shrinks it to a locally
+// minimal reproducer, and writes a replayable JSON artifact.
+//
+// Exit codes: 0 = exploration clean (or replay reproduced), 1 = violation
+// found (artifact written) or replay mismatch, 2 = usage/IO error.
+//
+// Aggregate output is byte-identical for any --threads value (campaign
+// runner determinism); the printed aggregate hash makes that checkable
+// from the shell.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "check/artifact.hpp"
+#include "check/explore.hpp"
+#include "check/shrink.hpp"
+
+namespace {
+
+using namespace canely;
+
+void usage(std::ostream& os) {
+  os << "usage: check_explorer [options]\n"
+        "  --threads N         worker threads (0 = hardware concurrency)\n"
+        "  --seed S            master seed for random walks\n"
+        "  --nodes N           scenario size (default 8)\n"
+        "  --no-fda            ablate FDA agreement (defaults --depth 2)\n"
+        "  --depth D           1 = exhaustive single fault, 2 = targeted\n"
+        "  --max-frames N      cap targeted attempts (0 = all)\n"
+        "  --max-victim-sets N cap victim subsets per attempt (0 = all)\n"
+        "  --max-bases N       depth 2: cap bases examined (0 = all)\n"
+        "  --random-walks N    extra seeded multi-fault scripts\n"
+        "  --quick             small smoke budget\n"
+        "  --no-shrink         keep the first violating script as found\n"
+        "  --artifact FILE     counterexample output "
+        "(default check_counterexample.json)\n"
+        "  --replay FILE       replay an artifact and verify it\n";
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+int replay(const std::string& path) {
+  check::Artifact artifact;
+  try {
+    artifact = check::load_artifact(path);
+  } catch (const std::exception& e) {
+    std::cerr << "replay: " << e.what() << "\n";
+    return 2;
+  }
+  const check::RunResult run =
+      check::run_checked(artifact.scenario, artifact.script);
+  bool monitor_fired = false;
+  for (const check::Violation& v : run.violations) {
+    if (v.monitor == artifact.monitor) monitor_fired = true;
+  }
+  const bool hash_ok = run.trace_hash == artifact.trace_hash;
+  std::cout << "replay " << path << "\n"
+            << "  monitor " << artifact.monitor
+            << (monitor_fired ? " VIOLATED (as recorded)" : " did NOT fire")
+            << "\n"
+            << "  trace hash " << hex(run.trace_hash)
+            << (hash_ok ? " == recorded" : " != recorded ") << "\n";
+  for (const check::Violation& v : run.violations) {
+    std::cout << "  violation [" << v.monitor << "] at " << v.when << ": "
+              << v.detail << "\n";
+  }
+  if (monitor_fired && hash_ok) {
+    std::cout << "replay: reproduced\n";
+    return 0;
+  }
+  std::cout << "replay: MISMATCH\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  check::ExploreConfig cfg;
+  std::size_t nodes = 8;
+  bool fda_on = true;
+  bool depth_set = false;
+  bool do_shrink = true;
+  std::string artifact_path = "check_counterexample.json";
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      cfg.threads = std::stoul(next("--threads"));
+    } else if (arg == "--seed") {
+      cfg.seed = std::stoull(next("--seed"));
+    } else if (arg == "--nodes") {
+      nodes = std::stoul(next("--nodes"));
+    } else if (arg == "--no-fda") {
+      fda_on = false;
+    } else if (arg == "--depth") {
+      cfg.depth = std::stoi(next("--depth"));
+      depth_set = true;
+    } else if (arg == "--max-frames") {
+      cfg.max_frames = std::stoul(next("--max-frames"));
+    } else if (arg == "--max-victim-sets") {
+      cfg.max_victim_sets = std::stoul(next("--max-victim-sets"));
+    } else if (arg == "--max-bases") {
+      cfg.max_bases = std::stoul(next("--max-bases"));
+    } else if (arg == "--random-walks") {
+      cfg.random_walks = std::stoul(next("--random-walks"));
+    } else if (arg == "--quick") {
+      cfg.max_frames = 24;
+      cfg.max_victim_sets = 16;
+      cfg.max_bases = 48;
+    } else if (arg == "--no-shrink") {
+      do_shrink = false;
+    } else if (arg == "--artifact") {
+      artifact_path = next("--artifact");
+    } else if (arg == "--replay") {
+      replay_path = next("--replay");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path);
+
+  cfg.scenario = check::ScenarioConfig::membership(nodes, fda_on);
+  if (!fda_on && !depth_set) cfg.depth = 2;
+
+  std::cout << "exploring n=" << nodes << " membership scenario, FDA "
+            << (fda_on ? "on" : "OFF (ablated)") << ", depth " << cfg.depth
+            << ", threads " << cfg.threads << "\n";
+
+  const check::ExploreResult result = check::explore(cfg);
+
+  std::cout << "frames in fault window: " << result.frames_in_window
+            << " (targeted " << result.frames_targeted << ")\n"
+            << "placements enumerated:  " << result.placements << "\n"
+            << "checked runs executed:  " << result.runs << "\n"
+            << "violations found:       " << result.violations.size() << "\n"
+            << "aggregate hash:         " << hex(result.aggregate_hash)
+            << "\n";
+  if (result.frames_targeted < result.frames_in_window) {
+    std::cout << "note: budget caps dropped "
+              << result.frames_in_window - result.frames_targeted
+              << " eligible frames — NOT an exhaustive exploration\n";
+  }
+
+  if (result.violations.empty()) {
+    std::cout << "exploration clean: no invariant violated\n";
+    return 0;
+  }
+
+  const check::FoundViolation& found = result.violations.front();
+  std::cout << "first violation (run " << found.run_index << ") ["
+            << found.violation.monitor << "]: " << found.violation.detail
+            << "\n";
+
+  check::FaultScript script = found.script;
+  check::Violation violation = found.violation;
+  if (do_shrink) {
+    const check::ShrinkResult shrunk =
+        check::shrink(cfg.scenario, script, violation.monitor);
+    std::cout << "shrunk " << script.size() << " -> "
+              << shrunk.script.size() << " fault events in "
+              << shrunk.probes << " probes"
+              << (shrunk.locally_minimal ? " (locally minimal)" : "")
+              << "\n";
+    script = shrunk.script;
+    violation = shrunk.violation;
+  }
+
+  check::Artifact artifact;
+  artifact.scenario = cfg.scenario;
+  artifact.script = script;
+  artifact.monitor = violation.monitor;
+  artifact.trace_hash = check::run_checked(cfg.scenario, script).trace_hash;
+  artifact.violation = violation;
+  try {
+    check::write_artifact(artifact_path, artifact);
+  } catch (const std::exception& e) {
+    std::cerr << "artifact: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "artifact written: " << artifact_path << "\n"
+            << "replay with: check_explorer --replay " << artifact_path
+            << "\n";
+  return 1;
+}

@@ -321,11 +321,12 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
     }
   }
 
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kDebug)) {
-    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "bus",
-                  sim::cat_str(frame, " from ", int{rec.transmitter},
-                               " outcome=", static_cast<int>(rec.outcome),
-                               " bits=", bits));
+  if (tracer_ != nullptr) {
+    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "bus", [&] {
+      return sim::cat_str(frame, " from ", int{rec.transmitter},
+                          " outcome=", static_cast<int>(rec.outcome),
+                          " bits=", bits);
+    });
   }
   if (observer_) {
     // Invoke a copy: the observer may replace/clear itself mid-call.
@@ -339,13 +340,6 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
       schedule_arbitration();
       break;
     }
-  }
-}
-
-void Bus::trace(std::string text) const {
-  if (tracer_ != nullptr) {
-    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "bus",
-                  std::move(text));
   }
 }
 

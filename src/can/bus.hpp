@@ -143,7 +143,6 @@ class Bus {
   void complete_transmission(const Frame& frame, NodeSet co, NodeSet receivers,
                              Verdict verdict, sim::Time start,
                              std::size_t bits, int attempt);
-  void trace(std::string text) const;
 
   sim::Engine& engine_;
   BusConfig config_;

@@ -80,11 +80,12 @@ void CanDriver::on_bus_off() {
 }
 
 void CanDriver::trace(const char* what, const Mid& mid) const {
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kDebug)) {
-    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "drv",
-                  sim::cat_str("n", int{controller_.node()}, " ", what, " ",
-                               to_string(mid.type), " ref=", int{mid.ref},
-                               " node=", int{mid.node}));
+  if (tracer_ != nullptr) {
+    tracer_->emit(engine_.now(), sim::TraceLevel::kDebug, "drv", [&] {
+      return sim::cat_str("n", int{controller_.node()}, " ", what, " ",
+                          to_string(mid.type), " ref=", int{mid.ref},
+                          " node=", int{mid.node});
+    });
   }
 }
 

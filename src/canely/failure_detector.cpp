@@ -73,10 +73,11 @@ void FailureDetector::on_expiry(can::NodeId r) {
   } else {
     // f09-f10: remote node silent beyond Th + Ttd => it has failed;
     // disseminate consistently through FDA.
-    if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
-      tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "fd",
-                    sim::cat_str("n", int{driver_.node()},
-                                 " suspects node ", int{r}));
+    if (tracer_ != nullptr) {
+      tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "fd", [&] {
+        return sim::cat_str("n", int{driver_.node()}, " suspects node ",
+                            int{r});
+      });
     }
     fda_.fda_can_req(r);
   }

@@ -25,13 +25,16 @@ void FdaProtocol::on_rtr_ind(const Mid& mid) {
   int& ndup = fs_ndup_[failed];
   ndup += 1;                     // r01
   if (ndup != 1) return;         // duplicates are absorbed
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
-    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "fda",
-                  sim::cat_str("n", int{driver_.node()}, " nty failed=",
-                               int{failed}));
+  if (tracer_ != nullptr) {
+    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "fda", [&] {
+      return sim::cat_str("n", int{driver_.node()}, " nty failed=",
+                          int{failed});
+    });
   }
   ++ntys_;
   if (nty_) nty_(failed);        // r03: fda-can.nty delivery
+  if (nty_obs_) nty_obs_(failed);
+  if (!agreement_) return;       // ablation: deliver but never echo
   int& nreq = fs_nreq_[failed];
   nreq += 1;                     // r04
   if (nreq == 1) {

@@ -36,6 +36,19 @@ class FdaProtocol {
   /// (Fig. 6, line r03).
   void set_nty_handler(NtyHandler handler) { nty_ = std::move(handler); }
 
+  /// Passive observation of fda-can.nty deliveries, invoked alongside the
+  /// handler.  The failure detector owns the handler slot; diagnostics and
+  /// the checker (src/check) subscribe here without displacing it.
+  void set_nty_observer(NtyHandler observer) { nty_obs_ = std::move(observer); }
+
+  /// Ablation switch: with agreement disabled the recipient rule delivers
+  /// but never echoes (Fig. 6 lines r04-r06 skipped) — "naive signalling".
+  /// A failure-sign lost to an inconsistent omission whose sender crashes
+  /// then stays lost at the victims; src/check uses this to demonstrate
+  /// the resulting membership split.  Normal deployments leave it on.
+  void set_agreement(bool enabled) { agreement_ = enabled; }
+  [[nodiscard]] bool agreement() const { return agreement_; }
+
   /// Forget a previously agreed failure-sign so a reintegrated node can be
   /// detected again.  The paper assumes a removed node does not attempt
   /// reintegration before a period much longer than Tm (§6.4); the
@@ -55,6 +68,8 @@ class FdaProtocol {
   CanDriver& driver_;
   const sim::Tracer* tracer_;
   NtyHandler nty_;
+  NtyHandler nty_obs_;
+  bool agreement_{true};
   // Per-mid state; the FDA mid is fully determined by the failed node id.
   std::array<int, can::kMaxNodes> fs_ndup_{};  // failure-sign duplicates (i00)
   std::array<int, can::kMaxNodes> fs_nreq_{};  // transmit requests (i01)

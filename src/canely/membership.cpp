@@ -68,7 +68,9 @@ void MembershipService::msh_can_req_leave() {
     rjp_.clear();
     ff_.clear();
     ++views_;
-    trace("singleton leave: no peer can acknowledge; retiring locally");
+    trace([] { return "singleton leave: no peer can acknowledge; retiring "
+                      "locally"; });
+    if (view_obs_) view_obs_(rf_);
     if (change_) change_(can::NodeSet{}, can::NodeSet{driver_.node()});
     return;
   }
@@ -78,7 +80,9 @@ void MembershipService::msh_can_req_leave() {
 void MembershipService::on_join_ind(const Mid& mid) {
   if (!started_) return;  // only service participants collect requests
   rj_.insert(mid.node);   // s05
-  trace(sim::cat_str("join request from ", int{mid.node}, " rj=", rj_));
+  trace([&] {
+    return sim::cat_str("join request from ", int{mid.node}, " rj=", rj_);
+  });
 }
 
 void MembershipService::on_leave_ind(const Mid& mid) {
@@ -91,7 +95,9 @@ void MembershipService::on_fd_nty(can::NodeId r) {
   // s13-s16: immediate (consistent) notification of a node crash; the
   // view itself is amended at the next cycle (msh-view-proc).
   ff_.insert(r);
-  trace(sim::cat_str("node ", int{r}, " failed; active=", rf_.minus(ff_)));
+  trace([&] {
+    return sim::cat_str("node ", int{r}, " failed; active=", rf_.minus(ff_));
+  });
   msh_chg_nty(rf_.minus(ff_), can::NodeSet{r});  // s15
 }
 
@@ -122,14 +128,14 @@ void MembershipService::cycle(bool timer_expired) {
       // no live full member — bootstrap a (temporary) view from the join
       // requests observed so far.
       rf_ = rj_;
-      trace(sim::cat_str("bootstrap view from joins: ", rf_));
+      trace([&] { return sim::cat_str("bootstrap view from joins: ", rf_); });
     } else {
       // Deviation (documented): the node has *learned* a view through RHA
       // (full members are alive) but its own join has not succeeded —
       // e.g. the JOIN was pruned after two cycles (footnote 10).
       // Bootstrapping here would inject a bogus tiny RHV and collapse the
       // members' view through the intersection rule; re-announce instead.
-      trace("join retry: full members exist, re-announcing");
+      trace([] { return "join retry: full members exist, re-announcing"; });
       driver_.can_rtr_req(Mid{MsgType::kJoin, 0, driver_.node()});
       rj_.insert(driver_.node());
     }
@@ -175,7 +181,8 @@ void MembershipService::msh_view_proc(can::NodeSet rw) {
   ff_.clear();
   if (rf_ != before) {
     ++views_;
-    trace(sim::cat_str("view installed: ", rf_));
+    trace([&] { return sim::cat_str("view installed: ", rf_); });
+    if (view_obs_) view_obs_(rf_);
   }
   // Deviation (documented): a node that drops out of the view while alive
   // stops its surveillance duties; if it was not leaving voluntarily (it
@@ -238,13 +245,6 @@ void MembershipService::msh_chg_nty(can::NodeSet rw, can::NodeSet fw) {
     if (change_) change_(rf_, can::NodeSet{driver_.node()});
   }
   // Joining nodes not yet admitted receive no notification (a10-a18).
-}
-
-void MembershipService::trace(std::string text) const {
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
-    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "msh",
-                  sim::cat_str("n", int{driver_.node()}, " ", text));
-  }
 }
 
 }  // namespace canely

@@ -61,6 +61,15 @@ class MembershipService {
     change_ = std::move(handler);
   }
 
+  /// Observer fired every time a view is actually installed (views_
+  /// increments), with the new R_F.  External checkers compare these
+  /// install sequences across nodes; change notifications are unsuitable
+  /// because they also fire for failure amendments within a cycle.
+  using ViewObserver = std::function<void(can::NodeSet)>;
+  void set_view_observer(ViewObserver observer) {
+    view_obs_ = std::move(observer);
+  }
+
   // Introspection for tests (protocol data sets of Fig. 9, i01).
   [[nodiscard]] can::NodeSet rf() const { return rf_; }
   [[nodiscard]] can::NodeSet rj() const { return rj_; }
@@ -79,7 +88,18 @@ class MembershipService {
   void msh_data_proc();                      // a03-a09
   void msh_chg_nty(can::NodeSet rw, can::NodeSet fw);  // a10-a18
   void restart_cycle_timer(sim::Time duration);
-  void trace(std::string text) const;
+
+  /// Lazy trace helper: `make_text` runs only when tracing is enabled.
+  template <typename MakeText>
+  void trace(MakeText&& make_text) const {
+    if (tracer_ != nullptr) {
+      tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "msh",
+                    [&] {
+                      return sim::cat_str("n", int{driver_.node()}, " ",
+                                          make_text());
+                    });
+    }
+  }
 
   CanDriver& driver_;
   sim::TimerService& timers_;
@@ -89,6 +109,7 @@ class MembershipService {
   const Params& params_;
   const sim::Tracer* tracer_;
   ChangeHandler change_;
+  ViewObserver view_obs_;
 
   can::NodeSet rf_;   // full members (the view)
   can::NodeSet rj_;   // joining

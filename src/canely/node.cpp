@@ -14,6 +14,7 @@ Node::Node(can::Bus& bus, can::NodeId id, const Params& params,
       fd_{driver_, timers_, fda_, params_, tracer},
       msh_{driver_, timers_, rha_, fd_, fda_, params_, tracer},
       groups_{driver_, msh_} {
+  fda_.set_agreement(params_.fda_agreement);
   // Site membership changes fan out to the process-group layer first,
   // then to the application handler.
   msh_.set_change_handler([this](can::NodeSet active, can::NodeSet failed) {

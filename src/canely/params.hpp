@@ -54,6 +54,12 @@ struct Params {
   /// by the cycle-skip ablation benchmark.
   bool skip_idle_cycles{true};
 
+  /// Run the FDA agreement step (Fig. 6): on delivering a failure-sign,
+  /// echo it so every correct node delivers it too.  Disabled only by the
+  /// checker's ablation mode, which demonstrates the membership-agreement
+  /// violations inconsistent omissions cause without FDA.
+  bool fda_agreement{true};
+
   /// Per-node skew added to *remote* surveillance timers (node i waits
   /// Th + Ttd + i*fd_skew_quantum).  Physical CAN nodes have independent
   /// oscillators, so their timers never expire in perfect lockstep; the

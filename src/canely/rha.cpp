@@ -58,12 +58,14 @@ void RhaProtocol::rha_init_send(can::NodeSet rw) {
   } else {
     rhv_ = rw;  // a05: non-members adopt the received vector
   }
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
-    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "rha",
-                  sim::cat_str("n", int{driver_.node()}, " init rhv=", rhv_));
+  if (tracer_ != nullptr) {
+    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "rha", [&] {
+      return sim::cat_str("n", int{driver_.node()}, " init rhv=", rhv_);
+    });
   }
   send_rhv();                                  // a07
   if (nty_) nty_(RhaEvent::kInit, can::NodeSet{});  // a08
+  if (obs_) obs_(RhaEvent::kInit, can::NodeSet{});
 }
 
 void RhaProtocol::send_rhv() {
@@ -104,9 +106,10 @@ void RhaProtocol::on_data_ind(const Mid& /*mid*/,
 
 void RhaProtocol::on_alarm() {
   // r14-r18: the execution ends; deliver the agreed vector upward.
-  if (tracer_ != nullptr && tracer_->enabled(sim::TraceLevel::kInfo)) {
-    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "rha",
-                  sim::cat_str("n", int{driver_.node()}, " end rhv=", rhv_));
+  if (tracer_ != nullptr) {
+    tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "rha", [&] {
+      return sim::cat_str("n", int{driver_.node()}, " end rhv=", rhv_);
+    });
   }
   const can::NodeSet agreed = rhv_;
   ++executions_;
@@ -119,6 +122,7 @@ void RhaProtocol::on_alarm() {
   // correctly parameterized system.)
   abort_pending();
   if (nty_) nty_(RhaEvent::kEnd, agreed);  // r15
+  if (obs_) obs_(RhaEvent::kEnd, agreed);
 }
 
 }  // namespace canely

@@ -61,6 +61,11 @@ class RhaProtocol {
   }
   void set_nty_handler(NtyHandler handler) { nty_ = std::move(handler); }
 
+  /// Secondary notification slot for external observers (checkers,
+  /// benchmarks).  Called with the same events as the nty handler, after
+  /// it; does not displace the membership service's wiring.
+  void set_observer(NtyHandler observer) { obs_ = std::move(observer); }
+
   /// rha-can.req — start an execution (Fig. 7, s00-s04).  Acts only at
   /// full members and only when no execution is in progress.
   void rha_can_req();
@@ -90,6 +95,7 @@ class RhaProtocol {
   const sim::Tracer* tracer_;
   SharedSetsProvider shared_;
   NtyHandler nty_;
+  NtyHandler obs_;
 
   sim::TimerId tid_{sim::kNullTimer};  // i01
   can::NodeSet rhv_;                   // i02: R_RHV

@@ -1,0 +1,397 @@
+#include "check/artifact.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace canely::check {
+namespace {
+
+constexpr const char* kSchema = "canely-check-1";
+
+// ------------------------------------------------------------- writing
+
+campaign::Json nodeset_json(can::NodeSet set) {
+  campaign::Json arr = campaign::Json::array();
+  for (can::NodeId id : set) {
+    arr.push(campaign::Json::integer(static_cast<std::int64_t>(id)));
+  }
+  return arr;
+}
+
+campaign::Json time_ns(sim::Time t) {
+  return campaign::Json::integer(t.to_ns());
+}
+
+}  // namespace
+
+campaign::Json artifact_json(const Artifact& artifact) {
+  const ScenarioConfig& cfg = artifact.scenario;
+  campaign::Json scenario = campaign::Json::object();
+  scenario.set("n", campaign::Json::integer(
+                        static_cast<std::int64_t>(cfg.n)));
+  scenario.set("clustering", campaign::Json::boolean(cfg.clustering));
+  scenario.set("fda_agreement",
+               campaign::Json::boolean(cfg.params.fda_agreement));
+  scenario.set("skip_idle_cycles",
+               campaign::Json::boolean(cfg.params.skip_idle_cycles));
+  scenario.set("omission_degree_k",
+               campaign::Json::integer(cfg.params.omission_degree_k));
+  scenario.set("inconsistent_degree_j",
+               campaign::Json::integer(cfg.params.inconsistent_degree_j));
+  scenario.set("heartbeat_ns", time_ns(cfg.params.heartbeat_period));
+  scenario.set("tx_delay_ns", time_ns(cfg.params.tx_delay_bound));
+  scenario.set("cycle_ns", time_ns(cfg.params.membership_cycle));
+  scenario.set("rha_timeout_ns", time_ns(cfg.params.rha_timeout));
+  scenario.set("join_wait_ns", time_ns(cfg.params.join_wait));
+  scenario.set("fd_skew_ns", time_ns(cfg.params.fd_skew_quantum));
+  scenario.set("duration_ns", time_ns(cfg.duration));
+  scenario.set("settle_ns", time_ns(cfg.settle));
+  scenario.set("latency_margin_ns", time_ns(cfg.latency_margin));
+
+  campaign::Json script = campaign::Json::array();
+  for (const FaultEvent& ev : artifact.script) {
+    campaign::Json e = campaign::Json::object();
+    e.set("tx", campaign::Json::integer(static_cast<std::int64_t>(ev.tx)));
+    e.set("op", campaign::Json::string(
+                    ev.op == FaultOp::kOmit ? "omit" : "error"));
+    e.set("victims", nodeset_json(ev.victims));
+    e.set("crash_sender", campaign::Json::boolean(ev.crash_sender));
+    script.push(std::move(e));
+  }
+
+  campaign::Json violation = campaign::Json::object();
+  violation.set("monitor", campaign::Json::string(artifact.violation.monitor));
+  violation.set("when_ns", time_ns(artifact.violation.when));
+  violation.set("detail", campaign::Json::string(artifact.violation.detail));
+
+  campaign::Json root = campaign::Json::object();
+  root.set("schema", campaign::Json::string(kSchema));
+  root.set("monitor", campaign::Json::string(artifact.monitor));
+  root.set("trace_hash",
+           campaign::Json::string(std::to_string(artifact.trace_hash)));
+  root.set("scenario", std::move(scenario));
+  root.set("script", std::move(script));
+  root.set("violation", std::move(violation));
+  return root;
+}
+
+void write_artifact(const std::string& path, const Artifact& artifact) {
+  campaign::write_file(path, artifact_json(artifact).dump(2) + "\n");
+}
+
+// ------------------------------------------------------------- parsing
+
+namespace {
+
+/// Minimal JSON value for the parser below.  Numbers are kept as int64 —
+/// the artifact schema only uses integers (all durations in ns).
+struct Value {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kString,
+    kArray,
+    kObject
+  };
+  Kind kind{Kind::kNull};
+  bool b{false};
+  std::int64_t i{0};
+  std::string s;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_{text} {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("artifact JSON: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.s = string();
+        return v;
+      }
+      case 't': {
+        if (!consume("true")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        v.b = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume("false")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!consume("null")) fail("bad literal");
+        return Value{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // The emitter never produces \u escapes for the artifact's
+            // ASCII content; accept and keep the raw sequence.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fail("non-integer number (artifact schema uses integers only)");
+    }
+    Value v;
+    v.kind = Value::Kind::kInt;
+    v.i = std::strtoll(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_{0};
+};
+
+const Value& require(const Value& obj, const std::string& key,
+                     Value::Kind kind) {
+  const Value* v = obj.find(key);
+  if (v == nullptr || v->kind != kind) {
+    throw std::runtime_error("artifact JSON: missing or mistyped field '" +
+                             key + "'");
+  }
+  return *v;
+}
+
+std::int64_t get_int(const Value& obj, const std::string& key) {
+  return require(obj, key, Value::Kind::kInt).i;
+}
+
+bool get_bool(const Value& obj, const std::string& key) {
+  return require(obj, key, Value::Kind::kBool).b;
+}
+
+}  // namespace
+
+Artifact load_artifact(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error("cannot open artifact: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const Value root = Parser{text}.parse();
+  if (root.kind != Value::Kind::kObject) {
+    throw std::runtime_error("artifact JSON: root is not an object");
+  }
+  if (require(root, "schema", Value::Kind::kString).s != kSchema) {
+    throw std::runtime_error("artifact JSON: unknown schema");
+  }
+
+  Artifact artifact;
+  artifact.monitor = require(root, "monitor", Value::Kind::kString).s;
+  artifact.trace_hash = std::strtoull(
+      require(root, "trace_hash", Value::Kind::kString).s.c_str(), nullptr,
+      10);
+
+  const Value& sc = require(root, "scenario", Value::Kind::kObject);
+  ScenarioConfig& cfg = artifact.scenario;
+  cfg.n = static_cast<std::size_t>(get_int(sc, "n"));
+  cfg.clustering = get_bool(sc, "clustering");
+  cfg.params.n = cfg.n;
+  cfg.params.fda_agreement = get_bool(sc, "fda_agreement");
+  cfg.params.skip_idle_cycles = get_bool(sc, "skip_idle_cycles");
+  cfg.params.omission_degree_k =
+      static_cast<int>(get_int(sc, "omission_degree_k"));
+  cfg.params.inconsistent_degree_j =
+      static_cast<int>(get_int(sc, "inconsistent_degree_j"));
+  cfg.params.heartbeat_period = sim::Time::ns(get_int(sc, "heartbeat_ns"));
+  cfg.params.tx_delay_bound = sim::Time::ns(get_int(sc, "tx_delay_ns"));
+  cfg.params.membership_cycle = sim::Time::ns(get_int(sc, "cycle_ns"));
+  cfg.params.rha_timeout = sim::Time::ns(get_int(sc, "rha_timeout_ns"));
+  cfg.params.join_wait = sim::Time::ns(get_int(sc, "join_wait_ns"));
+  cfg.params.fd_skew_quantum = sim::Time::ns(get_int(sc, "fd_skew_ns"));
+  cfg.duration = sim::Time::ns(get_int(sc, "duration_ns"));
+  cfg.settle = sim::Time::ns(get_int(sc, "settle_ns"));
+  cfg.latency_margin = sim::Time::ns(get_int(sc, "latency_margin_ns"));
+
+  for (const Value& e : require(root, "script", Value::Kind::kArray).array) {
+    if (e.kind != Value::Kind::kObject) {
+      throw std::runtime_error("artifact JSON: script event is not an object");
+    }
+    FaultEvent ev;
+    ev.tx = static_cast<std::uint64_t>(get_int(e, "tx"));
+    const std::string& op = require(e, "op", Value::Kind::kString).s;
+    if (op == "omit") {
+      ev.op = FaultOp::kOmit;
+    } else if (op == "error") {
+      ev.op = FaultOp::kError;
+    } else {
+      throw std::runtime_error("artifact JSON: unknown op '" + op + "'");
+    }
+    for (const Value& id :
+         require(e, "victims", Value::Kind::kArray).array) {
+      if (id.kind != Value::Kind::kInt || id.i < 0 ||
+          id.i >= static_cast<std::int64_t>(can::kMaxNodes)) {
+        throw std::runtime_error("artifact JSON: bad victim id");
+      }
+      ev.victims.insert(static_cast<can::NodeId>(id.i));
+    }
+    ev.crash_sender = get_bool(e, "crash_sender");
+    artifact.script.push_back(ev);
+  }
+
+  const Value& vio = require(root, "violation", Value::Kind::kObject);
+  artifact.violation.monitor =
+      require(vio, "monitor", Value::Kind::kString).s;
+  artifact.violation.when = sim::Time::ns(get_int(vio, "when_ns"));
+  artifact.violation.detail = require(vio, "detail", Value::Kind::kString).s;
+  return artifact;
+}
+
+}  // namespace canely::check

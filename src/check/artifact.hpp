@@ -1,0 +1,44 @@
+#pragma once
+// Replayable counterexample artifacts.
+//
+// A shrunk counterexample is only worth anything if it can be re-executed
+// later, elsewhere, byte-for-byte: the artifact JSON therefore carries the
+// complete scenario parameterization, the fault script, the violated
+// monitor, and the wire-trace hash of the violating run.  Replaying loads
+// the artifact, rebuilds the identical run (the checked harness is a pure
+// function of scenario + script), and verifies both that the recorded
+// monitor still fires and that the wire trace hashes to the recorded
+// value.
+//
+// Writing goes through campaign::Json (insertion-ordered, deterministic
+// bytes).  Reading uses a minimal recursive-descent parser local to this
+// module — the only place in the repository that parses JSON.
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/json.hpp"
+#include "check/fault_script.hpp"
+#include "check/harness.hpp"
+
+namespace canely::check {
+
+struct Artifact {
+  ScenarioConfig scenario;
+  FaultScript script;
+  std::string monitor;          ///< the invariant the script violates
+  std::uint64_t trace_hash{0};  ///< wire-trace hash of the violating run
+  Violation violation;          ///< as recorded when the artifact was made
+};
+
+/// Serialize (deterministic bytes).
+[[nodiscard]] campaign::Json artifact_json(const Artifact& artifact);
+
+/// Write `artifact` to `path`; throws std::runtime_error on I/O failure.
+void write_artifact(const std::string& path, const Artifact& artifact);
+
+/// Parse an artifact file; throws std::runtime_error on I/O or syntax or
+/// schema errors.
+[[nodiscard]] Artifact load_artifact(const std::string& path);
+
+}  // namespace canely::check

@@ -1,0 +1,265 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+
+#include "campaign/grid.hpp"
+#include "campaign/runner.hpp"
+#include "canely/mid.hpp"
+#include "sim/rng.hpp"
+
+namespace canely::check {
+namespace {
+
+/// Per-run outcome, reduced to what the aggregate needs.  Default-
+/// constructible placeholder for the campaign runner's result slots.
+struct Cell {
+  std::uint64_t trace_hash{0};
+  bool violated{false};
+  Violation first;
+};
+
+Cell run_cell(const ScenarioConfig& scenario, const FaultScript& script) {
+  RunResult r = run_checked(scenario, script);
+  Cell c;
+  c.trace_hash = r.trace_hash;
+  if (!r.violations.empty()) {
+    c.violated = true;
+    c.first = r.violations.front();
+  }
+  return c;
+}
+
+std::uint64_t hash_cell(std::uint64_t h, const Cell& c) {
+  h = fnv1a(h, c.trace_hash);
+  h = fnv1a(h, c.violated ? 1 : 0);
+  if (c.violated) {
+    for (char ch : c.first.monitor) {
+      h = fnv1a(h, static_cast<std::uint8_t>(ch));
+    }
+    h = fnv1a(h, static_cast<std::uint64_t>(c.first.when.to_ns()));
+  }
+  return h;
+}
+
+/// The ascending list of member ids of `set` (mask bit i of a victim-
+/// subset index maps to the i-th receiver in id order).
+std::vector<can::NodeId> members(can::NodeSet set) {
+  std::vector<can::NodeId> out;
+  for (can::NodeId id : set) out.push_back(id);
+  return out;
+}
+
+can::NodeSet subset_from_mask(const std::vector<can::NodeId>& pool,
+                              std::uint64_t mask) {
+  can::NodeSet set;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if ((mask >> i) & 1) set.insert(pool[i]);
+  }
+  return set;
+}
+
+/// Enumerate depth-1 placements for one attempt: every non-empty victim
+/// subset (capped), with and without a sender crash.
+void placements_for(const TxLogEntry& entry, std::size_t max_victim_sets,
+                    std::vector<FaultScript>& out) {
+  const std::vector<can::NodeId> pool = members(entry.receivers);
+  if (pool.empty()) return;
+  const std::uint64_t subsets = (1ULL << pool.size()) - 1;
+  std::uint64_t used = 0;
+  for (std::uint64_t mask = 1; mask <= subsets; ++mask) {
+    if (max_victim_sets != 0 && used >= max_victim_sets) break;
+    ++used;
+    for (const bool crash : {false, true}) {
+      FaultEvent ev;
+      ev.tx = entry.tx_index;
+      ev.op = FaultOp::kOmit;
+      ev.victims = subset_from_mask(pool, mask);
+      ev.crash_sender = crash;
+      out.push_back(FaultScript{ev});
+    }
+  }
+}
+
+/// Execute `scripts` through the campaign runner (index-slotted results:
+/// aggregate order is enumeration order for any thread count).
+std::vector<Cell> run_batch(const ScenarioConfig& scenario,
+                            const std::vector<FaultScript>& scripts,
+                            std::size_t threads, std::uint64_t seed) {
+  campaign::Grid grid;
+  std::vector<double> axis(scripts.size());
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    axis[i] = static_cast<double>(i);
+  }
+  grid.axis("placement", std::move(axis)).repeats(1).master_seed(seed);
+  campaign::Runner runner{threads == 0 ? 0 : threads};
+  auto outcome = runner.run<Cell>(grid, [&](const campaign::RunSpec& spec) {
+    return run_cell(scenario, scripts[spec.index]);
+  });
+  return std::move(outcome.results);
+}
+
+void fold_batch(const std::vector<FaultScript>& scripts,
+                const std::vector<Cell>& cells, std::size_t index_base,
+                ExploreResult& result) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    result.aggregate_hash = hash_cell(result.aggregate_hash, cells[i]);
+    if (cells[i].violated) {
+      result.violations.push_back(
+          FoundViolation{index_base + i, scripts[i], cells[i].first});
+    }
+  }
+  result.placements += cells.size();
+  result.runs += cells.size();
+}
+
+FaultScript random_script(sim::Rng& rng,
+                          const std::vector<TxLogEntry>& window) {
+  FaultScript script;
+  const std::size_t n_events = 1 + rng.below(3);
+  for (std::size_t e = 0; e < n_events; ++e) {
+    const TxLogEntry& entry = window[rng.below(window.size())];
+    FaultEvent ev;
+    ev.tx = entry.tx_index;
+    ev.crash_sender = rng.below(2) == 1;
+    if (rng.below(8) == 0) {
+      ev.op = FaultOp::kError;
+    } else {
+      ev.op = FaultOp::kOmit;
+      const std::vector<can::NodeId> pool = members(entry.receivers);
+      if (pool.empty()) continue;
+      can::NodeSet victims;
+      for (can::NodeId id : pool) {
+        if (rng.below(2) == 1) victims.insert(id);
+      }
+      if (victims.empty()) victims.insert(pool[rng.below(pool.size())]);
+      ev.victims = victims;
+    }
+    script.push_back(ev);
+  }
+  return script;
+}
+
+}  // namespace
+
+ExploreResult explore(const ExploreConfig& cfg) {
+  ExploreResult result;
+  result.aggregate_hash = kFnvOffset;
+
+  // Probe: map the fault-free attempt timeline.
+  const RunResult probe = run_checked(cfg.scenario, {}, /*want_tx_log=*/true);
+  ++result.runs;
+
+  const sim::Time window_end =
+      cfg.fault_window > sim::Time::zero()
+          ? cfg.fault_window
+          : cfg.scenario.duration - cfg.scenario.expel_grace() -
+                cfg.scenario.settle;
+  std::vector<TxLogEntry> window;
+  for (const TxLogEntry& e : probe.tx_log) {
+    if (e.start < window_end && !e.receivers.empty()) window.push_back(e);
+  }
+  result.frames_in_window = window.size();
+
+  std::vector<TxLogEntry> targeted = window;
+  if (cfg.max_frames != 0 && targeted.size() > cfg.max_frames) {
+    targeted.resize(cfg.max_frames);
+  }
+  result.frames_targeted = targeted.size();
+
+  if (cfg.depth <= 1) {
+    std::vector<FaultScript> scripts;
+    for (const TxLogEntry& entry : targeted) {
+      placements_for(entry, cfg.max_victim_sets, scripts);
+    }
+    const std::vector<Cell> cells =
+        run_batch(cfg.scenario, scripts, cfg.threads, cfg.seed);
+    fold_batch(scripts, cells, 0, result);
+  } else {
+    // Depth 2: bases in deterministic order — life-sign attempts first
+    // (an omitted ELS skews the victim's surveillance timer a whole Th
+    // early, the precondition of the inconsistent-message-omission
+    // counterexample), then the rest; attempt ascending, victim
+    // ascending within each group.  Each base is probed for the FDA
+    // attempts it provokes; the search stops after the first base whose
+    // batch violates.
+    std::vector<FaultScript> bases;
+    const auto add_bases = [&](bool els_pass) {
+      for (const TxLogEntry& entry : targeted) {
+        const bool is_els =
+            entry.msg_type == static_cast<std::uint8_t>(MsgType::kEls);
+        if (is_els != els_pass) continue;
+        for (can::NodeId victim : entry.receivers) {
+          FaultEvent ev;
+          ev.tx = entry.tx_index;
+          ev.op = FaultOp::kOmit;
+          ev.victims = can::NodeSet{victim};
+          ev.crash_sender = true;
+          bases.push_back(FaultScript{ev});
+        }
+      }
+    };
+    add_bases(/*els_pass=*/true);
+    add_bases(/*els_pass=*/false);
+    if (cfg.max_bases != 0 && bases.size() > cfg.max_bases) {
+      bases.resize(cfg.max_bases);
+    }
+    std::size_t index_base = 0;
+    for (const FaultScript& base : bases) {
+      const RunResult probe2 =
+          run_checked(cfg.scenario, base, /*want_tx_log=*/true);
+      ++result.runs;
+      // New attempts the base fault provoked: FDA failure-signs after it.
+      std::vector<const TxLogEntry*> fda_targets;
+      for (const TxLogEntry& e : probe2.tx_log) {
+        if (e.tx_index > base.front().tx &&
+            e.msg_type == static_cast<std::uint8_t>(MsgType::kFda) &&
+            !e.receivers.empty()) {
+          fda_targets.push_back(&e);
+          if (fda_targets.size() >= cfg.depth2_targets) break;
+        }
+      }
+      std::vector<FaultScript> scripts;
+      for (const TxLogEntry* target : fda_targets) {
+        const std::vector<can::NodeId> pool = members(target->receivers);
+        const std::uint64_t subsets = (1ULL << pool.size()) - 1;
+        std::uint64_t used = 0;
+        for (std::uint64_t mask = 1; mask <= subsets; ++mask) {
+          if (cfg.max_victim_sets != 0 && used >= cfg.max_victim_sets) break;
+          ++used;
+          FaultEvent second;
+          second.tx = target->tx_index;
+          second.op = FaultOp::kOmit;
+          second.victims = subset_from_mask(pool, mask);
+          second.crash_sender = true;  // the inconsistent-message-omission arm
+          FaultScript script = base;
+          script.push_back(second);
+          scripts.push_back(std::move(script));
+        }
+      }
+      const std::vector<Cell> cells =
+          run_batch(cfg.scenario, scripts, cfg.threads, cfg.seed);
+      const std::size_t before = result.violations.size();
+      fold_batch(scripts, cells, index_base, result);
+      index_base += cells.size();
+      if (result.violations.size() > before) break;
+    }
+  }
+
+  // Seeded random walks, reproducible per walk index.
+  if (cfg.random_walks > 0 && !window.empty()) {
+    std::vector<FaultScript> scripts;
+    scripts.reserve(cfg.random_walks);
+    for (std::size_t w = 0; w < cfg.random_walks; ++w) {
+      sim::Rng rng{campaign::fork_seed(cfg.seed, result.placements + w)};
+      scripts.push_back(random_script(rng, window));
+    }
+    const std::size_t index_base = result.placements;
+    const std::vector<Cell> cells =
+        run_batch(cfg.scenario, scripts, cfg.threads, cfg.seed);
+    fold_batch(scripts, cells, index_base, result);
+  }
+
+  return result;
+}
+
+}  // namespace canely::check

@@ -1,0 +1,77 @@
+#pragma once
+// Systematic fault-space exploration.
+//
+// The explorer enumerates fault placements against a scenario and runs
+// each through the checked harness, in parallel, with byte-identical
+// aggregate output for any thread count (the campaign runner's
+// determinism contract: placements are enumerated up front in a fixed
+// order, each run is a pure function of its placement, and results are
+// collected by index).
+//
+// Depth 1 (exhaustive): a probe run maps the fault-free attempt timeline;
+// every placement is (attempt within the fault window) x (non-empty
+// victim subset of that attempt's receivers) x (sender crashes before
+// retransmission, or not).  With FDA enabled this space must be violation
+// free — that is the checker's reproduction of the paper's §6.1/§6.2
+// claim.
+//
+// Depth 2 (targeted, for ablations): second-order placements layer a
+// fault on frames that only exist *because of* the first fault — chiefly
+// the FDA failure-sign a first crash provokes.  Bases (single-fault
+// placements with a singleton victim and a sender crash) are examined in
+// deterministic order; for each, a probe run discovers the new FDA
+// attempts and a batch enumerates victim subsets on them.  The search
+// stops after the first base whose batch violates (lowest base, then
+// lowest in-batch index — deterministic for any thread count).
+//
+// Seeded random walks complement enumeration with multi-fault scripts
+// drawn from per-walk forked seeds (campaign::fork_seed), so walk w is
+// reproducible in isolation.
+
+#include <cstdint>
+#include <vector>
+
+#include "check/fault_script.hpp"
+#include "check/harness.hpp"
+
+namespace canely::check {
+
+struct ExploreConfig {
+  ScenarioConfig scenario{ScenarioConfig::membership()};
+  std::size_t threads{1};       ///< 0 = hardware concurrency
+  std::uint64_t seed{42};       ///< master seed for random walks
+  int depth{1};                 ///< 1 = exhaustive single fault, 2 = targeted
+  std::size_t random_walks{0};  ///< extra multi-fault random scripts
+
+  // Budget caps (0 = unlimited).  Capped explorations report what they
+  // dropped via ExploreResult::frames_in_window vs frames_targeted.
+  std::size_t max_frames{0};       ///< attempts targeted (depth 1)
+  std::size_t max_victim_sets{0};  ///< victim subsets per attempt
+  std::size_t max_bases{0};        ///< depth 2: cap bases examined (0 = all)
+  std::size_t depth2_targets{6};   ///< depth 2: new attempts per base
+
+  /// Only attempts starting before this are targeted, so consequences
+  /// surface inside the run.  zero() = duration - expel_grace - settle.
+  sim::Time fault_window{sim::Time::zero()};
+};
+
+struct FoundViolation {
+  std::size_t run_index{};  ///< position in the deterministic run order
+  FaultScript script;
+  Violation violation;      ///< first violation of that run
+};
+
+struct ExploreResult {
+  std::size_t placements{0};        ///< enumerated placements executed
+  std::size_t runs{0};              ///< total checked runs (incl. probes)
+  std::size_t frames_in_window{0};  ///< attempts eligible for targeting
+  std::size_t frames_targeted{0};   ///< attempts actually targeted
+  std::vector<FoundViolation> violations;  ///< in run order
+  std::uint64_t aggregate_hash{0};  ///< digest of every run's outcome, in
+                                    ///< enumeration order — the thread-
+                                    ///< invariance anchor
+};
+
+[[nodiscard]] ExploreResult explore(const ExploreConfig& cfg);
+
+}  // namespace canely::check

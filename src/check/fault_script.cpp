@@ -1,0 +1,24 @@
+#include "check/fault_script.hpp"
+
+namespace canely::check {
+
+can::Verdict ScriptInjector::judge(const can::TxContext& ctx) {
+  for (const FaultEvent& ev : script_) {
+    if (ev.tx != ctx.tx_index) continue;
+    if (ev.crash_sender) {
+      crash_pending_ = true;
+      crash_node_ = ctx.transmitter;
+    }
+    switch (ev.op) {
+      case FaultOp::kOmit:
+        // The bus intersects victims with the actual receivers and
+        // downgrades an empty victim set to a clean broadcast.
+        return can::Verdict::inconsistent(ev.victims);
+      case FaultOp::kError:
+        return can::Verdict::global_error();
+    }
+  }
+  return can::Verdict::ok();
+}
+
+}  // namespace canely::check

@@ -1,0 +1,191 @@
+#include "check/harness.hpp"
+
+#include <memory>
+
+#include "can/bus.hpp"
+#include "canely/mid.hpp"
+#include "canely/node.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::check {
+namespace {
+
+/// Wraps the script injector to also record the per-attempt targeting map
+/// (probe runs).  judge() sees every non-collision attempt exactly once,
+/// in wire order, with the full TxContext — including the global attempt
+/// index the scripts key on.
+class LoggingInjector final : public can::FaultInjector {
+ public:
+  LoggingInjector(FaultScript script, bool want_log)
+      : inner_{std::move(script)}, want_log_{want_log} {}
+
+  can::Verdict judge(const can::TxContext& ctx) override {
+    if (want_log_) {
+      TxLogEntry e;
+      e.tx_index = ctx.tx_index;
+      e.transmitter = ctx.transmitter;
+      e.co_transmitters = ctx.co_transmitters;
+      e.receivers = ctx.receivers;
+      e.remote = ctx.frame.remote;
+      e.start = ctx.start;
+      if (const auto mid = Mid::decode(ctx.frame); mid.has_value()) {
+        e.msg_type = static_cast<std::uint8_t>(mid->type);
+        e.mid_node = mid->node;
+      }
+      log_.push_back(e);
+    }
+    return inner_.judge(ctx);
+  }
+
+  bool take_pending_crash(can::NodeId& node) {
+    return inner_.take_pending_crash(node);
+  }
+
+  [[nodiscard]] std::vector<TxLogEntry>& log() { return log_; }
+
+ private:
+  ScriptInjector inner_;
+  bool want_log_;
+  std::vector<TxLogEntry> log_;
+};
+
+std::uint64_t hash_record(std::uint64_t h, const can::TxRecord& rec) {
+  h = fnv1a(h, static_cast<std::uint64_t>(rec.start.to_ns()));
+  h = fnv1a(h, static_cast<std::uint64_t>(rec.end.to_ns()));
+  h = fnv1a(h, rec.frame.id);
+  h = fnv1a(h, (static_cast<std::uint64_t>(rec.frame.format) << 16) |
+                   (static_cast<std::uint64_t>(rec.frame.remote) << 8) |
+                   rec.frame.dlc);
+  for (std::uint8_t byte : rec.frame.payload()) h = fnv1a(h, byte);
+  h = fnv1a(h, rec.transmitter);
+  h = fnv1a(h, rec.co_transmitters.bits());
+  h = fnv1a(h, rec.delivered_to.bits());
+  h = fnv1a(h, static_cast<std::uint64_t>(rec.outcome));
+  h = fnv1a(h, rec.bits);
+  h = fnv1a(h, static_cast<std::uint64_t>(rec.attempt));
+  return h;
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioConfig::membership(std::size_t n, bool fda_on) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.params.n = n;
+  cfg.params.heartbeat_period = sim::Time::ms(8);
+  cfg.params.tx_delay_bound = sim::Time::ms(2);
+  cfg.params.membership_cycle = sim::Time::ms(20);
+  cfg.params.rha_timeout = sim::Time::ms(5);
+  cfg.params.join_wait = sim::Time::ms(60);
+  cfg.params.fda_agreement = fda_on;
+  cfg.duration = sim::Time::ms(160);
+  return cfg;
+}
+
+sim::Time ScenarioConfig::detection_bound() const {
+  return params.heartbeat_period + 2 * params.tx_delay_bound +
+         params.fd_skew_quantum * static_cast<std::int64_t>(n) +
+         latency_margin;
+}
+
+sim::Time ScenarioConfig::converge_by() const {
+  return params.join_wait + params.membership_cycle + params.rha_timeout +
+         latency_margin;
+}
+
+sim::Time ScenarioConfig::expel_grace() const {
+  return detection_bound() + params.membership_cycle + params.rha_timeout +
+         latency_margin;
+}
+
+RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
+                      bool want_tx_log) {
+  sim::Engine engine;
+  can::BusConfig bus_cfg;
+  bus_cfg.clustering = cfg.clustering;
+  can::Bus bus{engine, bus_cfg};
+
+  LoggingInjector injector{script, want_tx_log};
+  bus.set_fault_injector(&injector);
+
+  std::vector<std::unique_ptr<Node>> nodes;
+  nodes.reserve(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    nodes.push_back(std::make_unique<Node>(
+        bus, static_cast<can::NodeId>(i), cfg.params));
+  }
+
+  // The monitor panel.
+  FdaAgreementMonitor fda_mon;
+  RhaAgreementMonitor rha_mon;
+  ViewConsistencyMonitor view_mon{cfg.expel_grace(), cfg.converge_by()};
+  FailSilenceMonitor silence_mon;
+  DetectionLatencyMonitor latency_mon{cfg.detection_bound()};
+  const std::array<Monitor*, 5> monitors{&fda_mon, &rha_mon, &view_mon,
+                                         &silence_mon, &latency_mon};
+
+  EndState end;
+  end.nodes = can::NodeSet::first_n(cfg.n);
+  end.settle = cfg.settle;
+
+  RunResult result;
+
+  // Wire the observation seams.  Protocol code keeps its own handler
+  // slots; monitors ride the secondary observer slots.
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    const auto id = static_cast<can::NodeId>(i);
+    Node& node = *nodes[i];
+    node.fda().set_nty_observer([&, id](can::NodeId failed) {
+      for (Monitor* m : monitors) m->on_fda_nty(id, failed, engine.now());
+    });
+    node.rha().set_observer([&, id](RhaEvent e, can::NodeSet agreed) {
+      if (e == RhaEvent::kEnd) {
+        for (Monitor* m : monitors) m->on_rha_end(id, agreed, engine.now());
+      }
+    });
+    node.membership().set_view_observer([&, id](can::NodeSet view) {
+      for (Monitor* m : monitors) m->on_view_installed(id, view, engine.now());
+      if (want_tx_log) {
+        result.installs[id].push_back(ViewInstall{engine.now(), view});
+      }
+    });
+  }
+
+  std::uint64_t hash = kFnvOffset;
+  bus.set_observer([&](const can::TxRecord& rec) {
+    hash = hash_record(hash, rec);
+    for (Monitor* m : monitors) m->on_tx(rec);
+    // Scripted sender crash: end of the judged frame, delivery done, the
+    // requeued retransmission still pending — crashing now withdraws it,
+    // turning the inconsistent omission into an inconsistent *message*
+    // omission (§6.1).
+    can::NodeId victim;
+    if (injector.take_pending_crash(victim) && victim < cfg.n &&
+        !nodes[victim]->crashed()) {
+      end.crashed.insert(victim);
+      end.crash_time[victim] = engine.now();
+      nodes[victim]->crash();
+      for (Monitor* m : monitors) m->on_crash(victim, engine.now());
+    }
+  });
+
+  for (auto& node : nodes) node->join();
+  engine.run_until(cfg.duration);
+
+  end.end = engine.now();
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    end.final_view[i] = nodes[i]->view();
+    if (!nodes[i]->crashed() && nodes[i]->is_member()) {
+      end.members_at_end.insert(static_cast<can::NodeId>(i));
+    }
+  }
+
+  for (Monitor* m : monitors) m->finish(end, result.violations);
+  result.trace_hash = hash;
+  result.attempts = bus.stats().attempts;
+  result.end = end.end;
+  if (want_tx_log) result.tx_log = std::move(injector.log());
+  return result;
+}
+
+}  // namespace canely::check

@@ -1,0 +1,107 @@
+#pragma once
+// Checked-run harness: build one simulation universe (engine, bus, n-node
+// CANELy stack), apply a fault script, watch it with the full monitor
+// panel, and report what happened.
+//
+// A checked run is a pure function of (ScenarioConfig, FaultScript): the
+// engine is deterministic, the script keys on the bus's global attempt
+// counter, and the harness applies scripted sender-crashes at exact frame
+// boundaries.  RunResult::trace_hash digests every completed transmission
+// attempt (timing, wire content, outcome, delivery set), so two runs are
+// byte-equivalent on the wire iff their hashes match — the anchor for the
+// replay-determinism tests and the explorer's thread-count invariance.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "can/types.hpp"
+#include "canely/params.hpp"
+#include "check/fault_script.hpp"
+#include "check/monitor.hpp"
+#include "sim/time.hpp"
+
+namespace canely::check {
+
+/// The scenario a checked run simulates: n nodes, all joining at t=0,
+/// running the full stack until `duration`.
+struct ScenarioConfig {
+  std::size_t n{8};
+  Params params{};
+  bool clustering{true};
+  sim::Time duration{sim::Time::ms(160)};
+  /// Agreement obligations first arising within `settle` of the end are
+  /// exempt (their deadline falls beyond the observation window).
+  sim::Time settle{sim::Time::ms(15)};
+  /// Slack added to the analytical detection bound (queuing jitter from
+  /// injected retransmissions).
+  sim::Time latency_margin{sim::Time::ms(2)};
+
+  /// The n=8 membership scenario the explorer enumerates: compressed
+  /// timing (Tm=20ms, Th=8ms, join_wait=60ms) so a 160ms run covers the
+  /// join phase plus several membership cycles.
+  [[nodiscard]] static ScenarioConfig membership(std::size_t n = 8,
+                                                 bool fda_on = true);
+
+  /// Detection-latency bound: Th + 2*Ttd + n*skew + margin.
+  [[nodiscard]] sim::Time detection_bound() const;
+  /// Instant by which the join phase has settled into an agreed view:
+  /// join_wait + one membership cycle + RHA termination + margin.  View
+  /// agreement is only enforced from here on — before it, nodes may
+  /// legitimately hold different bootstrap histories (Fig. 9, s18-s19).
+  [[nodiscard]] sim::Time converge_by() const;
+  /// Expulsion grace: detection bound + one membership cycle + Trha +
+  /// margin — a node crashed longer ago than this must be expelled.
+  [[nodiscard]] sim::Time expel_grace() const;
+};
+
+/// One transmission attempt as the fault injector saw it (the explorer's
+/// targeting map: which attempts exist, who sends them, who can be a
+/// victim).
+struct TxLogEntry {
+  std::uint64_t tx_index{};
+  can::NodeId transmitter{};
+  can::NodeSet co_transmitters;
+  can::NodeSet receivers;
+  std::uint8_t msg_type{0xFF};  ///< canely::MsgType, 0xFF = non-CANELy
+  can::NodeId mid_node{};       ///< node field of the decoded mid
+  bool remote{false};
+  sim::Time start{};
+};
+
+/// One membership view installation, as seen by the view observer.
+struct ViewInstall {
+  sim::Time when{};
+  can::NodeSet view;
+};
+
+/// Everything a checked run reports.
+struct RunResult {
+  std::vector<Violation> violations;
+  std::uint64_t trace_hash{0};
+  std::vector<TxLogEntry> tx_log;  ///< only when requested
+  /// Per-node view-install history; only when the tx log is requested.
+  std::array<std::vector<ViewInstall>, can::kMaxNodes> installs{};
+  std::uint64_t attempts{0};  ///< bus attempts completed
+  sim::Time end{};
+};
+
+/// Execute one checked run.  `want_tx_log` collects the per-attempt
+/// targeting map (probe runs); plain exploration runs skip it.
+[[nodiscard]] RunResult run_checked(const ScenarioConfig& cfg,
+                                    const FaultScript& script,
+                                    bool want_tx_log = false);
+
+/// FNV-1a accumulator used for the trace hash (exposed for aggregate
+/// hashing in the explorer).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t hash,
+                                            std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+}  // namespace canely::check

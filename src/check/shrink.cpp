@@ -1,0 +1,97 @@
+#include "check/shrink.hpp"
+
+#include <optional>
+
+namespace canely::check {
+namespace {
+
+/// Runs the script; returns the first violation of `monitor`, if any.
+std::optional<Violation> violates(const ScenarioConfig& cfg,
+                                  const FaultScript& script,
+                                  const std::string& monitor,
+                                  std::size_t& probes) {
+  ++probes;
+  const RunResult r = run_checked(cfg, script);
+  for (const Violation& v : r.violations) {
+    if (v.monitor == monitor) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const ScenarioConfig& cfg, FaultScript script,
+                    const std::string& monitor) {
+  ShrinkResult result;
+  auto current = violates(cfg, script, monitor, result.probes);
+  if (!current.has_value()) {
+    result.script = std::move(script);
+    return result;  // not a reproducer; nothing to shrink
+  }
+
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+
+    // (a) drop whole events.
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      FaultScript candidate = script;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (auto v = violates(cfg, candidate, monitor, result.probes)) {
+        script = std::move(candidate);
+        current = std::move(v);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+
+    // (b) weaken sender crashes.
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      if (!script[i].crash_sender) continue;
+      FaultScript candidate = script;
+      candidate[i].crash_sender = false;
+      if (auto v = violates(cfg, candidate, monitor, result.probes)) {
+        script = std::move(candidate);
+        current = std::move(v);
+        reduced = true;
+        break;
+      }
+    }
+    if (reduced) continue;
+
+    // (c) drop individual victims.
+    for (std::size_t i = 0; i < script.size() && !reduced; ++i) {
+      if (script[i].op != FaultOp::kOmit || script[i].victims.size() <= 1) {
+        continue;
+      }
+      for (can::NodeId victim : script[i].victims) {
+        FaultScript candidate = script;
+        candidate[i].victims.erase(victim);
+        if (auto v = violates(cfg, candidate, monitor, result.probes)) {
+          script = std::move(candidate);
+          current = std::move(v);
+          reduced = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Certify: no single event is removable.
+  result.locally_minimal = true;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    FaultScript candidate = script;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    if (violates(cfg, candidate, monitor, result.probes).has_value()) {
+      result.locally_minimal = false;  // greedy missed a reduction
+      break;
+    }
+  }
+
+  result.script = std::move(script);
+  result.violation = std::move(*current);
+  return result;
+}
+
+}  // namespace canely::check

@@ -1,0 +1,36 @@
+#pragma once
+// Counterexample shrinking: reduce a violating fault script to a locally
+// minimal reproducer.
+//
+// Delta-debugging flavour adapted to fault scripts: the reduction moves
+// are (a) drop a whole event, (b) weaken an event's sender-crash to a
+// plain (recovered) fault, (c) drop individual victims from an event's
+// victim set.  A move is kept iff the reduced script still violates the
+// *same* invariant (monitor name) — each probe is one deterministic
+// checked run.  Greedy to a fixpoint, then a final pass certifies local
+// minimality: removing any single remaining event makes the violation
+// disappear.
+
+#include <cstdint>
+#include <string>
+
+#include "check/fault_script.hpp"
+#include "check/harness.hpp"
+
+namespace canely::check {
+
+struct ShrinkResult {
+  FaultScript script;       ///< the reduced reproducer
+  Violation violation;      ///< the violation the reduced script triggers
+  std::size_t probes{0};    ///< checked runs spent shrinking
+  bool locally_minimal{false};  ///< no single event can be removed
+};
+
+/// Shrink `script` while it keeps violating the monitor named `monitor`.
+/// Precondition: the input script does violate it (otherwise the input is
+/// returned unchanged with locally_minimal=false).
+[[nodiscard]] ShrinkResult shrink(const ScenarioConfig& cfg,
+                                  FaultScript script,
+                                  const std::string& monitor);
+
+}  // namespace canely::check

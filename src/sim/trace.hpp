@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -47,6 +49,20 @@ class Tracer {
             std::string text) const {
     if (!enabled(level)) return;
     sink_(TraceRecord{when, level, std::string{category}, std::move(text)});
+  }
+
+  /// Lazy overload: the message is built by a callable, invoked only when
+  /// the record will actually reach a sink.  Hot-path call sites use this
+  /// so disabled tracing costs one branch and zero allocations (no
+  /// ostringstream, no std::string) — see the cat_str sites in src/can and
+  /// src/canely.
+  template <typename MakeText>
+    requires std::is_invocable_r_v<std::string, MakeText>
+  void emit(Time when, TraceLevel level, std::string_view category,
+            MakeText&& make_text) const {
+    if (!enabled(level)) return;
+    sink_(TraceRecord{when, level, std::string{category},
+                      std::forward<MakeText>(make_text)()});
   }
 
  private:

@@ -4,13 +4,18 @@
 #   tools/ci.sh            run every stage
 #   tools/ci.sh tier1      strict build (CANELY_WERROR=ON) + full ctest
 #   tools/ci.sh asan       AddressSanitizer + UBSan build, full ctest
+#   tools/ci.sh ubsan      UBSan-only build (catches UB that ASan's
+#                          shadow memory hides or alters), full ctest
 #   tools/ci.sh tsan       ThreadSanitizer build, campaign-runner tests
 #                          (the only code that spawns threads) + benches
 #                          at --threads 4
-#   tools/ci.sh perf       Release build, perf_core --quick smoke: the
-#                          bench must run and emit a structurally valid
-#                          BENCH_core.json (rates are a tracked
-#                          trajectory, never threshold-gated in CI)
+#   tools/ci.sh perf       Release build, full perf_core run; regression
+#                          guard against the committed BENCH_core.json:
+#                          any cell slower than (1 - CANELY_PERF_TOLERANCE,
+#                          default 0.30) x baseline fails the stage
+#   tools/ci.sh check      Release build of the checker (src/check);
+#                          check_explorer --quick must come back clean and
+#                          byte-identical across thread counts
 #
 # Each stage uses its own build tree under build-ci/ so the stages never
 # poison each other's CMake caches or object files.
@@ -60,54 +65,112 @@ stage_tsan() {
   done
 }
 
+stage_ubsan() {
+  echo "=== ubsan: UndefinedBehaviorSanitizer alone, full test suite ==="
+  configure_build_test build-ci/ubsan "" \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all"
+}
+
 stage_perf() {
-  echo "=== perf: Release perf_core smoke + BENCH_core.json shape ==="
+  echo "=== perf: Release perf_core vs committed BENCH_core.json ==="
   local dir=build-ci/perf
   cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$dir" -j "$JOBS" --target perf_core
-  local json=build-ci/perf/BENCH_core.json
-  (cd "$dir" && ./bench/perf_core --quick --json BENCH_core.json)
-  # Structural validation only: the emitted trajectory must contain every
-  # scenario cell with a positive rate.  Absolute numbers are machine-
-  # dependent and tracked via the committed BENCH_core.json, not gated.
-  python3 - "$json" <<'EOF'
-import json, sys
+  local json=build-ci/perf/BENCH_fresh.json
+  (cd "$dir" && ./bench/perf_core --json BENCH_fresh.json)
+  # Structural validation + regression guard: every expected cell must be
+  # present with a positive rate, and no cell may fall more than
+  # CANELY_PERF_TOLERANCE (default 30%) below the committed baseline.
+  # Absolute numbers are machine-dependent; the tolerance absorbs normal
+  # scheduling noise while catching order-of-magnitude regressions.
+  CANELY_PERF_TOLERANCE="${CANELY_PERF_TOLERANCE:-0.30}" \
+    python3 - "$json" "$ROOT/BENCH_core.json" <<'EOF'
+import json, os, sys
 
-with open(sys.argv[1]) as f:
-    doc = json.load(f)
+def rates(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc["bench"] == "perf_core", doc.get("bench")
+    cells = {}
+    for cell in doc["cells"]:
+        p = cell["params"]
+        key = p["scenario"] + (":%d" % p["nodes"] if "nodes" in p else "")
+        (metric,) = cell["metrics"].values()
+        cells[key] = metric["mean"]
+    return cells
 
-assert doc["bench"] == "perf_core", doc.get("bench")
-cells = {}
-for cell in doc["cells"]:
-    p = cell["params"]
-    key = p["scenario"] + (":%d" % p["nodes"] if "nodes" in p else "")
-    (metric,) = cell["metrics"].values()
-    cells[key] = metric["mean"]
+fresh, baseline = rates(sys.argv[1]), rates(sys.argv[2])
+tolerance = float(os.environ["CANELY_PERF_TOLERANCE"])
 
 expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
             "bus_load:64", "membership_cycle:8"]
-missing = [k for k in expected if k not in cells]
+missing = [k for k in expected if k not in fresh]
 assert not missing, f"missing cells: {missing}"
-bad = {k: v for k, v in cells.items() if not v > 0}
+bad = {k: v for k, v in fresh.items() if not v > 0}
 assert not bad, f"non-positive rates: {bad}"
-print("BENCH_core.json: %d cells, all rates positive" % len(cells))
+
+regressions = []
+for key, base in sorted(baseline.items()):
+    now = fresh.get(key)
+    if now is None:
+        regressions.append(f"{key}: cell vanished (baseline {base:.3g}/s)")
+        continue
+    ratio = now / base
+    flag = "REGRESSION" if ratio < 1 - tolerance else "ok"
+    print(f"  {key:24s} {now:14.3g}/s  baseline {base:14.3g}/s  "
+          f"x{ratio:.2f}  {flag}")
+    if ratio < 1 - tolerance:
+        regressions.append(f"{key}: {now:.3g}/s is {1 - ratio:.0%} below "
+                           f"baseline {base:.3g}/s (tolerance {tolerance:.0%})")
+if regressions:
+    print("perf regression guard FAILED:")
+    for r in regressions:
+        print("  " + r)
+    sys.exit(1)
+print(f"perf guard: {len(baseline)} cells within {tolerance:.0%} of baseline")
 EOF
+}
+
+stage_check() {
+  echo "=== check: explorer smoke + thread-count byte-identity ==="
+  local dir=build-ci/check
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target check_explorer
+  local out1 out4
+  out1="$("$dir/bench/check_explorer" --quick --threads 1)"
+  out4="$("$dir/bench/check_explorer" --quick --threads 4)"
+  echo "$out4"
+  local h1 h4
+  h1="$(echo "$out1" | grep 'aggregate hash')"
+  h4="$(echo "$out4" | grep 'aggregate hash')"
+  if [ "$h1" != "$h4" ]; then
+    echo "check: aggregate hash differs between thread counts:" >&2
+    echo "  threads 1: $h1" >&2
+    echo "  threads 4: $h4" >&2
+    exit 1
+  fi
+  echo "check: --quick clean, aggregate byte-identical for 1 and 4 threads"
 }
 
 main() {
   local stages=("$@")
   if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 asan tsan perf)
+    stages=(tier1 asan ubsan tsan perf check)
   fi
   for s in "${stages[@]}"; do
     case "$s" in
       tier1) stage_tier1 ;;
       asan) stage_asan ;;
+      ubsan) stage_ubsan ;;
       tsan) stage_tsan ;;
       perf) stage_perf ;;
+      check) stage_check ;;
       *)
-        echo "unknown stage: $s (expected tier1, asan, tsan, or perf)" >&2
+        echo "unknown stage: $s (expected tier1, asan, ubsan, tsan, perf," \
+             "or check)" >&2
         exit 2
         ;;
     esac
