@@ -18,8 +18,8 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "can/types.hpp"
@@ -64,8 +64,11 @@ class EdcanBroadcast {
   CanDriver& driver_;
   DeliverHandler deliver_;
   std::uint8_t next_seq_{0};
-  std::unordered_map<std::uint16_t, int> ndup_;  // copies seen per message
-  std::unordered_map<std::uint16_t, int> nreq_;  // own tx requests per message
+  // Ordered maps: determinism-zone code holds only containers with a
+  // defined iteration order (canely-lint no-unordered-iter); dedup state
+  // stays small (per-sender sequence window), so the tree walk is cheap.
+  std::map<std::uint16_t, int> ndup_;  // copies seen per message
+  std::map<std::uint16_t, int> nreq_;  // own tx requests per message
 };
 
 }  // namespace canely::broadcast

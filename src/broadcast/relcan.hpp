@@ -14,8 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "can/types.hpp"
@@ -64,8 +64,10 @@ class RelcanBroadcast {
   sim::Time confirm_timeout_;
   DeliverHandler deliver_;
   std::uint8_t next_seq_{0};
-  std::unordered_map<std::uint16_t, int> ndup_;
-  std::unordered_map<std::uint16_t, Pending> pending_;
+  // Ordered maps: determinism-zone code holds only containers with a
+  // defined iteration order (canely-lint no-unordered-iter).
+  std::map<std::uint16_t, int> ndup_;
+  std::map<std::uint16_t, Pending> pending_;
   std::uint64_t fallbacks_{0};
 };
 

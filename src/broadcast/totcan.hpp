@@ -21,8 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "can/types.hpp"
@@ -70,9 +70,11 @@ class TotcanBroadcast {
   sim::Time accept_timeout_;
   DeliverHandler deliver_;
   std::uint8_t next_seq_{0};
-  std::unordered_map<std::uint16_t, Buffered> buffered_;
-  std::unordered_map<std::uint16_t, int> accept_ndup_;
-  std::unordered_map<std::uint16_t, int> accept_nreq_;
+  // Ordered maps: determinism-zone code holds only containers with a
+  // defined iteration order (canely-lint no-unordered-iter).
+  std::map<std::uint16_t, Buffered> buffered_;
+  std::map<std::uint16_t, int> accept_ndup_;
+  std::map<std::uint16_t, int> accept_nreq_;
   std::uint64_t delivered_{0};
   std::uint64_t discarded_{0};
 };

@@ -1,0 +1,59 @@
+#pragma once
+// Clang thread-safety-analysis shim for the campaign runner.
+//
+// Clang's `-Wthread-safety` statically checks that data marked
+// CANELY_GUARDED_BY(mu) is only touched while `mu` is held, and that
+// functions marked CANELY_REQUIRES(mu) are only called under the lock.
+// The attributes are pure compile-time metadata: under GCC (the default
+// toolchain here) every macro expands to nothing and the wrappers below
+// compile to exactly the std::mutex / std::lock_guard code they replace.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the
+// analysis cannot see through it; Mutex / MutexLock below are thin
+// annotated wrappers that make lock acquisition visible to the checker.
+// Only src/campaign opts in (it is the one multi-threaded subsystem —
+// everything under the simulator is single-threaded by design).
+
+#if defined(__clang__)
+#define CANELY_TSA(x) __attribute__((x))
+#else
+#define CANELY_TSA(x)
+#endif
+
+#define CANELY_CAPABILITY(name) CANELY_TSA(capability(name))
+#define CANELY_SCOPED_CAPABILITY CANELY_TSA(scoped_lockable)
+#define CANELY_GUARDED_BY(mu) CANELY_TSA(guarded_by(mu))
+#define CANELY_REQUIRES(...) CANELY_TSA(requires_capability(__VA_ARGS__))
+#define CANELY_ACQUIRE(...) CANELY_TSA(acquire_capability(__VA_ARGS__))
+#define CANELY_RELEASE(...) CANELY_TSA(release_capability(__VA_ARGS__))
+#define CANELY_EXCLUDES(...) CANELY_TSA(locks_excluded(__VA_ARGS__))
+#define CANELY_NO_TSA CANELY_TSA(no_thread_safety_analysis)
+
+#include <mutex>
+
+namespace canely::campaign {
+
+/// std::mutex with the capability attribute the analysis needs.
+class CANELY_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() CANELY_ACQUIRE() { mu_.lock(); }
+  void unlock() CANELY_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over Mutex (std::lock_guard is equally opaque to the
+/// checker, so the RAII wrapper is annotated too).
+class CANELY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CANELY_ACQUIRE(mu) : mu_{mu} { mu_.lock(); }
+  ~MutexLock() CANELY_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace canely::campaign

@@ -1,10 +1,43 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <thread>
 
+#include "campaign/annotations.hpp"
+
 namespace canely::campaign {
+
+namespace {
+
+/// First-exception-wins slot shared by the worker pool.  The annotations
+/// let clang's thread-safety analysis prove every touch of `first_`
+/// happens under `mu_`.
+class ErrorSlot {
+ public:
+  /// Record the current in-flight exception unless one is already held.
+  void capture() CANELY_EXCLUDES(mu_) {
+    const MutexLock lock{mu_};
+    if (!first_) first_ = std::current_exception();
+  }
+
+  /// Rethrow the captured exception, if any.  Called after the pool has
+  /// been joined, so no lock contention — but the lock is taken anyway to
+  /// keep the guarded-by contract unconditional.
+  void rethrow_if_set() CANELY_EXCLUDES(mu_) {
+    std::exception_ptr err;
+    {
+      const MutexLock lock{mu_};
+      err = first_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr first_ CANELY_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 Runner::Runner(std::size_t threads) : threads_{threads} {
   if (threads_ == 0) {
@@ -28,8 +61,7 @@ void Runner::dispatch(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorSlot error;
 
   auto worker = [&] {
     for (;;) {
@@ -39,10 +71,7 @@ void Runner::dispatch(std::size_t count,
       try {
         body(i);
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock{error_mutex};
-          if (!first_error) first_error = std::current_exception();
-        }
+        error.capture();
         cancel();  // a failing run aborts the campaign
         return;
       }
@@ -54,7 +83,7 @@ void Runner::dispatch(std::size_t count,
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  if (first_error) std::rethrow_exception(first_error);
+  error.rethrow_if_set();
 }
 
 }  // namespace canely::campaign

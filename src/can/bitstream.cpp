@@ -39,6 +39,7 @@ std::uint16_t crc15(std::span<const std::uint8_t> bits) {
   return crc;
 }
 
+// canely-lint: hot-path
 std::size_t raw_bits_into(const Frame& frame, std::uint8_t* out) {
   BitWriter w{out};
   w.bit(false);  // SOF (dominant)
@@ -73,6 +74,7 @@ std::vector<std::uint8_t> raw_bits(const Frame& frame) {
   return bits;
 }
 
+// canely-lint: hot-path
 std::size_t stuff_into(std::span<const std::uint8_t> bits, std::uint8_t* out) {
   std::size_t n = 0;
   int run = 0;
@@ -101,6 +103,7 @@ std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits) {
   return out;
 }
 
+// canely-lint: hot-path
 std::size_t count_stuff_bits(std::span<const std::uint8_t> bits) {
   std::size_t stuffed = 0;
   int run = 0;
@@ -140,6 +143,7 @@ constexpr std::uint64_t memo_key(const Frame& f, std::size_t wire_bits) {
 
 }  // namespace
 
+// canely-lint: hot-path
 std::size_t frame_bits_on_wire(const Frame& frame) {
   static_assert(sizeof(frame.data) == sizeof(std::uint64_t));
   std::uint64_t data;
@@ -158,6 +162,7 @@ std::size_t frame_bits_on_wire(const Frame& frame) {
   return wire_bits;
 }
 
+// canely-lint: hot-path
 std::int32_t first_divergent_wire_bit(const Frame& a, const Frame& b) {
   std::uint8_t ra[kMaxRawBits];
   std::uint8_t rb[kMaxRawBits];

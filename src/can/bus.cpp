@@ -40,6 +40,7 @@ void Bus::schedule_arbitration() {
   });
 }
 
+// canely-lint: hot-path
 void Bus::begin_arbitration() {
   if (transmitting_) return;
 
@@ -182,6 +183,7 @@ void Bus::begin_arbitration() {
                          [this] { finish_transmission(); });
 }
 
+// canely-lint: hot-path
 void Bus::finish_transmission() {
   transmitting_ = false;
   // Copy out: controller callbacks may request new transmissions, and the
@@ -216,6 +218,7 @@ void Bus::finish_transmission() {
                         fx.bits, fx.attempt);
 }
 
+// canely-lint: hot-path
 void Bus::complete_transmission(const Frame& frame, NodeSet co,
                                 NodeSet receivers, Verdict verdict,
                                 sim::Time start, std::size_t bits,

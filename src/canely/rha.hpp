@@ -24,7 +24,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "can/types.hpp"
 #include "canely/driver.hpp"
@@ -103,7 +103,10 @@ class RhaProtocol {
   /// keys this by mid{RHA, #RHV}; we key by the vector value itself, which
   /// is strictly finer (two distinct concurrent vectors of equal
   /// cardinality no longer share a counter) and equal in the common case.
-  std::unordered_map<std::uint64_t, int> rhv_ndup_;
+  /// Ordered map: determinism-zone code holds only containers with a
+  /// defined iteration order (canely-lint no-unordered-iter), and an RHA
+  /// execution tracks a handful of concurrent vector values at most.
+  std::map<std::uint64_t, int> rhv_ndup_;
   Mid last_sent_mid_{};  // target for can-abort.req (r05/r09)
   bool have_pending_{false};
   std::uint64_t executions_{0};

@@ -1,0 +1,180 @@
+#include "lint/token.hpp"
+
+#include <string>
+
+namespace canely::lint {
+namespace {
+
+[[nodiscard]] constexpr bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+[[nodiscard]] constexpr bool ident_char(char c) {
+  return ident_start(c) || (c >= '0' && c <= '9');
+}
+[[nodiscard]] constexpr bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Does `id` name a raw-string prefix (R, u8R, uR, UR, LR)?
+[[nodiscard]] bool raw_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 6 + 8);
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // only whitespace seen since the last newline
+
+  const auto push = [&](TokKind kind, std::size_t begin, std::size_t end,
+                        int at) {
+    out.push_back(Token{kind, src.substr(begin, end - begin), at});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      line_start = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      push(TokKind::kComment, i, j, line);
+      i = j;
+      line_start = false;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int at = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      j = (j + 1 < n) ? j + 2 : n;
+      push(TokKind::kComment, i, j, at);
+      i = j;
+      line_start = false;
+      continue;
+    }
+    // Preprocessor line (only when '#' opens the line), with backslash
+    // continuations folded in.
+    if (c == '#' && line_start) {
+      const int at = line;
+      std::size_t j = i;
+      while (j < n) {
+        if (src[j] == '\n') {
+          if (j > i && src[j - 1] == '\\') {
+            ++line;
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      push(TokKind::kPreproc, i, j, at);
+      i = j;
+      continue;  // the newline (if any) is handled by the main loop
+    }
+
+    line_start = false;
+
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      const std::string_view id = src.substr(i, j - i);
+      // Raw string literal: prefix immediately followed by a quote.
+      if (j < n && src[j] == '"' && raw_prefix(id)) {
+        const int at = line;
+        std::size_t k = j + 1;
+        const std::size_t dstart = k;
+        while (k < n && src[k] != '(' && src[k] != '\n') ++k;
+        std::string closer = ")";
+        closer.append(src.substr(dstart, k - dstart));
+        closer.push_back('"');
+        const std::size_t e = src.find(closer, k);
+        const std::size_t end = (e == std::string_view::npos)
+                                    ? n
+                                    : e + closer.size();
+        for (std::size_t p = i; p < end; ++p) {
+          if (src[p] == '\n') ++line;
+        }
+        push(TokKind::kString, i, end, at);
+        i = end;
+        continue;
+      }
+      push(TokKind::kIdent, i, j, line);
+      i = j;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      const int at = line;
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;  // skip the escaped char
+        if (src[j] == '\n') ++line;            // unterminated; keep counting
+        ++j;
+      }
+      j = (j < n) ? j + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, i, j, at);
+      i = j;
+      continue;
+    }
+
+    if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1]))) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '\'' || d == '.') {
+          ++j;
+          continue;
+        }
+        // Exponent sign: 1e+3, 0x1p-4.
+        if ((d == '+' || d == '-') && j > i) {
+          const char p = src[j - 1];
+          if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokKind::kNumber, i, j, line);
+      i = j;
+      continue;
+    }
+
+    // Punctuation.  Only "::" and "->" are fused: rules key on them as
+    // qualifier / member-access markers; everything else is one char.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::kPunct, i, i + 2, line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      push(TokKind::kPunct, i, i + 2, line);
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, i, i + 1, line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace canely::lint

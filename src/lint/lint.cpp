@@ -1,0 +1,296 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace canely::lint {
+namespace {
+
+constexpr std::array<std::string_view, 12> kDeterminismDirs = {
+    "src/sim/",      "src/can/",       "src/canely/",   "src/broadcast/",
+    "src/campaign/", "src/check/",     "src/scenario/", "src/baselines/",
+    "src/clocksync/", "src/media/",    "src/workload/", "src/analysis/"};
+
+constexpr std::array<std::string_view, 3> kWireFiles = {
+    "src/can/types.hpp", "src/can/frame.hpp", "src/canely/mid.hpp"};
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.substr(s.size() - p.size()) == p;
+}
+
+/// A parsed, *valid* suppression: silences `rules` on `line` and
+/// `line + 1`.  Invalid directives never reach this type — they are
+/// reported as findings instead.
+struct Suppression {
+  int line;
+  std::vector<std::string> rules;
+};
+
+/// Parse every `canely-lint:` directive in the comment stream.  Valid
+/// allow()s go to `sups`; malformed ones and unknown rule names become
+/// findings.
+void collect_suppressions(std::string_view path,
+                          const std::vector<Token>& toks,
+                          std::vector<Suppression>& sups,
+                          std::vector<Finding>& out) {
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::kComment) continue;
+    const std::string_view text = t.text;
+    const std::size_t d = text.find("canely-lint:");
+    if (d == std::string_view::npos) continue;
+    // A directive must open its comment ("// canely-lint: ...");
+    // prose that merely *mentions* the grammar is not a directive.
+    if (text.find_first_not_of("/* \t", 0) != d) continue;
+    std::size_t i = d + 12;
+    while (i < text.size() && text[i] == ' ') ++i;
+    if (text.substr(i, 8) == "hot-path") continue;  // zone tag, not allow
+    if (text.substr(i, 5) != "allow") {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "unrecognized canely-lint directive; expected "
+                            "'allow(<rules>) — <reason>' or 'hot-path'"});
+      continue;
+    }
+    i += 5;
+    while (i < text.size() && text[i] == ' ') ++i;
+    if (i >= text.size() || text[i] != '(') {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "allow must list rules in parentheses: "
+                            "allow(rule-a, rule-b)"});
+      continue;
+    }
+    const std::size_t close = text.find(')', i);
+    if (close == std::string_view::npos) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "unterminated allow(...) rule list"});
+      continue;
+    }
+    // Split the rule list.
+    Suppression s{t.line, {}};
+    bool ok = true;
+    std::size_t start = i + 1;
+    for (std::size_t j = i + 1; j <= close; ++j) {
+      if (j == close || text[j] == ',') {
+        std::string_view rule = text.substr(start, j - start);
+        while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+        while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+        start = j + 1;
+        if (rule.empty()) continue;
+        if (!known_rule(rule)) {
+          out.push_back(Finding{std::string{path}, t.line, "unknown-rule",
+                                "allow() names unknown rule '" +
+                                    std::string{rule} +
+                                    "'; see canely_lint --list-rules"});
+          ok = false;
+          continue;
+        }
+        s.rules.emplace_back(rule);
+      }
+    }
+    if (s.rules.empty()) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "allow() lists no valid rule"});
+      continue;
+    }
+    // Reason: everything after the ')' minus separator punctuation
+    // (' — ', ' - ', ': ').  It must carry actual words.
+    std::size_t r = close + 1;
+    while (r < text.size() &&
+           (text[r] == ' ' || text[r] == '-' || text[r] == ':' ||
+            static_cast<unsigned char>(text[r]) >= 0x80)) {
+      ++r;  // the >=0x80 arm eats UTF-8 dashes (em/en)
+    }
+    std::string_view reason = text.substr(r);
+    const std::size_t tail = reason.find("*/");
+    if (tail != std::string_view::npos) reason = reason.substr(0, tail);
+    while (!reason.empty() && reason.back() == ' ') reason.remove_suffix(1);
+    if (reason.size() < 3) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "suppression without a reason; write "
+                            "'allow(" + s.rules.front() +
+                                ") — <why this is safe>'"});
+      continue;
+    }
+    if (ok) sups.push_back(std::move(s));
+  }
+}
+
+[[nodiscard]] bool suppressed_by(const Finding& f,
+                                 const std::vector<Suppression>& sups) {
+  // The suppression machinery must not be able to silence itself.
+  if (f.rule == "bad-suppression" || f.rule == "unknown-rule") return false;
+  for (const Suppression& s : sups) {
+    if (f.line != s.line && f.line != s.line + 1) continue;
+    if (std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Zones classify(std::string_view path) {
+  Zones z;
+  while (starts_with(path, "./")) path.remove_prefix(2);
+  if (path.find("lint_fixtures/") != std::string_view::npos) {
+    z.skip = true;
+    return z;
+  }
+  z.flags.header = ends_with(path, ".hpp") || ends_with(path, ".h");
+  for (const std::string_view dir : kDeterminismDirs) {
+    if (starts_with(path, dir)) {
+      z.flags.determinism = true;
+      break;
+    }
+  }
+  // src/socketcan/ is real-time by design: never in the determinism zone.
+  for (const std::string_view wire : kWireFiles) {
+    if (path == wire) {
+      z.flags.wire = true;
+      break;
+    }
+  }
+  return z;
+}
+
+FileResult lint_source(std::string_view path, std::string_view content) {
+  FileResult result;
+  const Zones z = classify(path);
+  if (z.skip) return result;
+
+  const std::vector<Token> toks = lex(content);
+  std::vector<Finding> raw;
+  run_rules(path, z.flags, toks, raw);
+
+  std::vector<Suppression> sups;
+  collect_suppressions(path, toks, sups, raw);
+
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  for (Finding& f : raw) {
+    if (suppressed_by(f, sups)) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  return result;
+}
+
+bool lint_paths(const std::string& root, const std::vector<std::string>& paths,
+                RunResult& result, std::string& error) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    const fs::path abs = fs::path(root) / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".hpp" && ext != ".cpp" && ext != ".h") continue;
+        files.push_back(
+            fs::relative(it->path(), root, ec).generic_string());
+      }
+      if (ec) {
+        error = "cannot walk " + abs.string() + ": " + ec.message();
+        return false;
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(fs::relative(abs, root, ec).generic_string());
+    } else {
+      error = "no such file or directory: " + abs.string();
+      return false;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& rel : files) {
+    if (classify(rel).skip) continue;
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      error = "cannot read " + rel;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string content = buf.str();
+    FileResult fr = lint_source(rel, content);
+    result.suppressed += fr.suppressed;
+    ++result.files;
+    for (Finding& f : fr.findings) result.findings.push_back(std::move(f));
+  }
+  return true;
+}
+
+std::string to_text(const RunResult& r) {
+  std::string out;
+  for (const Finding& f : r.findings) {
+    out += f.file;
+    out += ':';
+    out += std::to_string(f.line);
+    out += ':';
+    out += f.rule;
+    out += ": ";
+    out += f.message;
+    out += '\n';
+  }
+  out += "canely_lint: " + std::to_string(r.findings.size()) + " finding" +
+         (r.findings.size() == 1 ? "" : "s") + " (" +
+         std::to_string(r.suppressed) + " suppressed) in " +
+         std::to_string(r.files) + " files\n";
+  return out;
+}
+
+std::string to_json(const RunResult& r) {
+  std::string out = "{\"schema\":\"canely-lint-1\",\"files\":" +
+                    std::to_string(r.files) +
+                    ",\"suppressed\":" + std::to_string(r.suppressed) +
+                    ",\"findings\":[";
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"file\":\"";
+    json_escape(out, f.file);
+    out += "\",\"line\":" + std::to_string(f.line) + ",\"rule\":\"";
+    json_escape(out, f.rule);
+    out += "\",\"message\":\"";
+    json_escape(out, f.message);
+    out += "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace canely::lint

@@ -1,0 +1,75 @@
+#pragma once
+// canely-lint driver (DESIGN.md §10): zone classification, suppression
+// handling, file walking and output formatting on top of the rule engine
+// in rules.hpp.
+//
+// Zones are path-scoped (paths are repo-relative, '/'-separated):
+//
+//   determinism  src/{sim,can,canely,broadcast,campaign,check,scenario,
+//                baselines,clocksync,media,workload,analysis}/ — code
+//                whose output must be a pure function of its inputs.
+//   wire         src/can/types.hpp, src/can/frame.hpp, src/canely/mid.hpp
+//                — struct members must use fixed-width integer types.
+//   hot-path     any file/function tagged `// canely-lint: hot-path`.
+//   repo         every linted file; header-only rules apply to .hpp.
+//
+//   src/socketcan/ is exempt from the determinism zone (it is real-time
+//   by design: wall clocks and OS calls are its job); repo-wide rules
+//   still apply.  tests/lint_fixtures/ is never linted in tree walks —
+//   it holds deliberate violations for test_lint.cpp.
+//
+// Suppressions: `// canely-lint: allow(rule-a, rule-b) — reason` on the
+// finding's line or the line directly above.  The reason is mandatory
+// (a reason-less suppression is itself a finding, `bad-suppression`);
+// naming a rule the linter does not define is `unknown-rule`.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace canely::lint {
+
+/// Path classification.  `skip` means the file is not linted at all.
+struct Zones {
+  ZoneFlags flags;
+  bool skip{false};
+};
+[[nodiscard]] Zones classify(std::string_view path);
+
+struct FileResult {
+  std::vector<Finding> findings;  ///< unsuppressed, in source order
+  std::size_t suppressed{0};      ///< findings silenced by valid allow()s
+};
+
+/// Lint one file's content.  `path` (repo-relative, '/'-separated) is
+/// used for zone classification and in findings; the content never
+/// touches the filesystem, so tests can lint fixture text under any
+/// pretend path.
+[[nodiscard]] FileResult lint_source(std::string_view path,
+                                     std::string_view content);
+
+struct RunResult {
+  std::vector<Finding> findings;  ///< all unsuppressed, files in sorted order
+  std::size_t suppressed{0};
+  std::size_t files{0};           ///< files actually linted
+};
+
+/// Lint files and directory trees (recursively; *.hpp / *.cpp).  `paths`
+/// are relative to `root`.  Returns false and sets `error` if a path
+/// does not exist or a file cannot be read.
+[[nodiscard]] bool lint_paths(const std::string& root,
+                              const std::vector<std::string>& paths,
+                              RunResult& result, std::string& error);
+
+/// `file:line:rule: message` lines plus a summary line.
+[[nodiscard]] std::string to_text(const RunResult& r);
+
+/// Machine-readable report, schema "canely-lint-1":
+/// {"schema":"canely-lint-1","files":N,"suppressed":M,
+///  "findings":[{"file":...,"line":...,"rule":...,"message":...},...]}
+[[nodiscard]] std::string to_json(const RunResult& r);
+
+}  // namespace canely::lint

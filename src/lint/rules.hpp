@@ -1,0 +1,51 @@
+#pragma once
+// canely-lint rule engine (DESIGN.md §10).
+//
+// Rules are grouped by *zone*.  A zone is a property of the file's path
+// (determinism directories, wire-format headers, every header) or of an
+// in-source tag (`// canely-lint: hot-path`).  The engine runs every
+// zone-applicable check over one file's token stream and appends raw
+// findings; suppression filtering happens in lint.cpp, after the
+// suppression comments themselves have been validated.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+namespace canely::lint {
+
+struct Finding {
+  std::string file;   ///< repo-relative path, '/'-separated
+  int line{1};
+  std::string rule;   ///< rule id, e.g. "no-wall-clock"
+  std::string message;
+};
+
+/// Which zone-scoped rule sets apply to a file (derived from its path;
+/// see classify() in lint.hpp).  Hot-path rules always run — their scope
+/// comes from in-source tags, not the path.
+struct ZoneFlags {
+  bool determinism{false};  ///< simulated/deterministic code
+  bool wire{false};         ///< wire-format struct definitions
+  bool header{false};       ///< .hpp — header-only rules
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view zone;     ///< "determinism", "hot-path", "wire", "repo"
+  std::string_view summary;  ///< one line, shown by --list-rules
+};
+
+/// The static rule table, in display order.
+[[nodiscard]] std::span<const RuleInfo> rule_table();
+[[nodiscard]] bool known_rule(std::string_view id);
+
+/// Run all applicable rules over `toks`; append raw (pre-suppression)
+/// findings to `out`.
+void run_rules(std::string_view path, ZoneFlags zones,
+               const std::vector<Token>& toks, std::vector<Finding>& out);
+
+}  // namespace canely::lint

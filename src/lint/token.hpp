@@ -1,0 +1,37 @@
+#pragma once
+// Token model for canely-lint (DESIGN.md §10).
+//
+// The linter works on a token stream, not an AST: every rule it enforces
+// (banned identifiers, container iteration, zone tags, suppressions) is
+// decidable from tokens plus a little bracket matching, and a tokenizer
+// cannot be wrong about *where* code is the way a regex over raw text can
+// (strings, comments and preprocessor lines are classified, so a rule
+// never fires on the word "rand" inside a string literal).
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace canely::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal (incl. digit separators, exponents)
+  kString,   ///< string literal (incl. raw strings), quotes included
+  kChar,     ///< character literal, quotes included
+  kPunct,    ///< punctuation; "::" and "->" are single tokens
+  kComment,  ///< // or /* */ comment, delimiters included
+  kPreproc,  ///< a whole preprocessor line (with continuations)
+};
+
+struct Token {
+  TokKind kind{TokKind::kPunct};
+  std::string_view text;  ///< view into the source buffer
+  int line{1};            ///< 1-based line of the token's first character
+};
+
+/// Tokenize C++ source.  Never fails: unterminated constructs extend to
+/// end-of-input (the linter's job is rules, not diagnostics).
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+}  // namespace canely::lint

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+// canely-lint: hot-path
+// (whole file: the schedule→dispatch loop is the simulator's innermost
+// loop and must stay allocation-free — DESIGN.md §8)
+
 namespace canely::sim {
 
 bool Engine::dispatch_next() {

@@ -2,6 +2,10 @@
 
 #include <utility>
 
+// canely-lint: hot-path
+// (whole file: every protocol timer start/fire/cancel runs through here;
+// slots + free list keep it allocation-free in steady state)
+
 namespace canely::sim {
 
 namespace {

@@ -1,0 +1,3 @@
+#include <cstdint>
+
+inline std::uint8_t zero() { return 0; }

@@ -1,0 +1,7 @@
+#include <cstdlib>
+
+namespace canely::campaign {
+
+const char* trace_dir() { return std::getenv("CANELY_TRACE_DIR"); }
+
+}  // namespace canely::campaign

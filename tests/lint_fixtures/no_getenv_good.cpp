@@ -1,0 +1,7 @@
+#include <string>
+
+namespace canely::campaign {
+
+std::string trace_dir(const std::string& configured) { return configured; }
+
+}  // namespace canely::campaign

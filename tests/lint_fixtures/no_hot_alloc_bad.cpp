@@ -1,0 +1,17 @@
+#include <cstddef>
+#include <memory>
+
+namespace canely::tools {
+
+// Untagged: allocation here is allowed (and must not be reported).
+int* cold_alloc() { return new int{0}; }
+
+// canely-lint: hot-path
+int hot_sum(const int* xs, int n) {
+  auto scratch = std::make_unique<int[]>(static_cast<std::size_t>(n));
+  int s = 0;
+  for (int i = 0; i < n; ++i) s += xs[i];
+  return s + scratch[0];
+}
+
+}  // namespace canely::tools

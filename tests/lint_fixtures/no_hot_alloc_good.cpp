@@ -1,0 +1,13 @@
+namespace canely::tools {
+
+// canely-lint: hot-path
+int hot_sum(const int* xs, int n, int* scratch) {
+  int s = 0;
+  for (int i = 0; i < n; ++i) {
+    scratch[i] = xs[i];
+    s += scratch[i];
+  }
+  return s;
+}
+
+}  // namespace canely::tools

@@ -1,0 +1,8 @@
+#include <functional>
+
+namespace canely::tools {
+
+// canely-lint: hot-path
+int apply_hot(const std::function<int(int)>& f, int x) { return f(x); }
+
+}  // namespace canely::tools

@@ -1,0 +1,9 @@
+namespace canely::tools {
+
+// canely-lint: hot-path
+template <typename F>
+int apply_hot(F&& f, int x) {
+  return f(x);
+}
+
+}  // namespace canely::tools

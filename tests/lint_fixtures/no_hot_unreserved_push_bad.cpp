@@ -1,0 +1,17 @@
+#include <vector>
+
+namespace canely::tools {
+
+// canely-lint: hot-path
+std::vector<int> doubled(const std::vector<int>& xs) {
+  std::vector<int> out;
+  int sum = 0;
+  for (int x : xs) {
+    out.push_back(2 * x);
+    sum += x;
+  }
+  out.push_back(sum);
+  return out;
+}
+
+}  // namespace canely::tools

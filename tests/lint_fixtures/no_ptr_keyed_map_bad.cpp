@@ -1,0 +1,13 @@
+#include <map>
+
+namespace canely::check {
+
+struct Node {
+  int id;
+};
+
+int count(std::map<Node*, int>& by_addr) {
+  return static_cast<int>(by_addr.size());
+}
+
+}  // namespace canely::check

@@ -1,0 +1,13 @@
+#include <cstdint>
+#include <map>
+
+namespace canely::check {
+
+struct Node {
+  int id;
+};
+
+// Pointer *values* are fine; only pointer keys order by address.
+std::map<std::uint32_t, Node*> index_by_id();
+
+}  // namespace canely::check

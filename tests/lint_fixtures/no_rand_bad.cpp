@@ -1,0 +1,11 @@
+#include <cstdlib>
+#include <random>
+
+namespace canely::sim {
+
+int noise() {
+  std::random_device rd;
+  return rand() + static_cast<int>(rd());
+}
+
+}  // namespace canely::sim

@@ -1,0 +1,10 @@
+namespace canely::sim {
+
+template <typename Rng>
+int noise(Rng& rng) {
+  return static_cast<int>(rng.next()) + static_cast<int>(rng.random());
+}
+
+int mix(int seed) { return seed * 40503; }
+
+}  // namespace canely::sim

@@ -1,0 +1,13 @@
+#include <map>
+
+namespace canely::check {
+
+int sum_all() {
+  std::map<int, int> counts;
+  counts[3] = 4;
+  int s = 0;
+  for (const auto& kv : counts) s += kv.second;
+  return s + counts.begin()->first;
+}
+
+}  // namespace canely::check

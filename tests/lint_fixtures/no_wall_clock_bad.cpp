@@ -1,0 +1,13 @@
+#include <chrono>
+#include <ctime>
+
+namespace canely::sim {
+
+long long wall_ms() {
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long long unix_now() { return std::time(nullptr); }
+
+}  // namespace canely::sim

@@ -1,0 +1,12 @@
+namespace canely::sim {
+
+// Member calls named like wall-clock functions are fine — the rule only
+// bans the ambient (plain or std::-qualified) spellings.
+template <typename Source>
+long long sim_ms(Source& src) {
+  return src.time(0) + src.clock();
+}
+
+long long now_from(long long engine_now) { return engine_now; }
+
+}  // namespace canely::sim

@@ -1,0 +1,10 @@
+#include <cstdlib>
+
+namespace canely::sim {
+
+int jitter() {
+  // canely-lint: allow(no-rand)
+  return rand();
+}
+
+}  // namespace canely::sim

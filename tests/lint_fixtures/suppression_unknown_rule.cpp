@@ -1,0 +1,10 @@
+#include <cstdlib>
+
+namespace canely::sim {
+
+int jitter() {
+  // canely-lint: allow(no-rand, no-teleportation) — one rule name is wrong
+  return rand();
+}
+
+}  // namespace canely::sim

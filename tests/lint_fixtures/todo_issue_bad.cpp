@@ -1,0 +1,9 @@
+namespace canely::tools {
+
+// TODO: tighten this bound once the scheduler model lands
+int bound() { return 64; }
+
+/* FIXME the overflow path is untested */
+int overflow_guard() { return 1; }
+
+}  // namespace canely::tools

@@ -1,0 +1,12 @@
+namespace canely::tools {
+
+// TODO(#42): tighten this bound once the scheduler model lands
+int bound() { return 64; }
+
+// FIXME(issue 7): the overflow path is untested
+int overflow_guard() { return 1; }
+
+// AUTODOC markers contain the letters but are not TODOs.
+int documented() { return 0; }
+
+}  // namespace canely::tools

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <cstdint>
+
+using namespace std;
+
+inline uint8_t low(uint16_t v) { return static_cast<uint8_t>(v); }

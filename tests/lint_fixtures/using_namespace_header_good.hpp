@@ -1,0 +1,10 @@
+#pragma once
+
+#include <cstdint>
+
+// using-declarations (single names) are fine; only directives leak.
+using std::uint8_t;
+
+inline std::uint8_t low(std::uint16_t v) {
+  return static_cast<std::uint8_t>(v);
+}

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace canely::can {
+
+struct BadHeader {
+  unsigned id;
+  std::uint8_t dlc;
+  std::size_t payload_len;
+};
+
+}  // namespace canely::can

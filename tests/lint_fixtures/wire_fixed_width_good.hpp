@@ -1,0 +1,22 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace canely::can {
+
+enum class Kind : std::uint8_t { kData, kRemote };
+
+struct GoodHeader {
+  std::uint32_t id{0};
+  std::uint8_t dlc{0};
+  std::array<std::uint8_t, 8> data{};
+  Kind kind{Kind::kData};
+
+  // Member functions may use whatever types they like; only data
+  // members cross the wire.
+  [[nodiscard]] bool extended() const { return (id >> 29) != 0U; }
+  [[nodiscard]] int payload_bits() const { return dlc * 8; }
+};
+
+}  // namespace canely::can

@@ -152,7 +152,11 @@ TEST(ResponseTime, BlockingFromLowerPriority) {
 TEST(ResponseTime, OverloadedSetReportedUnschedulable) {
   std::vector<MessageSpec> set;
   for (int i = 0; i < 20; ++i) {
-    set.push_back({"m" + std::to_string(i), static_cast<std::uint32_t>(i),
+    // Built with += rather than "m" + std::to_string(i): GCC 12's
+    // -Wrestrict misfires on const char* + basic_string&& under -O2.
+    std::string name = "m";
+    name += std::to_string(i);
+    set.push_back({name, static_cast<std::uint32_t>(i),
                    8, can::IdFormat::kBase, false, sim::Time::ms(1),
                    sim::Time::zero(), sim::Time::zero()});
   }

@@ -1,0 +1,381 @@
+// canely-lint engine tests (DESIGN.md §10): every rule demonstrated
+// firing on a bad fixture and staying silent on its good twin, plus
+// suppression grammar, zone scoping, output formats — and a meta-test
+// asserting the real tree lints clean.
+//
+// Fixtures live in tests/lint_fixtures/ and are linted by *content*
+// under a pretend zone path; classify() hard-skips that directory in
+// tree walks, so the deliberate violations never reach CI.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace canely::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path =
+      std::string(CANELY_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lint a fixture's content under a pretend repo path (which is what
+/// decides the zones).
+FileResult lint_fixture(const std::string& name,
+                        const std::string& pretend_path) {
+  return lint_source(pretend_path, read_fixture(name));
+}
+
+std::vector<std::string> rules_of(const FileResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.findings.size());
+  for (const Finding& f : r.findings) out.push_back(f.rule);
+  return out;
+}
+
+std::string dump(const FileResult& r) {
+  std::string out;
+  for (const Finding& f : r.findings) {
+    out += f.file + ":" + std::to_string(f.line) + ":" + f.rule + ": " +
+           f.message + "\n";
+  }
+  return out;
+}
+
+// --- rule table ------------------------------------------------------------
+
+TEST(LintRules, TableListsFourteenRules) {
+  EXPECT_EQ(rule_table().size(), 14U);
+  EXPECT_TRUE(known_rule("no-wall-clock"));
+  EXPECT_TRUE(known_rule("wire-fixed-width"));
+  EXPECT_TRUE(known_rule("bad-suppression"));
+  EXPECT_FALSE(known_rule("no-teleportation"));
+}
+
+// --- zone classification ---------------------------------------------------
+
+TEST(LintClassify, DeterminismDirsWireFilesAndSkips) {
+  EXPECT_TRUE(classify("src/sim/engine.cpp").flags.determinism);
+  EXPECT_TRUE(classify("./src/broadcast/edcan.hpp").flags.determinism);
+  EXPECT_FALSE(classify("src/socketcan/gateway.cpp").flags.determinism);
+  EXPECT_FALSE(classify("tools/canely_lint.cpp").flags.determinism);
+
+  EXPECT_TRUE(classify("src/can/types.hpp").flags.wire);
+  EXPECT_TRUE(classify("src/canely/mid.hpp").flags.wire);
+  EXPECT_FALSE(classify("src/can/bus.hpp").flags.wire);
+
+  EXPECT_TRUE(classify("src/lint/lint.hpp").flags.header);
+  EXPECT_FALSE(classify("src/lint/lint.cpp").flags.header);
+
+  EXPECT_TRUE(classify("tests/lint_fixtures/no_rand_bad.cpp").skip);
+  EXPECT_FALSE(classify("tests/test_lint.cpp").skip);
+}
+
+// --- determinism zone ------------------------------------------------------
+
+TEST(LintDeterminism, WallClockFiresAndStaysSilent) {
+  const FileResult bad = lint_fixture("no_wall_clock_bad.cpp",
+                                      "src/sim/fixture.cpp");
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"no-wall-clock", "no-wall-clock"}))
+      << dump(bad);
+
+  const FileResult good = lint_fixture("no_wall_clock_good.cpp",
+                                       "src/sim/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintDeterminism, RandFiresAndStaysSilent) {
+  const FileResult bad =
+      lint_fixture("no_rand_bad.cpp", "src/sim/fixture.cpp");
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"no-rand", "no-rand"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_rand_good.cpp", "src/sim/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintDeterminism, GetenvFiresAndStaysSilent) {
+  const FileResult bad =
+      lint_fixture("no_getenv_bad.cpp", "src/campaign/fixture.cpp");
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"no-getenv"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_getenv_good.cpp", "src/campaign/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintDeterminism, UnorderedIterFiresOnDeclAndIteration) {
+  const FileResult bad =
+      lint_fixture("no_unordered_iter_bad.cpp", "src/check/fixture.cpp");
+  // Declaration, range-for, and .begin() each get a finding.
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"no-unordered-iter", "no-unordered-iter",
+                                      "no-unordered-iter"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_unordered_iter_good.cpp", "src/check/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintDeterminism, PtrKeyedMapFiresAndPointerValuesAllowed) {
+  const FileResult bad =
+      lint_fixture("no_ptr_keyed_map_bad.cpp", "src/check/fixture.cpp");
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"no-ptr-keyed-map"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_ptr_keyed_map_good.cpp", "src/check/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintDeterminism, SocketcanIsExempt) {
+  // The same ambient-randomness content is fine under src/socketcan/ —
+  // the gateway is real-time by design.
+  const FileResult r =
+      lint_fixture("no_rand_bad.cpp", "src/socketcan/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+}
+
+// --- hot-path zone ---------------------------------------------------------
+
+TEST(LintHotPath, AllocFiresInsideTaggedRegionOnly) {
+  const FileResult bad =
+      lint_fixture("no_hot_alloc_bad.cpp", "tools/fixture.cpp");
+  // The make_unique in the tagged function fires; the `new` in the
+  // untagged function above it does not.
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"no-hot-alloc"}))
+      << dump(bad);
+  EXPECT_NE(bad.findings[0].message.find("make_unique"), std::string::npos);
+
+  const FileResult good =
+      lint_fixture("no_hot_alloc_good.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintHotPath, StdFunctionFiresAndTemplateParamDoesNot) {
+  const FileResult bad =
+      lint_fixture("no_hot_function_bad.cpp", "tools/fixture.cpp");
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"no-hot-function"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_hot_function_good.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintHotPath, UnreservedPushFiresAndReserveSilences) {
+  const FileResult bad =
+      lint_fixture("no_hot_unreserved_push_bad.cpp", "tools/fixture.cpp");
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"no-hot-unreserved-push",
+                                      "no-hot-unreserved-push"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("no_hot_unreserved_push_good.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintHotPath, TagBeforeFirstBraceCoversWholeFile) {
+  const FileResult r = lint_source("tools/fixture.cpp",
+                                   "// canely-lint: hot-path\n"
+                                   "int* f() { return new int{0}; }\n"
+                                   "int* g() { return new int{1}; }\n");
+  EXPECT_EQ(rules_of(r),
+            (std::vector<std::string>{"no-hot-alloc", "no-hot-alloc"}))
+      << dump(r);
+  EXPECT_EQ(r.findings[0].line, 2);
+  EXPECT_EQ(r.findings[1].line, 3);
+}
+
+TEST(LintHotPath, RulesRunRegardlessOfPathZone) {
+  // Hot-path scope comes from the tag, not the path — even outside every
+  // determinism directory.
+  const FileResult r = lint_source("examples/fixture.cpp",
+                                   "void warm() {}\n"
+                                   "// canely-lint: hot-path\n"
+                                   "int* f() { return new int{0}; }\n");
+  EXPECT_EQ(rules_of(r), (std::vector<std::string>{"no-hot-alloc"}))
+      << dump(r);
+}
+
+// --- wire zone -------------------------------------------------------------
+
+TEST(LintWire, NonFixedWidthMembersFire) {
+  const FileResult bad =
+      lint_fixture("wire_fixed_width_bad.hpp", "src/can/types.hpp");
+  EXPECT_EQ(rules_of(bad), (std::vector<std::string>{"wire-fixed-width",
+                                                     "wire-fixed-width"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("wire_fixed_width_good.hpp", "src/can/types.hpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintWire, RuleOnlyAppliesToWireFiles) {
+  // The same struct in a non-wire header only has to satisfy the
+  // repo-wide rules.
+  const FileResult r =
+      lint_fixture("wire_fixed_width_bad.hpp", "src/can/other.hpp");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+}
+
+// --- repo-wide rules -------------------------------------------------------
+
+TEST(LintHeader, UsingNamespaceFiresInHeadersOnly) {
+  const FileResult bad = lint_fixture("using_namespace_header_bad.hpp",
+                                      "src/util/fixture.hpp");
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"no-using-namespace-header"}))
+      << dump(bad);
+
+  const FileResult good = lint_fixture("using_namespace_header_good.hpp",
+                                       "src/util/fixture.hpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+
+  // The same content under a .cpp path is not a header: no finding.
+  const FileResult cpp = lint_fixture("using_namespace_header_bad.hpp",
+                                      "src/util/fixture.cpp");
+  EXPECT_TRUE(cpp.findings.empty()) << dump(cpp);
+}
+
+TEST(LintHeader, IncludeGuardMissingFiresAndIfndefPairCounts) {
+  const FileResult bad =
+      lint_fixture("include_guard_bad.hpp", "src/util/fixture.hpp");
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"include-guard"}))
+      << dump(bad);
+  EXPECT_EQ(bad.findings[0].line, 1);
+
+  const FileResult good =
+      lint_fixture("include_guard_good.hpp", "src/util/fixture.hpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintTodo, TodoWithoutIssueFiresWithIssueDoesNot) {
+  const FileResult bad =
+      lint_fixture("todo_issue_bad.cpp", "tools/fixture.cpp");
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"todo-issue", "todo-issue"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("todo_issue_good.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+// --- suppressions ----------------------------------------------------------
+
+TEST(LintSuppress, AllowWithReasonSilencesNextLine) {
+  const FileResult r =
+      lint_fixture("suppression_ok.cpp", "src/sim/fixture.cpp");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+  EXPECT_EQ(r.suppressed, 1U);
+}
+
+TEST(LintSuppress, AllowOnTheFindingLineWorksToo) {
+  const FileResult r = lint_source(
+      "src/sim/fixture.cpp",
+      "int j() { return rand(); }  "
+      "// canely-lint: allow(no-rand) - same-line suppression\n");
+  EXPECT_TRUE(r.findings.empty()) << dump(r);
+  EXPECT_EQ(r.suppressed, 1U);
+}
+
+TEST(LintSuppress, MissingReasonIsAFindingAndDoesNotSuppress) {
+  const FileResult r =
+      lint_fixture("suppression_missing_reason.cpp", "src/sim/fixture.cpp");
+  EXPECT_EQ(rules_of(r),
+            (std::vector<std::string>{"bad-suppression", "no-rand"}))
+      << dump(r);
+  EXPECT_EQ(r.suppressed, 0U);
+}
+
+TEST(LintSuppress, UnknownRuleInvalidatesTheWholeDirective) {
+  const FileResult r =
+      lint_fixture("suppression_unknown_rule.cpp", "src/sim/fixture.cpp");
+  EXPECT_EQ(rules_of(r),
+            (std::vector<std::string>{"unknown-rule", "no-rand"}))
+      << dump(r);
+  EXPECT_EQ(r.suppressed, 0U);
+}
+
+TEST(LintSuppress, ProseMentioningTheGrammarIsNotADirective) {
+  const FileResult r = lint_source(
+      "src/sim/fixture.cpp",
+      "// See DESIGN.md for canely-lint: allow(no-rand) - grammar docs.\n"
+      "int j() { return rand(); }\n");
+  // No bad-suppression for the prose, and the rand() is NOT suppressed.
+  EXPECT_EQ(rules_of(r), (std::vector<std::string>{"no-rand"})) << dump(r);
+}
+
+TEST(LintSuppress, SuppressionFindingsCannotBeSelfSilenced) {
+  const FileResult r = lint_source(
+      "src/sim/fixture.cpp",
+      "// canely-lint: allow(bad-suppression) - pre-silence the next line\n"
+      "// canely-lint: allow(no-rand)\n");
+  EXPECT_EQ(rules_of(r), (std::vector<std::string>{"bad-suppression"}))
+      << dump(r);
+}
+
+// --- output formats --------------------------------------------------------
+
+TEST(LintOutput, TextFormatIsFileLineRuleMessage) {
+  RunResult r;
+  r.findings.push_back(
+      Finding{"src/sim/a.cpp", 7, "no-rand", "ambient randomness"});
+  r.files = 3;
+  r.suppressed = 2;
+  EXPECT_EQ(to_text(r),
+            "src/sim/a.cpp:7:no-rand: ambient randomness\n"
+            "canely_lint: 1 finding (2 suppressed) in 3 files\n");
+}
+
+TEST(LintOutput, JsonCarriesSchemaAndEscapes) {
+  RunResult r;
+  r.findings.push_back(Finding{"src/sim/a.cpp", 7, "no-rand", "say \"no\""});
+  r.files = 1;
+  EXPECT_EQ(to_json(r),
+            "{\"schema\":\"canely-lint-1\",\"files\":1,\"suppressed\":0,"
+            "\"findings\":[{\"file\":\"src/sim/a.cpp\",\"line\":7,"
+            "\"rule\":\"no-rand\",\"message\":\"say \\\"no\\\"\"}]}\n");
+}
+
+// --- tree walking ----------------------------------------------------------
+
+TEST(LintPaths, MissingPathIsAnError) {
+  RunResult r;
+  std::string err;
+  EXPECT_FALSE(lint_paths(CANELY_SOURCE_DIR, {"no/such/dir"}, r, err));
+  EXPECT_NE(err.find("no such file"), std::string::npos) << err;
+}
+
+// Meta-test: the real tree must lint clean — every rule silent or
+// explicitly suppressed with a reason.  This is the same invocation
+// `tools/ci.sh lint` makes.
+TEST(LintMeta, RepositoryLintsClean) {
+  RunResult r;
+  std::string err;
+  const bool ok = lint_paths(CANELY_SOURCE_DIR,
+                             {"src", "tests", "bench", "examples"}, r, err);
+  ASSERT_TRUE(ok) << err;
+  EXPECT_GT(r.files, 100U);  // sanity: the walk actually found the tree
+  EXPECT_TRUE(r.findings.empty()) << to_text(r);
+}
+
+}  // namespace
+}  // namespace canely::lint

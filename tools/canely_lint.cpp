@@ -1,0 +1,71 @@
+// canely_lint — project-specific static analysis for the CANELy repro
+// (DESIGN.md §10).  Enforces the invariants the test suite can only
+// check after the fact: determinism zones stay free of nondeterministic
+// sources, tagged hot paths stay allocation-free, wire structs stay
+// fixed-width.
+//
+//   canely_lint [--root DIR] [--json] PATH...   lint files/trees
+//   canely_lint --list-rules                    print the rule table
+//
+// Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage/IO error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int list_rules() {
+  std::printf("%-26s %-12s %s\n", "rule", "zone", "summary");
+  for (const canely::lint::RuleInfo& r : canely::lint::rule_table()) {
+    std::printf("%-26s %-12s %.*s\n", std::string(r.id).c_str(),
+                std::string(r.zone).c_str(),
+                static_cast<int>(r.summary.size()), r.summary.data());
+  }
+  return 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root DIR] [--json] PATH...\n"
+               "       %s --list-rules\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  canely::lint::RunResult result;
+  std::string error;
+  if (!canely::lint::lint_paths(root, paths, result, error)) {
+    std::fprintf(stderr, "canely_lint: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string report = json ? canely::lint::to_json(result)
+                                  : canely::lint::to_text(result);
+  std::fputs(report.c_str(), stdout);
+  return result.findings.empty() ? 0 : 1;
+}

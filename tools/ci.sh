@@ -16,6 +16,11 @@
 #   tools/ci.sh check      Release build of the checker (src/check);
 #                          check_explorer --quick must come back clean and
 #                          byte-identical across thread counts
+#   tools/ci.sh lint       build canely_lint and run it over src/, tests/,
+#                          bench/ and examples/ (zero unsuppressed findings
+#                          required; see DESIGN.md §10), then run-clang-tidy
+#                          against the exported compile database when
+#                          clang-tidy is installed
 #
 # Each stage uses its own build tree under build-ci/ so the stages never
 # poison each other's CMake caches or object files.
@@ -155,10 +160,30 @@ stage_check() {
   echo "check: --quick clean, aggregate byte-identical for 1 and 4 threads"
 }
 
+stage_lint() {
+  echo "=== lint: canely_lint + clang-tidy (when available) ==="
+  local dir=build-ci/lint
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target canely_lint_tool
+  "$dir/tools/canely_lint" --root "$ROOT" src tests bench examples tools
+  # clang-tidy runs the generic AST-level checks (.clang-tidy at the repo
+  # root) against the compile database the configure step exported.  The
+  # default toolchain here is GCC-only, so absence is a skip, not a failure.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "$dir" "$ROOT/src/.*\.cpp"
+  elif command -v clang-tidy >/dev/null 2>&1; then
+    find "$ROOT/src" -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -quiet -p "$dir"
+  else
+    echo "lint: clang-tidy not installed; skipping the AST-level pass"
+  fi
+}
+
 main() {
   local stages=("$@")
   if [ ${#stages[@]} -eq 0 ]; then
-    stages=(tier1 asan ubsan tsan perf check)
+    stages=(lint tier1 asan ubsan tsan perf check)
   fi
   for s in "${stages[@]}"; do
     case "$s" in
@@ -168,9 +193,10 @@ main() {
       tsan) stage_tsan ;;
       perf) stage_perf ;;
       check) stage_check ;;
+      lint) stage_lint ;;
       *)
-        echo "unknown stage: $s (expected tier1, asan, ubsan, tsan, perf," \
-             "or check)" >&2
+        echo "unknown stage: $s (expected lint, tier1, asan, ubsan, tsan," \
+             "perf, or check)" >&2
         exit 2
         ;;
     esac
