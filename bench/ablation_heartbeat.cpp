@@ -22,6 +22,7 @@
 #include "campaign/campaign.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -32,6 +33,9 @@ struct Outcome {
   double els_per_sec_per_node{0};
   double fd_bandwidth_pct{0};
   sim::Time detection_latency{sim::Time::max()};
+  /// obs::MetricsRegistry snapshot of the cell's run (Fig. 10 bookkeeping:
+  /// els.frames_sent vs heartbeat.implicit vs els.suppressed).
+  campaign::Json obs;
 };
 
 /// Periodic base-format traffic that bypasses the CANELy mid encoding —
@@ -66,6 +70,11 @@ Outcome run(sim::Time app_period, bool app_traffic_counts_as_heartbeat) {
   params.n = 8;
   params.heartbeat_period = sim::Time::ms(10);
 
+  // Structured metrics ride along; a small ring suffices (the ablation
+  // consumes the registry, not the event timeline).
+  obs::Recorder recorder{1u << 10};
+  bus.set_recorder(&recorder);
+
   std::uint64_t fd_bits = 0;
   bus.set_observer([&](const can::TxRecord& r) {
     const auto mid = Mid::decode(r.frame);
@@ -77,7 +86,8 @@ Outcome run(sim::Time app_period, bool app_traffic_counts_as_heartbeat) {
 
   std::vector<std::unique_ptr<Node>> nodes;
   for (can::NodeId id = 0; id < 8; ++id) {
-    nodes.push_back(std::make_unique<Node>(bus, id, params));
+    nodes.push_back(std::make_unique<Node>(bus, id, params, nullptr,
+                                           &recorder));
   }
   for (auto& n : nodes) n->join();
   engine.run_until(sim::Time::ms(400));
@@ -128,6 +138,7 @@ Outcome run(sim::Time app_period, bool app_traffic_counts_as_heartbeat) {
   nodes[3]->crash();
   engine.run_until(t_crash + sim::Time::ms(200));
   if (notified >= 7) out.detection_latency = last - t_crash;
+  out.obs = recorder.metrics().snapshot_json();
   return out;
 }
 
@@ -189,6 +200,7 @@ int main(int argc, char** argv) {
                 campaign::Json::number(o.fd_bandwidth_pct));
     metrics.set("detection_ms",
                 campaign::Json::number(o.detection_latency.to_ms_f()));
+    metrics.set("obs", o.obs);
     campaign::Json cell_json = campaign::Json::object();
     cell_json.set("params", campaign::params_json(params));
     cell_json.set("metrics", std::move(metrics));

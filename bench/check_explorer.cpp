@@ -18,12 +18,15 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "check/artifact.hpp"
 #include "check/explore.hpp"
 #include "check/shrink.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/recorder.hpp"
 
 namespace {
 
@@ -44,7 +47,34 @@ void usage(std::ostream& os) {
         "  --no-shrink         keep the first violating script as found\n"
         "  --artifact FILE     counterexample output "
         "(default check_counterexample.json)\n"
-        "  --replay FILE       replay an artifact and verify it\n";
+        "  --replay FILE       replay an artifact and verify it\n"
+        "  --trace-out FILE    Perfetto timeline of the final checked run\n"
+        "                      (counterexample if found, else fault-free)\n";
+}
+
+/// Re-run `script` under an observability recorder and write the Perfetto
+/// trace_event JSON.  Returns false on validation or IO failure.
+bool write_trace(const check::ScenarioConfig& scenario,
+                 const check::FaultScript& script, const std::string& path) {
+  obs::Recorder recorder;
+  (void)check::run_checked(scenario, script, /*want_tx_log=*/false,
+                           &recorder);
+  const auto events = obs::build_trace_events(recorder.ring());
+  const auto check_result = obs::validate_trace_events(events);
+  if (!check_result.ok) {
+    std::cerr << "trace validation failed: " << check_result.error << "\n";
+    return false;
+  }
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "trace: cannot write " << path << "\n";
+    return false;
+  }
+  out << obs::render_trace_json(events, &recorder.metrics(),
+                                recorder.ring());
+  std::cout << "trace written: " << path << " (" << recorder.ring().size()
+            << " events, " << recorder.ring().dropped() << " dropped)\n";
+  return true;
 }
 
 std::string hex(std::uint64_t v) {
@@ -97,6 +127,7 @@ int main(int argc, char** argv) {
   bool do_shrink = true;
   std::string artifact_path = "check_counterexample.json";
   std::string replay_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +167,8 @@ int main(int argc, char** argv) {
       artifact_path = next("--artifact");
     } else if (arg == "--replay") {
       replay_path = next("--replay");
+    } else if (arg == "--trace-out") {
+      trace_path = next("--trace-out");
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -172,6 +205,10 @@ int main(int argc, char** argv) {
 
   if (result.violations.empty()) {
     std::cout << "exploration clean: no invariant violated\n";
+    if (!trace_path.empty() &&
+        !write_trace(cfg.scenario, check::FaultScript{}, trace_path)) {
+      return 2;
+    }
     return 0;
   }
 
@@ -209,5 +246,9 @@ int main(int argc, char** argv) {
   std::cout << "artifact written: " << artifact_path << "\n"
             << "replay with: check_explorer --replay " << artifact_path
             << "\n";
+  if (!trace_path.empty() &&
+      !write_trace(cfg.scenario, script, trace_path)) {
+    return 2;
+  }
   return 1;
 }

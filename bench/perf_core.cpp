@@ -9,7 +9,10 @@
 //   * bus_load      — frames/sec through a near-saturated 8/32/64-node
 //     bus (arbitration + serialization + delivery fan-out);
 //   * membership_cycle — full CANELy membership formations/sec (8 nodes
-//     join, converge to a common view), the end-to-end macro number.
+//     join, converge to a common view), the end-to-end macro number;
+//   * trace_overhead — the bus_load workload with the obs recorder off
+//     vs on: the structured-observability emit path (typed event into the
+//     ring + counter adds) must cost <= 5% of hot-path throughput.
 //
 // Unlike the protocol benches the measured values are wall-clock rates,
 // so BENCH_core.json is a perf *trajectory* — comparable across commits
@@ -32,6 +35,7 @@
 #include "can/bitstream.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -97,9 +101,13 @@ double engine_fifo_rate(std::uint64_t target_dispatches) {
 
 /// Near-saturated bus: n controllers, each offered one data frame per
 /// n*frame_time/0.9, run until `target_frames` complete.  Frames/sec.
-double bus_load_rate(std::size_t n, std::uint64_t target_frames) {
+/// With `recorder` non-null every frame additionally feeds the obs emit
+/// path (a kFrameTx event + per-node counters).
+double bus_load_rate(std::size_t n, std::uint64_t target_frames,
+                     obs::Recorder* recorder = nullptr) {
   sim::Engine engine;
   can::Bus bus{engine};
+  bus.set_recorder(recorder);
   std::vector<std::unique_ptr<can::Controller>> ctl;
   ctl.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -218,7 +226,7 @@ int main(int argc, char** argv) {
   std::cout << "perf_core — simulator hot-path throughput (" << reps
             << " reps" << (scale > 1 ? ", quick" : "") << ")\n\n";
 
-  std::vector<double> churn, fifo, members;
+  std::vector<double> churn, fifo, members, trace_off, trace_on;
   std::vector<std::vector<double>> bus_rates;
   const std::size_t bus_sizes[] = {8, 32, 64};
   bus_rates.resize(std::size(bus_sizes));
@@ -229,6 +237,20 @@ int main(int argc, char** argv) {
       bus_rates[bi].push_back(bus_load_rate(bus_sizes[bi], bus_frames));
     }
     members.push_back(membership_cycle_rate(8, formations));
+    // Back-to-back pair so the off/on ratio sees the same machine state;
+    // alternating the order cancels any monotone drift (thermal, turbo
+    // decay) that would otherwise bias whichever side always ran second.
+    if (r % 2 == 0) {
+      trace_off.push_back(bus_load_rate(8, bus_frames));
+      obs::Recorder recorder;
+      trace_on.push_back(bus_load_rate(8, bus_frames, &recorder));
+    } else {
+      {
+        obs::Recorder recorder;
+        trace_on.push_back(bus_load_rate(8, bus_frames, &recorder));
+      }
+      trace_off.push_back(bus_load_rate(8, bus_frames));
+    }
   }
 
   const auto churn_s = campaign::summarize(churn);
@@ -257,6 +279,21 @@ int main(int argc, char** argv) {
     params.set("nodes", campaign::Json::integer(8));
     cells.push(cell("membership_cycle", std::move(params),
                     "formations_per_sec", members_s));
+  }
+  const auto trace_off_s = campaign::summarize(trace_off);
+  const auto trace_on_s = campaign::summarize(trace_on);
+  report("trace_overhead obs=0", trace_off_s, "frames/s");
+  report("trace_overhead obs=1", trace_on_s, "frames/s");
+  // Best-of rates: the max over reps is the least noise-contaminated
+  // estimate of each configuration's true speed on a shared machine.
+  std::cout << "  trace_overhead: recorder costs " << std::setprecision(1)
+            << 100.0 * (1.0 - trace_on_s.max / trace_off_s.max)
+            << "% of bus_load:8 throughput (target <= 5%)\n";
+  for (int obs_on = 0; obs_on <= 1; ++obs_on) {
+    campaign::Json params = campaign::Json::object();
+    params.set("obs", campaign::Json::integer(obs_on));
+    cells.push(cell("trace_overhead", std::move(params), "frames_per_sec",
+                    obs_on != 0 ? trace_on_s : trace_off_s));
   }
 
   if (!opts.json_path.empty()) {

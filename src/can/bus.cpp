@@ -31,6 +31,43 @@ void Bus::on_tx_request() {
   if (!transmitting_) schedule_arbitration();
 }
 
+void Bus::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr) {
+    ctr_frames_ok_ = nullptr;
+    ctr_frames_error_ = nullptr;
+    ctr_retransmissions_ = nullptr;
+    ctr_arbitration_losses_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& m = recorder_->metrics();
+  ctr_frames_ok_ = &m.counter("bus.frames_ok");
+  ctr_frames_error_ = &m.counter("bus.frames_error");
+  ctr_retransmissions_ = &m.counter("bus.retransmissions");
+  ctr_arbitration_losses_ = &m.counter("bus.arbitration_losses");
+}
+
+/// Shared kFrameTx emission for the collision and regular completions.
+/// One record per attempt, timestamped at the attempt's start with the
+/// wire occupancy in the payload — a complete timeline span per emit.
+void Bus::record_frame_end(const TxRecord& rec) {
+  obs::Event ev;
+  ev.when = rec.start;
+  ev.kind = obs::EventKind::kFrameTx;
+  ev.node = rec.transmitter;
+  ev.u.frame = {rec.frame.id, static_cast<std::uint32_t>(rec.bits),
+                static_cast<std::uint32_t>((rec.end - rec.start).to_ns()),
+                static_cast<std::uint8_t>(rec.outcome),
+                static_cast<std::uint8_t>(rec.attempt),
+                static_cast<std::uint8_t>(rec.frame.remote ? 1 : 0)};
+  recorder_->emit(ev);
+  if (rec.outcome == TxOutcome::kOk) {
+    ctr_frames_ok_->add_node(rec.transmitter);
+  } else {
+    ctr_frames_error_->add_node(rec.transmitter);
+  }
+}
+
 void Bus::schedule_arbitration() {
   if (arbitration_scheduled_) return;
   arbitration_scheduled_ = true;
@@ -110,7 +147,15 @@ void Bus::begin_arbitration() {
 
   NodeSet receivers;
   for (Controller* c : controllers_) {
-    if (c->alive() && !co.contains(c->node())) receivers.insert(c->node());
+    if (c->alive() && !co.contains(c->node())) {
+      receivers.insert(c->node());
+      // A live node with pending, non-suspended transmit work that is not
+      // co-transmitting lost this arbitration round.
+      if (ctr_arbitration_losses_ != nullptr && c->peek_tx() != nullptr &&
+          c->suspended_until() <= engine_.now()) {
+        ctr_arbitration_losses_->add_node(c->node());
+      }
+    }
   }
 
   const Frame frame = *winner;  // copy: the queue entry may be popped later
@@ -179,6 +224,9 @@ void Bus::begin_arbitration() {
   transmitting_ = true;
   in_flight_ = InFlight{frame,   co,   receivers, verdict,
                         start,   bits, attempt,   collision};
+  if (recorder_ != nullptr && attempt > 0) {
+    ctr_retransmissions_->add_node(primary->node());
+  }
   engine_.schedule_after(bit() * static_cast<std::int64_t>(bits),
                          [this] { finish_transmission(); });
 }
@@ -205,11 +253,13 @@ void Bus::finish_transmission() {
     ++stats_.collisions;
     stats_.bits_total += fx.bits;
     stats_.bits_wasted += fx.bits;
+    const TxRecord rec{fx.start, engine_.now(), fx.frame, *fx.co.begin(),
+                       fx.co,    {},           TxOutcome::kCollision,
+                       fx.bits,  fx.attempt};
+    if (recorder_ != nullptr) record_frame_end(rec);
     if (observer_) {
       auto observer = observer_;  // may replace/clear itself mid-call
-      observer(TxRecord{fx.start, engine_.now(), fx.frame, *fx.co.begin(),
-                        fx.co, {}, TxOutcome::kCollision, fx.bits,
-                        fx.attempt});
+      observer(rec);
     }
     schedule_arbitration();
     return;
@@ -331,6 +381,7 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
                           " bits=", bits);
     });
   }
+  if (recorder_ != nullptr) record_frame_end(rec);
   if (observer_) {
     // Invoke a copy: the observer may replace/clear itself mid-call.
     auto observer = observer_;

@@ -25,6 +25,7 @@
 #include "can/fault.hpp"
 #include "can/frame.hpp"
 #include "can/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/trace.hpp"
 
@@ -101,6 +102,10 @@ class Bus {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   void set_reception_filter(ReceptionFilter* filter) { filter_ = filter; }
 
+  /// Structured observability (non-owning; may be null).  Registers the
+  /// bus counters once so the hot-path updates are cached-pointer adds.
+  void set_recorder(obs::Recorder* recorder);
+
   /// Observer invoked after every completed transmission attempt; the
   /// benchmarks classify records by protocol type to split bandwidth.
   void set_observer(std::function<void(const TxRecord&)> obs) {
@@ -144,11 +149,18 @@ class Bus {
                              Verdict verdict, sim::Time start,
                              std::size_t bits, int attempt);
 
+  void record_frame_end(const TxRecord& rec);
+
   sim::Engine& engine_;
   BusConfig config_;
   const sim::Tracer* tracer_;
   FaultInjector* injector_{nullptr};
   ReceptionFilter* filter_{nullptr};
+  obs::Recorder* recorder_{nullptr};
+  obs::Counter* ctr_frames_ok_{nullptr};
+  obs::Counter* ctr_frames_error_{nullptr};
+  obs::Counter* ctr_retransmissions_{nullptr};
+  obs::Counter* ctr_arbitration_losses_{nullptr};
   std::function<void(const TxRecord&)> observer_;
   std::vector<Controller*> controllers_;      ///< attach order (delivery order)
   std::array<Controller*, kMaxNodes> by_node_{};  ///< O(1) node -> controller

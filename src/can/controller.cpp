@@ -12,6 +12,13 @@ Controller::Controller(NodeId node, Bus& bus) : node_{node}, bus_{bus} {
 
 Controller::~Controller() { bus_.detach(*this); }
 
+void Controller::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  ctr_tx_failures_ = recorder_ != nullptr
+                         ? &recorder_->metrics().counter("ctrl.tx_failures")
+                         : nullptr;
+}
+
 void Controller::request_tx(const Frame& frame) {
   if (!alive()) return;  // a mute controller silently drops requests
   PendingTx tx{frame, 0, next_seq_++};
@@ -68,6 +75,7 @@ void Controller::bus_tx_failed(const Frame& frame, bool ack_error) {
       queue_.begin(), queue_.end(),
       [&](const PendingTx& q) { return q.frame == frame; });
   if (it != queue_.end()) ++it->attempts;
+  if (ctr_tx_failures_ != nullptr) ctr_tx_failures_->add_node(node_);
   // ISO 11898 exception: an error-passive transmitter seeing an ACK error
   // does not increment TEC — otherwise a lone node would count itself out.
   if (!(ack_error && state_ == ErrorState::kErrorPassive)) {
@@ -130,6 +138,14 @@ void Controller::refresh_state() {
   if (tec_ >= 256) {
     state_ = ErrorState::kBusOff;
     queue_.clear();  // fault confinement: the node falls silent
+    if (recorder_ != nullptr) {
+      obs::Event ev;
+      ev.when = bus_.engine().now();
+      ev.kind = obs::EventKind::kBusOff;
+      ev.node = node_;
+      recorder_->emit(ev);
+      recorder_->metrics().counter("ctrl.bus_off").add_node(node_);
+    }
     if (client_ != nullptr) client_->on_bus_off();
     if (auto_recovery_) {
       // ISO 11898: rejoin after 128 * 11 recessive bits (approximated as

@@ -17,6 +17,7 @@
 
 #include "can/frame.hpp"
 #include "can/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/time.hpp"
 
 namespace canely::can {
@@ -68,6 +69,10 @@ class Controller {
   Controller& operator=(const Controller&) = delete;
 
   void set_client(ControllerClient* client) { client_ = client; }
+
+  /// Structured observability (non-owning; may be null): transmit
+  /// failures and fault-confinement shutdowns.
+  void set_recorder(obs::Recorder* recorder);
 
   [[nodiscard]] NodeId node() const { return node_; }
 
@@ -166,6 +171,8 @@ class Controller {
   NodeId node_;
   Bus& bus_;
   ControllerClient* client_{nullptr};
+  obs::Recorder* recorder_{nullptr};
+  obs::Counter* ctr_tx_failures_{nullptr};
   std::vector<AcceptanceFilter> filters_;
   std::deque<PendingTx> queue_;  // kept sorted by (arbitration key, seq)
   std::uint64_t next_seq_{1};

@@ -4,15 +4,23 @@ namespace canely {
 
 FailureDetector::FailureDetector(CanDriver& driver, sim::TimerService& timers,
                                  FdaProtocol& fda, const Params& params,
-                                 const sim::Tracer* tracer)
+                                 const sim::Tracer* tracer,
+                                 obs::Recorder* recorder)
     : driver_{driver}, timers_{timers}, fda_{fda}, params_{params},
-      tracer_{tracer} {
+      tracer_{tracer}, recorder_{recorder} {
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& m = recorder_->metrics();
+    ctr_els_sent_ = &m.counter("els.frames_sent");
+    ctr_els_suppressed_ = &m.counter("els.suppressed");
+    ctr_heartbeat_implicit_ = &m.counter("heartbeat.implicit");
+    ctr_suspicions_ = &m.counter("fd.suspicions");
+  }
   // f03: any data frame (own included) is implicit node activity; the
   // sender is identified by the node field of the mid.
-  driver_.on_data_nty([this](const Mid& mid) { on_activity(mid.node); });
+  driver_.on_data_nty([this](const Mid& mid) { on_activity(mid.node, true); });
   // f03: explicit life-signs arrive as ELS remote frames.
   driver_.on_rtr_ind(MsgType::kEls, [this](const Mid& mid, bool /*own*/) {
-    on_activity(mid.node);
+    on_activity(mid.node, false);
   });
   // f13: FDA delivers agreed failure-signs.
   fda_.set_nty_handler([this](can::NodeId r) { on_fda_nty(r); });
@@ -20,6 +28,15 @@ FailureDetector::FailureDetector(CanDriver& driver, sim::TimerService& timers,
 
 void FailureDetector::fd_can_req_start(can::NodeId r) {
   monitored_[r] = true;
+  if (recorder_ != nullptr) {
+    obs::Event ev;
+    ev.when = driver_.engine().now();
+    ev.kind = obs::EventKind::kFdTimerArm;
+    ev.node = driver_.node();
+    ev.u.peer = {r};
+    recorder_->emit(ev);
+    if (r == driver_.node()) els_credit_ = driver_.engine().now();
+  }
   fd_alarm_start(r);  // f00-f01
 }
 
@@ -49,16 +66,39 @@ void FailureDetector::fd_alarm_start(can::NodeId r) {
   });
 }
 
-void FailureDetector::on_activity(can::NodeId r) {
+void FailureDetector::on_activity(can::NodeId r, bool implicit) {
   // f03-f05: restart the surveillance timer of an actively monitored node.
   // (Activity of nodes the service was not started for is ignored —
   // starting/stopping surveillance is the upper layer's decision,
   // lines f00/f17.)
   if (!monitored_[r]) return;
+  // Fig. 10 accounting, counted once system-wide at the originator's own
+  // detector (every data frame loops back to its sender):
+  // `heartbeat.implicit` is every data frame that doubled as a life-sign;
+  // `els.suppressed` credits one avoided explicit life-sign per heartbeat
+  // period Th covered by implicit traffic — what a CANopen-style
+  // always-explicit heartbeat would have transmitted in the same span.
+  if (implicit && r == driver_.node() && recorder_ != nullptr) {
+    ctr_heartbeat_implicit_->add_node(r);
+    const sim::Time now = driver_.engine().now();
+    const std::int64_t periods = (now - els_credit_) / params_.heartbeat_period;
+    if (periods >= 1) {
+      ctr_els_suppressed_->add_node(r, static_cast<std::uint64_t>(periods));
+      els_credit_ = now;
+    }
+  }
   fd_alarm_start(r);
 }
 
 void FailureDetector::on_expiry(can::NodeId r) {
+  if (recorder_ != nullptr) {
+    obs::Event ev;
+    ev.when = driver_.engine().now();
+    ev.kind = obs::EventKind::kFdTimerExpire;
+    ev.node = driver_.node();
+    ev.u.peer = {r};
+    recorder_->emit(ev);
+  }
   if (r == driver_.node()) {
     // f07-f08: the local node stayed silent for a whole heartbeat period;
     // broadcast an explicit life-sign.  The loopback can-rtr.ind normally
@@ -68,6 +108,16 @@ void FailureDetector::on_expiry(can::NodeId r) {
     // back, the next expiry retries the life-sign instead of leaving the
     // node silent until its peers falsely suspect it.
     ++els_sent_;
+    if (recorder_ != nullptr) {
+      obs::Event ev;
+      ev.when = driver_.engine().now();
+      ev.kind = obs::EventKind::kElsSent;
+      ev.node = driver_.node();
+      ev.u.peer = {r};
+      recorder_->emit(ev);
+      ctr_els_sent_->add_node(r);
+      els_credit_ = driver_.engine().now();
+    }
     driver_.can_rtr_req(Mid{MsgType::kEls, 0, r});
     fd_alarm_start(r);
   } else {
@@ -78,6 +128,15 @@ void FailureDetector::on_expiry(can::NodeId r) {
         return sim::cat_str("n", int{driver_.node()}, " suspects node ",
                             int{r});
       });
+    }
+    if (recorder_ != nullptr) {
+      obs::Event ev;
+      ev.when = driver_.engine().now();
+      ev.kind = obs::EventKind::kFdSuspect;
+      ev.node = driver_.node();
+      ev.u.peer = {r};
+      recorder_->emit(ev);
+      ctr_suspicions_->add_node(driver_.node());
     }
     fda_.fda_can_req(r);
   }

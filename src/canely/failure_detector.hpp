@@ -17,6 +17,7 @@
 #include "canely/driver.hpp"
 #include "canely/fda.hpp"
 #include "canely/params.hpp"
+#include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -28,7 +29,8 @@ class FailureDetector {
 
   FailureDetector(CanDriver& driver, sim::TimerService& timers,
                   FdaProtocol& fda, const Params& params,
-                  const sim::Tracer* tracer = nullptr);
+                  const sim::Tracer* tracer = nullptr,
+                  obs::Recorder* recorder = nullptr);
   FailureDetector(const FailureDetector&) = delete;
   FailureDetector& operator=(const FailureDetector&) = delete;
 
@@ -50,20 +52,28 @@ class FailureDetector {
   [[nodiscard]] std::uint64_t els_sent() const { return els_sent_; }
 
  private:
-  void fd_alarm_start(can::NodeId r);  // a00-a06
-  void on_activity(can::NodeId r);     // f03-f05
-  void on_expiry(can::NodeId r);       // f06-f12
-  void on_fda_nty(can::NodeId r);      // f13-f16
+  void fd_alarm_start(can::NodeId r);            // a00-a06
+  void on_activity(can::NodeId r, bool implicit);  // f03-f05
+  void on_expiry(can::NodeId r);                 // f06-f12
+  void on_fda_nty(can::NodeId r);                // f13-f16
 
   CanDriver& driver_;
   sim::TimerService& timers_;
   FdaProtocol& fda_;
   const Params& params_;
   const sim::Tracer* tracer_;
+  obs::Recorder* recorder_;
+  obs::Counter* ctr_els_sent_{nullptr};
+  obs::Counter* ctr_els_suppressed_{nullptr};
+  obs::Counter* ctr_heartbeat_implicit_{nullptr};
+  obs::Counter* ctr_suspicions_{nullptr};
   NtyHandler nty_;
   std::array<sim::TimerId, can::kMaxNodes> tid_{};   // i00
   std::array<bool, can::kMaxNodes> monitored_{};
   std::uint64_t els_sent_{0};
+  /// Start of the current explicit-life-sign accounting window (obs:
+  /// els.suppressed credits one avoided ELS per Th of implicit coverage).
+  sim::Time els_credit_{};
 };
 
 }  // namespace canely

@@ -2,8 +2,13 @@
 
 namespace canely {
 
-FdaProtocol::FdaProtocol(CanDriver& driver, const sim::Tracer* tracer)
-    : driver_{driver}, tracer_{tracer} {
+FdaProtocol::FdaProtocol(CanDriver& driver, const sim::Tracer* tracer,
+                         obs::Recorder* recorder)
+    : driver_{driver}, tracer_{tracer}, recorder_{recorder} {
+  if (recorder_ != nullptr) {
+    ctr_rounds_ = &recorder_->metrics().counter("fda.rounds");
+    ctr_ntys_ = &recorder_->metrics().counter("fda.ntys");
+  }
   driver_.on_rtr_ind(MsgType::kFda,
                      [this](const Mid& mid, bool /*own*/) { on_rtr_ind(mid); });
 }
@@ -13,6 +18,15 @@ void FdaProtocol::fda_can_req(can::NodeId failed) {
   int& nreq = fs_nreq_[failed];
   nreq += 1;
   if (nreq == 1) {
+    if (recorder_ != nullptr) {
+      obs::Event ev;
+      ev.when = driver_.engine().now();
+      ev.kind = obs::EventKind::kFdaRoundStart;
+      ev.node = driver_.node();
+      ev.u.peer = {failed};
+      recorder_->emit(ev);
+      ctr_rounds_->add_node(driver_.node());
+    }
     driver_.can_rtr_req(Mid{MsgType::kFda, 0, failed});  // s03
   }
 }
@@ -32,6 +46,15 @@ void FdaProtocol::on_rtr_ind(const Mid& mid) {
     });
   }
   ++ntys_;
+  if (recorder_ != nullptr) {
+    obs::Event ev;
+    ev.when = driver_.engine().now();
+    ev.kind = obs::EventKind::kFdaNty;
+    ev.node = driver_.node();
+    ev.u.peer = {failed};
+    recorder_->emit(ev);
+    ctr_ntys_->add_node(driver_.node());
+  }
   if (nty_) nty_(failed);        // r03: fda-can.nty delivery
   if (nty_obs_) nty_obs_(failed);
   if (!agreement_) return;       // ablation: deliver but never echo

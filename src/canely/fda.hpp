@@ -15,6 +15,7 @@
 
 #include "can/types.hpp"
 #include "canely/driver.hpp"
+#include "obs/recorder.hpp"
 
 namespace canely {
 
@@ -24,7 +25,8 @@ class FdaProtocol {
  public:
   using NtyHandler = std::function<void(can::NodeId failed)>;
 
-  explicit FdaProtocol(CanDriver& driver, const sim::Tracer* tracer = nullptr);
+  explicit FdaProtocol(CanDriver& driver, const sim::Tracer* tracer = nullptr,
+                       obs::Recorder* recorder = nullptr);
   FdaProtocol(const FdaProtocol&) = delete;
   FdaProtocol& operator=(const FdaProtocol&) = delete;
 
@@ -67,6 +69,9 @@ class FdaProtocol {
 
   CanDriver& driver_;
   const sim::Tracer* tracer_;
+  obs::Recorder* recorder_;
+  obs::Counter* ctr_rounds_{nullptr};
+  obs::Counter* ctr_ntys_{nullptr};
   NtyHandler nty_;
   NtyHandler nty_obs_;
   bool agreement_{true};

@@ -6,9 +6,15 @@ MembershipService::MembershipService(CanDriver& driver,
                                      sim::TimerService& timers,
                                      RhaProtocol& rha, FailureDetector& fd,
                                      FdaProtocol& fda, const Params& params,
-                                     const sim::Tracer* tracer)
+                                     const sim::Tracer* tracer,
+                                     obs::Recorder* recorder)
     : driver_{driver}, timers_{timers}, rha_{rha}, fd_{fd}, fda_{fda},
-      params_{params}, tracer_{tracer} {
+      params_{params}, tracer_{tracer}, recorder_{recorder} {
+  if (recorder_ != nullptr) {
+    obs::MetricsRegistry& m = recorder_->metrics();
+    ctr_view_changes_ = &m.counter("msh.view_changes");
+    hist_settle_ = &m.histogram("msh.settle_cycles", {1, 2, 3, 4, 6, 8, 12, 16});
+  }
   driver_.on_rtr_ind(MsgType::kJoin, [this](const Mid& mid, bool /*own*/) {
     on_join_ind(mid);
   });
@@ -68,6 +74,7 @@ void MembershipService::msh_can_req_leave() {
     rjp_.clear();
     ff_.clear();
     ++views_;
+    record_view_install();
     trace([] { return "singleton leave: no peer can acknowledge; retiring "
                       "locally"; });
     if (view_obs_) view_obs_(rf_);
@@ -151,12 +158,31 @@ void MembershipService::cycle(bool timer_expired) {
                                      params_.tx_delay_bound;
   restart_cycle_timer(period);
 
+  if (!rj_.empty() || !rl_.empty()) {
+    // obs: a join/leave request is pending — count the cycles it takes
+    // until a view install absorbs it (msh.settle_cycles).
+    if (pending_cycles_ < 0) pending_cycles_ = 0;
+    ++pending_cycles_;
+  }
   if (!rj_.empty() || !rl_.empty() || !params_.skip_idle_cycles) {
     rha_.rha_can_req();  // s22-s23
   } else {
     msh_view_proc(rf_);  // s25: no changes pending; just fold failures in
   }
   in_cycle_ = false;
+}
+
+void MembershipService::record_view_install() {
+  if (recorder_ == nullptr) return;
+  obs::Event ev;
+  ev.when = driver_.engine().now();
+  ev.kind = obs::EventKind::kViewInstall;
+  ev.node = driver_.node();
+  ev.u.view = {rf_.bits()};
+  recorder_->emit(ev);
+  ctr_view_changes_->add_node(driver_.node());
+  if (pending_cycles_ > 0) hist_settle_->add(pending_cycles_);
+  pending_cycles_ = -1;
 }
 
 void MembershipService::on_rha_end(can::NodeSet rhv) {
@@ -181,6 +207,7 @@ void MembershipService::msh_view_proc(can::NodeSet rw) {
   ff_.clear();
   if (rf_ != before) {
     ++views_;
+    record_view_install();
     trace([&] { return sim::cat_str("view installed: ", rf_); });
     if (view_obs_) view_obs_(rf_);
   }

@@ -24,6 +24,7 @@
 #include "canely/fda.hpp"
 #include "canely/params.hpp"
 #include "canely/rha.hpp"
+#include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -39,7 +40,8 @@ class MembershipService {
   MembershipService(CanDriver& driver, sim::TimerService& timers,
                     RhaProtocol& rha, FailureDetector& fd, FdaProtocol& fda,
                     const Params& params,
-                    const sim::Tracer* tracer = nullptr);
+                    const sim::Tracer* tracer = nullptr,
+                    obs::Recorder* recorder = nullptr);
   MembershipService(const MembershipService&) = delete;
   MembershipService& operator=(const MembershipService&) = delete;
 
@@ -88,6 +90,7 @@ class MembershipService {
   void msh_data_proc();                      // a03-a09
   void msh_chg_nty(can::NodeSet rw, can::NodeSet fw);  // a10-a18
   void restart_cycle_timer(sim::Time duration);
+  void record_view_install();  // obs: kViewInstall + settle histogram
 
   /// Lazy trace helper: `make_text` runs only when tracing is enabled.
   template <typename MakeText>
@@ -108,6 +111,9 @@ class MembershipService {
   FdaProtocol& fda_;
   const Params& params_;
   const sim::Tracer* tracer_;
+  obs::Recorder* recorder_;
+  obs::Counter* ctr_view_changes_{nullptr};
+  obs::Histogram* hist_settle_{nullptr};
   ChangeHandler change_;
   ViewObserver view_obs_;
 
@@ -120,6 +126,9 @@ class MembershipService {
   bool started_{false};   // service running at this node (join was called)
   bool in_cycle_{false};  // re-entrancy guard (rha INIT during cycle())
   std::uint64_t views_{0};
+  /// Cycles elapsed since a join/leave request first went pending; sampled
+  /// into msh.settle_cycles at the view install that absorbs it (-1: idle).
+  int pending_cycles_{-1};
 };
 
 }  // namespace canely

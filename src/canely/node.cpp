@@ -3,17 +3,19 @@
 namespace canely {
 
 Node::Node(can::Bus& bus, can::NodeId id, const Params& params,
-           const sim::Tracer* tracer)
+           const sim::Tracer* tracer, obs::Recorder* recorder)
     : engine_{bus.engine()},
       params_{params},
+      recorder_{recorder},
       controller_{id, bus},
       driver_{controller_, engine_, tracer},
       timers_{engine_},
-      fda_{driver_, tracer},
-      rha_{driver_, timers_, params_, tracer},
-      fd_{driver_, timers_, fda_, params_, tracer},
-      msh_{driver_, timers_, rha_, fd_, fda_, params_, tracer},
+      fda_{driver_, tracer, recorder},
+      rha_{driver_, timers_, params_, tracer, recorder},
+      fd_{driver_, timers_, fda_, params_, tracer, recorder},
+      msh_{driver_, timers_, rha_, fd_, fda_, params_, tracer, recorder},
       groups_{driver_, msh_} {
+  controller_.set_recorder(recorder);
   fda_.set_agreement(params_.fda_agreement);
   // Site membership changes fan out to the process-group layer first,
   // then to the application handler.
@@ -26,6 +28,26 @@ Node::Node(can::Bus& bus, can::NodeId id, const Params& params,
                              std::span<const std::uint8_t> data, bool own) {
                         if (app_) app_(mid.node, mid.ref, data, own);
                       });
+}
+
+void Node::emit_lifecycle(obs::EventKind kind) {
+  if (recorder_ == nullptr) return;
+  obs::Event ev;
+  ev.when = engine_.now();
+  ev.kind = kind;
+  ev.node = id();
+  ev.u.view = {msh_.view().bits()};
+  recorder_->emit(ev);
+}
+
+void Node::join() {
+  emit_lifecycle(obs::EventKind::kNodeJoin);
+  msh_.msh_can_req_join();
+}
+
+void Node::leave() {
+  emit_lifecycle(obs::EventKind::kNodeLeave);
+  msh_.msh_can_req_leave();
 }
 
 void Node::send(std::uint8_t stream, std::span<const std::uint8_t> data) {
@@ -64,6 +86,7 @@ void Node::periodic_tick(std::uint8_t stream) {
 void Node::crash() {
   if (crashed_) return;
   crashed_ = true;
+  emit_lifecycle(obs::EventKind::kNodeCrash);
   controller_.crash();
   timers_.cancel_all();  // every protocol timer and traffic stream dies
 }

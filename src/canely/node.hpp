@@ -35,6 +35,7 @@
 #include "canely/mid.hpp"
 #include "canely/params.hpp"
 #include "canely/rha.hpp"
+#include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -49,7 +50,7 @@ class Node {
                                         bool own)>;
 
   Node(can::Bus& bus, can::NodeId id, const Params& params,
-       const sim::Tracer* tracer = nullptr);
+       const sim::Tracer* tracer = nullptr, obs::Recorder* recorder = nullptr);
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -58,10 +59,10 @@ class Node {
   // -- membership -----------------------------------------------------------
 
   /// Request integration into the set of active sites.
-  void join() { msh_.msh_can_req_join(); }
+  void join();
 
   /// Request withdrawal from the site membership view.
-  void leave() { msh_.msh_can_req_leave(); }
+  void leave();
 
   /// Current site membership view (msh-can.req GET).
   [[nodiscard]] can::NodeSet view() const { return msh_.view(); }
@@ -140,9 +141,11 @@ class Node {
 
  private:
   void periodic_tick(std::uint8_t stream);
+  void emit_lifecycle(obs::EventKind kind);
 
   sim::Engine& engine_;
   Params params_;
+  obs::Recorder* recorder_;
   can::Controller controller_;
   CanDriver driver_;
   sim::TimerService timers_;

@@ -25,8 +25,13 @@ can::NodeSet from_wire(std::span<const std::uint8_t> payload) {
 }  // namespace
 
 RhaProtocol::RhaProtocol(CanDriver& driver, sim::TimerService& timers,
-                         const Params& params, const sim::Tracer* tracer)
-    : driver_{driver}, timers_{timers}, params_{params}, tracer_{tracer} {
+                         const Params& params, const sim::Tracer* tracer,
+                         obs::Recorder* recorder)
+    : driver_{driver}, timers_{timers}, params_{params}, tracer_{tracer},
+      recorder_{recorder} {
+  if (recorder_ != nullptr) {
+    ctr_executions_ = &recorder_->metrics().counter("rha.executions");
+  }
   driver_.on_data_ind(
       MsgType::kRha,
       [this](const Mid& mid, std::span<const std::uint8_t> payload,
@@ -62,6 +67,13 @@ void RhaProtocol::rha_init_send(can::NodeSet rw) {
     tracer_->emit(driver_.engine().now(), sim::TraceLevel::kInfo, "rha", [&] {
       return sim::cat_str("n", int{driver_.node()}, " init rhv=", rhv_);
     });
+  }
+  if (recorder_ != nullptr) {
+    obs::Event ev;
+    ev.when = driver_.engine().now();
+    ev.kind = obs::EventKind::kRhaRoundStart;
+    ev.node = driver_.node();
+    recorder_->emit(ev);
   }
   send_rhv();                                  // a07
   if (nty_) nty_(RhaEvent::kInit, can::NodeSet{});  // a08
@@ -113,6 +125,14 @@ void RhaProtocol::on_alarm() {
   }
   const can::NodeSet agreed = rhv_;
   ++executions_;
+  if (recorder_ != nullptr) {
+    obs::Event ev;
+    ev.when = driver_.engine().now();
+    ev.kind = obs::EventKind::kRhaRoundEnd;
+    ev.node = driver_.node();
+    recorder_->emit(ev);
+    ctr_executions_->add_node(driver_.node());
+  }
   tid_ = sim::kNullTimer;  // r16
   rhv_.clear();            // r17
   rhv_ndup_.clear();       // fresh counters for the next execution (i00)

@@ -29,6 +29,7 @@
 #include "can/types.hpp"
 #include "canely/driver.hpp"
 #include "canely/params.hpp"
+#include "obs/recorder.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -52,7 +53,8 @@ class RhaProtocol {
   using NtyHandler = std::function<void(RhaEvent, can::NodeSet)>;
 
   RhaProtocol(CanDriver& driver, sim::TimerService& timers,
-              const Params& params, const sim::Tracer* tracer = nullptr);
+              const Params& params, const sim::Tracer* tracer = nullptr,
+              obs::Recorder* recorder = nullptr);
   RhaProtocol(const RhaProtocol&) = delete;
   RhaProtocol& operator=(const RhaProtocol&) = delete;
 
@@ -93,6 +95,8 @@ class RhaProtocol {
   sim::TimerService& timers_;
   const Params& params_;
   const sim::Tracer* tracer_;
+  obs::Recorder* recorder_;
+  obs::Counter* ctr_executions_{nullptr};
   SharedSetsProvider shared_;
   NtyHandler nty_;
   NtyHandler obs_;

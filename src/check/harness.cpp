@@ -99,7 +99,7 @@ sim::Time ScenarioConfig::expel_grace() const {
 }
 
 RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
-                      bool want_tx_log) {
+                      bool want_tx_log, obs::Recorder* recorder) {
   sim::Engine engine;
   can::BusConfig bus_cfg;
   bus_cfg.clustering = cfg.clustering;
@@ -107,13 +107,21 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
 
   LoggingInjector injector{script, want_tx_log};
   bus.set_fault_injector(&injector);
+  bus.set_recorder(recorder);
 
   std::vector<std::unique_ptr<Node>> nodes;
   nodes.reserve(cfg.n);
   for (std::size_t i = 0; i < cfg.n; ++i) {
     nodes.push_back(std::make_unique<Node>(
-        bus, static_cast<can::NodeId>(i), cfg.params));
+        bus, static_cast<can::NodeId>(i), cfg.params, nullptr, recorder));
   }
+  obs::Histogram* hist_detect =
+      recorder != nullptr
+          ? &recorder->metrics().histogram(
+                "fd.detection_latency_us",
+                {1'000, 2'000, 5'000, 10'000, 20'000, 50'000, 100'000,
+                 200'000})
+          : nullptr;
 
   // The monitor panel.
   FdaAgreementMonitor fda_mon;
@@ -137,6 +145,9 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
     Node& node = *nodes[i];
     node.fda().set_nty_observer([&, id](can::NodeId failed) {
       for (Monitor* m : monitors) m->on_fda_nty(id, failed, engine.now());
+      if (hist_detect != nullptr && end.crashed.contains(failed)) {
+        hist_detect->add((engine.now() - end.crash_time[failed]).to_us());
+      }
     });
     node.rha().set_observer([&, id](RhaEvent e, can::NodeSet agreed) {
       if (e == RhaEvent::kEnd) {
@@ -181,6 +192,11 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
   }
 
   for (Monitor* m : monitors) m->finish(end, result.violations);
+  if (recorder != nullptr) {
+    obs::set_run_gauges(*recorder, engine.dispatched(),
+                        bus.stats().bits_total, bus_cfg.bit_rate_bps,
+                        cfg.duration);
+  }
   result.trace_hash = hash;
   result.attempts = bus.stats().attempts;
   result.end = end.end;

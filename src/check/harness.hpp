@@ -19,6 +19,7 @@
 #include "canely/params.hpp"
 #include "check/fault_script.hpp"
 #include "check/monitor.hpp"
+#include "obs/recorder.hpp"
 #include "sim/time.hpp"
 
 namespace canely::check {
@@ -88,9 +89,13 @@ struct RunResult {
 
 /// Execute one checked run.  `want_tx_log` collects the per-attempt
 /// targeting map (probe runs); plain exploration runs skip it.
+/// `recorder`, when non-null, captures the structured observability feed
+/// (typed events + metrics) of the run — used to attach a Perfetto
+/// timeline to counterexample artifacts.
 [[nodiscard]] RunResult run_checked(const ScenarioConfig& cfg,
                                     const FaultScript& script,
-                                    bool want_tx_log = false);
+                                    bool want_tx_log = false,
+                                    obs::Recorder* recorder = nullptr);
 
 /// FNV-1a accumulator used for the trace hash (exposed for aggregate
 /// hashing in the explorer).

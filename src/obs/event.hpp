@@ -1,0 +1,98 @@
+#pragma once
+// Typed observability events (DESIGN.md §11, docs/OBSERVABILITY.md).
+//
+// One fixed-size POD record per protocol-visible occurrence, written into
+// a preallocated ring (obs/ring.hpp) on the simulator's hot paths — so the
+// record must be trivially copyable, self-contained (no pointers, no
+// strings) and cheap to construct in place.  The payload union carries the
+// few protocol-specific fields a timeline renderer needs; everything else
+// (rates, totals, distributions) lives in the metrics registry instead.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/time.hpp"
+
+namespace canely::obs {
+
+/// What happened.  The enumerators group by emitting layer; the Perfetto
+/// writer (obs/perfetto.hpp) maps each group onto its own track.
+enum class EventKind : std::uint8_t {
+  // can::Bus — the wire.  One record per completed transmission attempt;
+  // `when` is the attempt's start and the payload carries its duration, so
+  // a single emit yields a full timeline span (Perfetto 'X' event) at half
+  // the hot-path cost of a start/end pair.
+  kFrameTx,        ///< transmission attempt: when=start, payload has dur
+  // can::Controller — fault confinement.
+  kBusOff,         ///< TEC reached 256; the controller silenced itself
+  // canely::FailureDetector (§6.3).
+  kFdTimerArm,     ///< surveillance of `peer` started (fd-can.req START)
+  kFdTimerExpire,  ///< surveillance timer for `peer` ran out
+  kElsSent,        ///< explicit life-sign remote frame requested
+  kFdSuspect,      ///< remote silent beyond Th+Ttd; FDA invoked for `peer`
+  // canely::FdaProtocol (§6.2, Fig. 6).
+  kFdaRoundStart,  ///< fda-can.req issued for failed node `peer`
+  kFdaNty,         ///< fda-can.nty delivered for failed node `peer`
+  // canely::RhaProtocol (§6.2, Fig. 7).
+  kRhaRoundStart,  ///< an RHA execution started at this node
+  kRhaRoundEnd,    ///< the execution delivered its agreed vector
+  // canely::MembershipService (§6.4).
+  kViewInstall,    ///< a new view R_F was installed (payload: bitmap)
+  // canely::Node lifecycle.
+  kNodeJoin,       ///< msh-can.req(JOIN) issued
+  kNodeLeave,      ///< msh-can.req(LEAVE) issued
+  kNodeCrash,      ///< fail-silent crash of the whole node
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kFrameTx: return "frame_tx";
+    case EventKind::kBusOff: return "bus_off";
+    case EventKind::kFdTimerArm: return "fd_timer_arm";
+    case EventKind::kFdTimerExpire: return "fd_timer_expire";
+    case EventKind::kElsSent: return "els_sent";
+    case EventKind::kFdSuspect: return "fd_suspect";
+    case EventKind::kFdaRoundStart: return "fda_round_start";
+    case EventKind::kFdaNty: return "fda_nty";
+    case EventKind::kRhaRoundStart: return "rha_round_start";
+    case EventKind::kRhaRoundEnd: return "rha_round_end";
+    case EventKind::kViewInstall: return "view_install";
+    case EventKind::kNodeJoin: return "node_join";
+    case EventKind::kNodeLeave: return "node_leave";
+    case EventKind::kNodeCrash: return "node_crash";
+  }
+  return "?";
+}
+
+/// One observability record: 32 bytes, trivially copyable, no heap.
+struct Event {
+  sim::Time when{};        ///< sim time of the occurrence (never wall clock)
+  EventKind kind{};
+  std::uint8_t node{};     ///< emitting node (bus events: the transmitter)
+
+  union Payload {
+    /// kFrameTx.
+    struct Frame {
+      std::uint32_t id;       ///< CAN identifier (29-bit extended)
+      std::uint32_t bits;     ///< bus time consumed, in bit-times
+      std::uint32_t dur_ns;   ///< wire occupancy (frame end - `when`)
+      std::uint8_t outcome;   ///< can::TxOutcome
+      std::uint8_t attempt;   ///< retransmission ordinal, 0-based
+      std::uint8_t remote;    ///< 1 for remote frames
+    } frame;
+    /// kFdTimerArm/Expire, kFdSuspect, kFdaRoundStart, kFdaNty.
+    struct Peer {
+      std::uint8_t peer;      ///< the watched / failed node
+    } peer;
+    /// kViewInstall: the new R_F as a NodeSet bitmap.
+    struct View {
+      std::uint64_t members;
+    } view;
+    std::uint64_t raw;
+  } u{};
+};
+
+static_assert(std::is_trivially_copyable_v<Event>);
+static_assert(sizeof(Event) <= 32, "obs::Event must stay ring-friendly");
+
+}  // namespace canely::obs

@@ -1,0 +1,75 @@
+#pragma once
+// Bounded event ring (DESIGN.md §11).
+//
+// The structured observability path must be allocation-free after setup:
+// the ring preallocates its full capacity at construction and `push` is a
+// store plus two index updates — no branches that can allocate, no
+// callbacks.  When full it overwrites the oldest record (drop-oldest) and
+// counts the loss, so a long soak degrades to "most recent window" instead
+// of growing without bound or silently lying about coverage.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace canely::obs {
+
+class EventRing {
+ public:
+  /// 1 MiB of records by default — generous for a scenario run, bounded
+  /// for a soak.  tools/ci.sh `obs` fails a reference scenario whose
+  /// default-sized ring drops anything.
+  static constexpr std::size_t kDefaultCapacity = 1u << 15;
+
+  explicit EventRing(std::size_t capacity = kDefaultCapacity)
+      : storage_(capacity) {}
+
+  /// Record an event; O(1), allocation-free.  Capacity 0 drops everything.
+  /// The not-yet-full case is the common one (a run that fits its ring)
+  /// and takes a single predictable branch.
+  void push(const Event& e) {
+    const std::size_t cap = storage_.size();
+    if (size_ != cap) {
+      storage_[next_] = e;
+      next_ = next_ + 1 == cap ? 0 : next_ + 1;
+      ++size_;
+      return;
+    }
+    ++dropped_;
+    if (cap == 0) return;
+    storage_[next_] = e;
+    next_ = next_ + 1 == cap ? 0 : next_ + 1;
+  }
+
+  /// Retained records, oldest first; `i` in [0, size()).
+  [[nodiscard]] const Event& at(std::size_t i) const {
+    std::size_t idx = start() + i;
+    if (idx >= storage_.size()) idx -= storage_.size();
+    return storage_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  /// Records overwritten (or refused, capacity 0) since construction.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    next_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t start() const {
+    return size_ < storage_.size() ? 0 : next_;
+  }
+
+  std::vector<Event> storage_;
+  std::size_t next_{0};
+  std::size_t size_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace canely::obs

@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <functional>
 #include <iomanip>
@@ -103,8 +104,10 @@ std::string candump_line(const can::TxRecord& r) {
 
 }  // namespace
 
-Report run_script(const std::string& text, const FrameTrace& trace) {
+Report run_script(const std::string& text, const RunOptions& options) {
   Report report;
+  const FrameTrace& trace = options.trace;
+  obs::Recorder* recorder = options.recorder;
 
   // ---- parse ----------------------------------------------------------
   std::size_t n_nodes = 0;
@@ -219,10 +222,30 @@ Report run_script(const std::string& text, const FrameTrace& trace) {
       trace(candump_line(r));
     });
   }
+  bus.set_recorder(recorder);
   std::vector<std::unique_ptr<Node>> nodes;
   for (std::size_t i = 0; i < n_nodes; ++i) {
     nodes.push_back(std::make_unique<Node>(
-        bus, static_cast<can::NodeId>(i), params));
+        bus, static_cast<can::NodeId>(i), params, nullptr, recorder));
+  }
+
+  // Detection-latency sampling (§6.3): measure from the crash instant to
+  // the consistent fda-can.nty delivery at each surviving node.  The
+  // scenario runner owns the crash schedule, so it is the one place both
+  // endpoints of the interval are visible.
+  std::array<sim::Time, can::kMaxNodes> crash_time{};
+  std::array<bool, can::kMaxNodes> crash_seen{};
+  if (recorder != nullptr) {
+    obs::Histogram& detect = recorder->metrics().histogram(
+        "fd.detection_latency_us",
+        {1'000, 2'000, 5'000, 10'000, 20'000, 50'000, 100'000, 200'000});
+    for (const auto& node : nodes) {
+      node->fda().set_nty_observer(
+          [&engine, &crash_time, &crash_seen, &detect](can::NodeId failed) {
+            if (!crash_seen[failed]) return;
+            detect.add((engine.now() - crash_time[failed]).to_us());
+          });
+    }
   }
 
   // ---- schedule the events ---------------------------------------------
@@ -240,13 +263,16 @@ Report run_script(const std::string& text, const FrameTrace& trace) {
       if (!ids) {
         if (!bad("bad node list")) return report;
       }
-      engine.schedule_at(ev.at, [&nodes, verb = ev.verb, ids = *ids] {
+      engine.schedule_at(ev.at, [&engine, &nodes, &crash_time, &crash_seen,
+                                 verb = ev.verb, ids = *ids] {
         for (can::NodeId id : ids) {
           if (verb == "join") {
             nodes[id]->join();
           } else if (verb == "leave") {
             nodes[id]->leave();
           } else {
+            crash_seen[id] = true;
+            crash_time[id] = engine.now();
             nodes[id]->crash();
           }
         }
@@ -345,10 +371,14 @@ Report run_script(const std::string& text, const FrameTrace& trace) {
   for (const Expectation& e : report.expectations) {
     if (!e.passed) report.ok = false;
   }
+  if (recorder != nullptr) {
+    obs::set_run_gauges(*recorder, engine.dispatched(),
+                        bus.stats().bits_total, bitrate, run_for);
+  }
   return report;
 }
 
-Report run_script_file(const std::string& path, const FrameTrace& trace) {
+Report run_script_file(const std::string& path, const RunOptions& options) {
   std::ifstream f{path};
   if (!f) {
     Report r;
@@ -358,7 +388,19 @@ Report run_script_file(const std::string& path, const FrameTrace& trace) {
   }
   std::ostringstream ss;
   ss << f.rdbuf();
-  return run_script(ss.str(), trace);
+  return run_script(ss.str(), options);
+}
+
+Report run_script(const std::string& text, const FrameTrace& trace) {
+  RunOptions options;
+  options.trace = trace;
+  return run_script(text, options);
+}
+
+Report run_script_file(const std::string& path, const FrameTrace& trace) {
+  RunOptions options;
+  options.trace = trace;
+  return run_script_file(path, options);
 }
 
 }  // namespace canely::scenario

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "can/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/time.hpp"
 
 namespace canely::scenario {
@@ -56,12 +57,28 @@ struct Report {
 /// ("(0.123456) ccan0 18008003#0102... ; ELS node=3 ok").
 using FrameTrace = std::function<void(const std::string& line)>;
 
+/// Optional execution hooks.
+struct RunOptions {
+  FrameTrace trace;  ///< candump-style per-frame text lines
+  /// Structured observability sink.  When set, every node and the bus
+  /// record typed events and metrics into it; the runner additionally
+  /// samples `fd.detection_latency_us` (crash verb -> fda-can.nty at each
+  /// surviving node) and fills the run gauges before returning.
+  obs::Recorder* recorder{nullptr};
+};
+
 /// Parse and execute a scenario script.  Never throws on bad input: a
 /// parse error is reported in Report::parse_error with ok == false.
 [[nodiscard]] Report run_script(const std::string& text,
-                                const FrameTrace& trace = {});
+                                const RunOptions& options);
 
 /// Convenience: load the script from a file.
+[[nodiscard]] Report run_script_file(const std::string& path,
+                                     const RunOptions& options);
+
+/// Back-compatible overloads (frame trace only).
+[[nodiscard]] Report run_script(const std::string& text,
+                                const FrameTrace& trace = {});
 [[nodiscard]] Report run_script_file(const std::string& path,
                                      const FrameTrace& trace = {});
 

@@ -6,6 +6,8 @@
 // object handed down through constructors (no globals), with an is-enabled
 // fast path so disabled tracing costs one branch.
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -78,17 +80,61 @@ template <typename... Args>
   return os.str();
 }
 
-/// A sink that appends records to a vector (for tests).
+/// A sink that collects records into a bounded buffer (for tests and
+/// debug soaks).  Capacity is explicit; once full, the oldest record is
+/// overwritten and `dropped()` counts the overwrites — a long soak with a
+/// debug sink holds the most recent `capacity()` records instead of
+/// growing without limit.
 class TraceBuffer {
  public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity)
+      : capacity_{capacity == 0 ? 1 : capacity} {}
+
   [[nodiscard]] Tracer::Sink sink() {
-    return [this](const TraceRecord& r) { records_.push_back(r); };
+    return [this](const TraceRecord& r) { push(r); };
   }
-  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+
+  /// Records in arrival order, oldest first.  Lazily linearizes the ring
+  /// (a rotate, amortized over reads) so callers keep the familiar
+  /// vector view.
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    if (next_ != 0) {
+      std::rotate(records_.begin(),
+                  records_.begin() + static_cast<std::ptrdiff_t>(next_),
+                  records_.end());
+      next_ = 0;
+    }
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    records_.clear();
+    next_ = 0;
+    dropped_ = 0;
+  }
 
  private:
-  std::vector<TraceRecord> records_;
+  void push(const TraceRecord& r) {
+    if (records_.size() < capacity_) {
+      records_.push_back(r);
+      return;
+    }
+    records_[next_] = r;
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  std::size_t capacity_;
+  // Mutable: records() linearizes in place without changing the logical
+  // contents.
+  mutable std::vector<TraceRecord> records_;
+  mutable std::size_t next_{0};
+  std::uint64_t dropped_{0};
 };
 
 /// A sink that prints to an ostream as "[   123.4us] cat: text".

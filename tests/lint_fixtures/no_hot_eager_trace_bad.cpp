@@ -1,0 +1,23 @@
+#include <string>
+
+namespace canely::tools {
+
+struct FakeTracer {
+  void emit(long when, int level, const char* cat,
+            const std::string& text) const;
+};
+
+std::string cat_str(const char* head, int tail);
+
+// Untagged: eager message building is allowed here (and must not be
+// reported).
+void cold_note(const FakeTracer& tracer, int node) {
+  tracer.emit(0, 2, "fd", cat_str("node ", node));
+}
+
+// canely-lint: hot-path
+void hot_note(const FakeTracer& tracer, int node) {
+  tracer.emit(0, 2, "fd", cat_str("node ", node));
+}
+
+}  // namespace canely::tools

@@ -1,0 +1,18 @@
+#include <string>
+
+namespace canely::tools {
+
+struct FakeTracer {
+  template <typename MakeText>
+  void emit(long when, int level, const char* cat, MakeText&& make) const;
+};
+
+std::string cat_str(const char* head, int tail);
+
+// canely-lint: hot-path
+void hot_note(const FakeTracer& tracer, int node) {
+  // Lazy form: the message is built only when the record reaches a sink.
+  tracer.emit(0, 2, "fd", [&] { return cat_str("node ", node); });
+}
+
+}  // namespace canely::tools

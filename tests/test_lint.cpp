@@ -54,8 +54,8 @@ std::string dump(const FileResult& r) {
 
 // --- rule table ------------------------------------------------------------
 
-TEST(LintRules, TableListsFourteenRules) {
-  EXPECT_EQ(rule_table().size(), 14U);
+TEST(LintRules, TableListsFifteenRules) {
+  EXPECT_EQ(rule_table().size(), 15U);
   EXPECT_TRUE(known_rule("no-wall-clock"));
   EXPECT_TRUE(known_rule("wire-fixed-width"));
   EXPECT_TRUE(known_rule("bad-suppression"));
@@ -187,6 +187,20 @@ TEST(LintHotPath, UnreservedPushFiresAndReserveSilences) {
 
   const FileResult good =
       lint_fixture("no_hot_unreserved_push_good.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintHotPath, EagerTraceFiresAndLazyLambdaDoesNot) {
+  const FileResult bad =
+      lint_fixture("no_hot_eager_trace_bad.cpp", "tools/fixture.cpp");
+  // The eager cat_str in the tagged function fires; the identical call in
+  // the untagged function above it does not.
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"no-hot-eager-trace"}))
+      << dump(bad);
+  EXPECT_NE(bad.findings[0].message.find("cat_str"), std::string::npos);
+
+  const FileResult good =
+      lint_fixture("no_hot_eager_trace_good.cpp", "tools/fixture.cpp");
   EXPECT_TRUE(good.findings.empty()) << dump(good);
 }
 

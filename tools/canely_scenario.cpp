@@ -2,35 +2,55 @@
 // src/scenario/scenario.hpp for the DSL) and report expectations.
 //
 //   $ ./tools/canely_scenario scenarios/crash_detection.scn
+//   $ ./tools/canely_scenario --trace-out=trace.json scenarios/crash.scn
 //
 // Exit status: 0 when every expectation held, 1 otherwise.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "obs/perfetto.hpp"
+#include "obs/recorder.hpp"
 #include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
   bool trace = false;
+  std::string trace_out;
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "-t") == 0 ||
         std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     } else {
       path = argv[i];
     }
   }
   if (path == nullptr) {
-    std::cerr << "usage: canely_scenario [-t] <script.scn>\n"
-              << "  -t   dump every bus frame (candump-style)\n";
+    std::cerr << "usage: canely_scenario [-t] [--trace-out=<file>] "
+                 "<script.scn>\n"
+              << "  -t                  dump every bus frame "
+                 "(candump-style)\n"
+              << "  --trace-out=<file>  write a Chrome trace_event JSON "
+                 "(Perfetto-loadable)\n";
     return 2;
   }
-  canely::scenario::FrameTrace sink;
+  canely::scenario::RunOptions options;
   if (trace) {
-    sink = [](const std::string& line) { std::cout << line << "\n"; };
+    options.trace = [](const std::string& line) {
+      std::cout << line << "\n";
+    };
   }
-  const auto report = canely::scenario::run_script_file(path, sink);
+  std::unique_ptr<canely::obs::Recorder> recorder;
+  if (!trace_out.empty()) {
+    recorder = std::make_unique<canely::obs::Recorder>();
+    options.recorder = recorder.get();
+  }
+  const auto report = canely::scenario::run_script_file(path, options);
   if (!report.parse_error.empty()) {
     std::cerr << "error: " << report.parse_error << "\n";
     return 2;
@@ -43,6 +63,24 @@ int main(int argc, char** argv) {
   std::cout << "bus: " << report.frames_ok << " frames ok, "
             << report.frames_error << " destroyed, " << report.bits_total
             << " bit-times over " << report.duration.to_ms() << " ms\n";
+  if (recorder != nullptr) {
+    const auto events = canely::obs::build_trace_events(recorder->ring());
+    const auto check = canely::obs::validate_trace_events(events);
+    if (!check.ok) {
+      std::cerr << "trace validation failed: " << check.error << "\n";
+      return 2;
+    }
+    std::ofstream out{trace_out};
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_out << "\n";
+      return 2;
+    }
+    out << canely::obs::render_trace_json(events, &recorder->metrics(),
+                                          recorder->ring());
+    std::cout << "trace: " << recorder->ring().size() << " events ("
+              << recorder->ring().dropped() << " dropped) -> " << trace_out
+              << "\n";
+  }
   std::cout << (report.ok ? "OK\n" : "FAILED\n");
   return report.ok ? 0 : 1;
 }

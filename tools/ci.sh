@@ -101,7 +101,11 @@ def rates(path):
     cells = {}
     for cell in doc["cells"]:
         p = cell["params"]
-        key = p["scenario"] + (":%d" % p["nodes"] if "nodes" in p else "")
+        key = p["scenario"]
+        if "nodes" in p:
+            key += ":%d" % p["nodes"]
+        if "obs" in p:
+            key += ":obs%d" % p["obs"]
         (metric,) = cell["metrics"].values()
         cells[key] = metric["mean"]
     return cells
@@ -110,7 +114,8 @@ fresh, baseline = rates(sys.argv[1]), rates(sys.argv[2])
 tolerance = float(os.environ["CANELY_PERF_TOLERANCE"])
 
 expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
-            "bus_load:64", "membership_cycle:8"]
+            "bus_load:64", "membership_cycle:8", "trace_overhead:obs0",
+            "trace_overhead:obs1"]
 missing = [k for k in expected if k not in fresh]
 assert not missing, f"missing cells: {missing}"
 bad = {k: v for k, v in fresh.items() if not v > 0}
@@ -160,6 +165,69 @@ stage_check() {
   echo "check: --quick clean, aggregate byte-identical for 1 and 4 threads"
 }
 
+stage_obs() {
+  echo "=== obs: scenario trace export, structural + loss validation ==="
+  local dir=build-ci/obs
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target canely_scenario_tool
+  local trace=build-ci/obs/trace_crash_detection.json
+  "$dir/tools/canely_scenario" --trace-out="$trace" \
+    "$ROOT/scenarios/crash_detection.scn"
+  # The exported timeline must parse as Chrome trace_event JSON, keep
+  # every B/E duration pair balanced per track, carry the §6.3 metrics
+  # with nonzero values, and record zero drops at the default ring size.
+  python3 - "$trace" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+events = doc["traceEvents"]
+assert events, "empty traceEvents"
+
+stacks = {}
+async_open = {}
+last_ts = {}
+for ev in events:
+    ph = ev["ph"]
+    if ph == "M":
+        continue
+    track = (ev["pid"], ev["tid"])
+    ts = ev["ts"]
+    assert last_ts.get(track, -1e18) <= ts, f"ts not monotone on {track}"
+    last_ts[track] = ts
+    if ph == "B":
+        stacks.setdefault(track, []).append(ev["name"])
+    elif ph == "E":
+        stack = stacks.get(track)
+        assert stack, f"E without B on {track}"
+        stack.pop()
+    elif ph == "b":
+        async_open[(ev["cat"], ev["id"])] = ev["name"]
+    elif ph == "e":
+        assert (ev["cat"], ev["id"]) in async_open, "e without b"
+        del async_open[(ev["cat"], ev["id"])]
+leftover = {t: s for t, s in stacks.items() if s}
+assert not leftover, f"unbalanced duration events: {leftover}"
+
+other = doc["otherData"]
+assert other["dropped_events"] == 0, \
+    f"{other['dropped_events']} events dropped at default ring size"
+
+counters = doc["metrics"]["counters"]
+for name in ("els.frames_sent", "heartbeat.implicit"):
+    total = counters[name]["total"] if isinstance(counters[name], dict) \
+        else counters[name]
+    assert total > 0, f"{name} is zero"
+detect = doc["metrics"]["histograms"]["fd.detection_latency_us"]
+assert detect["count"] > 0, "no detection-latency samples"
+print(f"obs: {len(events)} trace events, spans balanced, 0 dropped, "
+      f"detection latency max {detect['max']} us over "
+      f"{detect['count']} samples")
+EOF
+}
+
 stage_lint() {
   echo "=== lint: canely_lint + clang-tidy (when available) ==="
   local dir=build-ci/lint
@@ -183,7 +251,7 @@ stage_lint() {
 main() {
   local stages=("$@")
   if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint tier1 asan ubsan tsan perf check)
+    stages=(lint tier1 asan ubsan tsan perf check obs)
   fi
   for s in "${stages[@]}"; do
     case "$s" in
@@ -193,10 +261,11 @@ main() {
       tsan) stage_tsan ;;
       perf) stage_perf ;;
       check) stage_check ;;
+      obs) stage_obs ;;
       lint) stage_lint ;;
       *)
         echo "unknown stage: $s (expected lint, tier1, asan, ubsan, tsan," \
-             "perf, or check)" >&2
+             "perf, check, or obs)" >&2
         exit 2
         ;;
     esac
