@@ -58,10 +58,27 @@ inline constexpr std::size_t kMaxStuffedBits =
 std::size_t raw_bits_into(const Frame& frame, std::uint8_t* out);
 
 /// CRC-15-CAN (x^15+x^14+x^10+x^8+x^7+x^4+x^3+1) over a bit sequence.
+/// Word-parallel: gathers eight byte-per-bit input bytes at a time and
+/// steps a 256-entry table once per gathered byte.
 [[nodiscard]] std::uint16_t crc15(std::span<const std::uint8_t> bits);
 
+/// Bit-at-a-time reference implementations of the word-parallel routines
+/// below.  Slow and obviously correct; retained as the oracle for the
+/// property suite (tests/test_bitstream_parallel.cpp) and for inputs
+/// longer than the stack packing buffers.
+[[nodiscard]] std::uint16_t crc15_reference(std::span<const std::uint8_t> bits);
+std::size_t stuff_into_reference(std::span<const std::uint8_t> bits,
+                                 std::uint8_t* out);
+[[nodiscard]] std::size_t count_stuff_bits_reference(
+    std::span<const std::uint8_t> bits);
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> destuff_reference(
+    std::span<const std::uint8_t> bits);
+
 /// Apply ISO 11898 bit stuffing (a complement bit after every run of five
-/// equal bits) to a bit sequence.
+/// equal bits) to a bit sequence.  stuff_into/count_stuff_bits/destuff
+/// are word-parallel: the input is packed 64 bits to a word and processed
+/// run by run (countl_zero finds each run in one step) instead of bit by
+/// bit.
 [[nodiscard]] std::vector<std::uint8_t> stuff(std::span<const std::uint8_t> bits);
 
 /// Allocation-free core of stuff(): write the stuffed sequence into

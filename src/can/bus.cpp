@@ -15,15 +15,51 @@ void Bus::attach(Controller& controller) {
   if (by_node_[controller.node()] != nullptr) {
     throw std::logic_error("Bus::attach: duplicate node id");
   }
-  controllers_.push_back(&controller);
+  controller.set_attach_ordinal(next_ordinal_++);
+  live_.push_back(&controller);  // new ordinal is the maximum: stays sorted
+  live_set_.insert(controller.node());
   by_node_[controller.node()] = &controller;
 }
 
 void Bus::detach(Controller& controller) {
-  std::erase(controllers_, &controller);
+  std::erase(live_, &controller);
+  std::erase(contenders_, &controller);
   if (controller.node() < kMaxNodes &&
       by_node_[controller.node()] == &controller) {
     by_node_[controller.node()] = nullptr;
+    live_set_.erase(controller.node());
+  }
+}
+
+void Bus::on_liveness_lost(Controller& controller) {
+  live_set_.erase(controller.node());
+  live_stale_ = true;  // compacted at the next arbitration/completion
+}
+
+void Bus::on_liveness_gained(Controller& controller) {
+  // Only bus-off recovery lands here — always from its own engine event,
+  // never mid-loop, so compacting and inserting is safe.
+  compact_live();
+  live_set_.insert(controller.node());
+  const auto pos = std::lower_bound(
+      live_.begin(), live_.end(), &controller,
+      [](const Controller* a, const Controller* b) {
+        return a->attach_ordinal() < b->attach_ordinal();
+      });
+  live_.insert(pos, &controller);
+}
+
+void Bus::set_contender(Controller& controller, bool contending) {
+  if (contending) {
+    contenders_.push_back(&controller);
+  } else {
+    // Swap-remove: contender iteration order carries no semantics.
+    if (const auto it = std::find(contenders_.begin(), contenders_.end(),
+                                  &controller);
+        it != contenders_.end()) {
+      *it = contenders_.back();
+      contenders_.pop_back();
+    }
   }
 }
 
@@ -50,7 +86,11 @@ void Bus::set_recorder(obs::Recorder* recorder) {
 /// Shared kFrameTx emission for the collision and regular completions.
 /// One record per attempt, timestamped at the attempt's start with the
 /// wire occupancy in the payload — a complete timeline span per emit.
-void Bus::record_frame_end(const TxRecord& rec) {
+/// An orphaned slot (all co-transmitters died mid-frame, §6.1) records
+/// the dead transmitter as historical context only: the error completion
+/// is counted bus-wide, not charged to a node that could not have taken
+/// part in signaling it.
+void Bus::record_frame_end(const TxRecord& rec, bool orphaned) {
   obs::Event ev;
   ev.when = rec.start;
   ev.kind = obs::EventKind::kFrameTx;
@@ -59,10 +99,13 @@ void Bus::record_frame_end(const TxRecord& rec) {
                 static_cast<std::uint32_t>((rec.end - rec.start).to_ns()),
                 static_cast<std::uint8_t>(rec.outcome),
                 static_cast<std::uint8_t>(rec.attempt),
-                static_cast<std::uint8_t>(rec.frame.remote ? 1 : 0)};
+                static_cast<std::uint8_t>(rec.frame.remote ? 1 : 0),
+                static_cast<std::uint8_t>(orphaned ? 1 : 0)};
   recorder_->emit(ev);
   if (rec.outcome == TxOutcome::kOk) {
     ctr_frames_ok_->add_node(rec.transmitter);
+  } else if (orphaned) {
+    ctr_frames_error_->add();
   } else {
     ctr_frames_error_->add_node(rec.transmitter);
   }
@@ -80,15 +123,19 @@ void Bus::schedule_arbitration() {
 // canely-lint: hot-path
 void Bus::begin_arbitration() {
   if (transmitting_) return;
+  compact_live();  // safe point: no live_ iteration is in flight
 
-  // Collect the head-of-queue frame of every live controller.
-  // Error-passive controllers in their suspend-transmission window do
-  // not contend (ISO 11898); if they are the only candidates, retry the
-  // arbitration when the earliest suspension lapses.
+  // Collect the head-of-queue frame of every contender (live controller
+  // with queued transmit work — kept current by Controller, so idle and
+  // dead nodes cost nothing here).  Error-passive controllers in their
+  // suspend-transmission window do not contend (ISO 11898); if they are
+  // the only candidates, retry the arbitration when the earliest
+  // suspension lapses.  The winner is the strict (arbitration key, node)
+  // minimum, so the contender list's iteration order is immaterial.
   const Frame* winner = nullptr;
   Controller* primary = nullptr;
   sim::Time earliest_suspended = sim::Time::max();
-  for (Controller* c : controllers_) {
+  for (Controller* c : contenders_) {
     const Frame* f = c->peek_tx();
     if (f == nullptr) continue;
     if (c->suspended_until() > engine_.now()) {
@@ -128,7 +175,7 @@ void Bus::begin_arbitration() {
   NodeSet co;
   bool collision = false;
   std::int32_t divergence_bit = -1;
-  for (Controller* c : controllers_) {
+  for (Controller* c : contenders_) {
     const Frame* f = c->peek_tx();
     if (f == nullptr) continue;
     if (c->suspended_until() > engine_.now()) continue;
@@ -145,23 +192,26 @@ void Bus::begin_arbitration() {
     }
   }
 
-  NodeSet receivers;
-  for (Controller* c : controllers_) {
-    if (c->alive() && !co.contains(c->node())) {
-      receivers.insert(c->node());
-      // A live node with pending, non-suspended transmit work that is not
-      // co-transmitting lost this arbitration round.
-      if (ctr_arbitration_losses_ != nullptr && c->peek_tx() != nullptr &&
+  // Everyone live and not co-transmitting receives: one bitmap subtraction
+  // instead of a per-node scan.
+  const NodeSet receivers = live_set_.minus(co);
+  if (ctr_arbitration_losses_ != nullptr) {
+    // A live node with pending, non-suspended transmit work that is not
+    // co-transmitting lost this arbitration round.
+    for (Controller* c : contenders_) {
+      if (!co.contains(c->node()) &&
           c->suspended_until() <= engine_.now()) {
         ctr_arbitration_losses_->add_node(c->node());
       }
     }
   }
 
+  // Memoize the wire length on the queued frame first, so the InFlight
+  // copy (and any retransmission of the same queue entry) inherits it.
+  const std::size_t frame_bits = frame_bits_on_wire(*winner);
   const Frame frame = *winner;  // copy: the queue entry may be popped later
   const int attempt = primary->head_attempts();
   const sim::Time start = engine_.now();
-  const std::size_t frame_bits = frame_bits_on_wire(frame);
 
   Verdict verdict;
   if (collision) {
@@ -239,8 +289,10 @@ void Bus::finish_transmission() {
   const InFlight fx = in_flight_;
   if (fx.collision) {
     // Penalize all contenders and count the wasted bus time.
+    bool any_alive = false;
     for (NodeId id : fx.co) {
       if (Controller* c = controller_for(id); c != nullptr && c->alive()) {
+        any_alive = true;
         c->bus_tx_failed(fx.frame, false);
       }
     }
@@ -256,7 +308,7 @@ void Bus::finish_transmission() {
     const TxRecord rec{fx.start, engine_.now(), fx.frame, *fx.co.begin(),
                        fx.co,    {},           TxOutcome::kCollision,
                        fx.bits,  fx.attempt};
-    if (recorder_ != nullptr) record_frame_end(rec);
+    if (recorder_ != nullptr) record_frame_end(rec, !any_alive);
     if (observer_) {
       auto observer = observer_;  // may replace/clear itself mid-call
       observer(rec);
@@ -273,23 +325,22 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
                                 NodeSet receivers, Verdict verdict,
                                 sim::Time start, std::size_t bits,
                                 int attempt) {
+  compact_live();  // safe point: no live_ iteration is in flight
   // Nodes may have crashed mid-frame; deliver only to the living.  If
   // every co-transmitter died mid-frame the frame was cut short: treat as
   // a global error with no retransmission (the sender is gone) — this is
   // precisely how an inconsistent omission becomes an inconsistent
   // *message* omission when the sender fails before retransmitting (§6.1).
-  // One lookup pass; the outcome branches below reuse the pointers.
+  // One lookup pass over the (small) co-transmitter set; the outcome
+  // branches below reuse the pointers.
   Controller* alive[kMaxNodes];
   std::size_t n_alive = 0;
-  NodeSet co_alive;
-  for (NodeId id : co) {
-    Controller* c = by_node_[id];
-    if (c != nullptr && c->alive()) {
-      co_alive.insert(id);
-      alive[n_alive++] = c;
-    }
+  NodeSet co_alive = co.intersected(live_set_);
+  for (NodeId id : co_alive) {
+    alive[n_alive++] = by_node_[id];
   }
-  if (co_alive.empty()) {
+  const bool orphaned = co_alive.empty();
+  if (orphaned) {
     verdict.kind = FaultKind::kGlobalError;
   }
 
@@ -315,15 +366,36 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
       for (std::size_t i = 0; i < n_alive; ++i) {
         alive[i]->bus_tx_succeeded(frame);
       }
-      for (Controller* c : controllers_) {
-        if (!c->alive()) continue;
-        const bool own = co_alive.contains(c->node());
-        if (!own && filter_ != nullptr &&
-            !filter_->receives(rec.transmitter, c->node(), frame)) {
-          continue;  // media partition hid the frame from this node
+      // Index loop: a delivery callback may kill another controller
+      // (flagging live_ stale — compacted next frame) but never inserts,
+      // so the bound is fixed and the skip below stays correct.  The
+      // delivered set starts as the live-set snapshot and only loses
+      // members on a skip — the common full-delivery frame does no
+      // per-receiver set work at all.
+      rec.delivered_to = live_set_;
+      if (filter_ == nullptr) {
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+          Controller* c = live_[i];
+          if (!c->alive()) {  // died earlier in this very loop
+            rec.delivered_to.erase(c->node());
+            continue;
+          }
+          c->bus_rx_deliver(frame, co_alive.contains(c->node()));
         }
-        c->bus_rx_deliver(frame, own);
-        rec.delivered_to.insert(c->node());
+      } else {
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+          Controller* c = live_[i];
+          if (!c->alive()) {
+            rec.delivered_to.erase(c->node());
+            continue;
+          }
+          const bool own = co_alive.contains(c->node());
+          if (!own && !filter_->receives(rec.transmitter, c->node(), frame)) {
+            rec.delivered_to.erase(c->node());
+            continue;  // media partition hid the frame from this node
+          }
+          c->bus_rx_deliver(frame, own);
+        }
       }
       break;
     }
@@ -381,20 +453,16 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
                           " bits=", bits);
     });
   }
-  if (recorder_ != nullptr) record_frame_end(rec);
+  if (recorder_ != nullptr) record_frame_end(rec, orphaned);
   if (observer_) {
     // Invoke a copy: the observer may replace/clear itself mid-call.
     auto observer = observer_;
     observer(rec);
   }
 
-  // Anything still pending (including the retransmission just scheduled)?
-  for (Controller* c : controllers_) {
-    if (c->peek_tx() != nullptr) {
-      schedule_arbitration();
-      break;
-    }
-  }
+  // Anything still pending (including the retransmission just kept
+  // queued)?  The contender list is exactly "live with queued work".
+  if (!contenders_.empty()) schedule_arbitration();
 }
 
 }  // namespace canely::can

@@ -126,6 +126,27 @@ class Bus {
   /// A controller signals that it has (new) pending transmit work.
   void on_tx_request();
 
+  // -- liveness bookkeeping (Controller calls these; O(active) datapath) ----
+  /// The controller stopped participating (crash or bus-off).  The live
+  /// list is compacted lazily at the next safe point: the notification
+  /// may arrive mid-delivery-loop, where erasing would invalidate the
+  /// iteration.
+  void on_liveness_lost(Controller& controller);
+  /// The controller rejoined (bus-off recovery).  Re-inserted at its
+  /// attach-order position so delivery order is as if it never left.
+  void on_liveness_gained(Controller& controller);
+  /// The controller's "has queued transmit work while alive" state
+  /// flipped; keeps the arbitration passes O(contenders).
+  void set_contender(Controller& controller, bool contending);
+
+  /// Introspection for the O(active) regression tests.
+  [[nodiscard]] std::size_t live_count() const {
+    return live_set_.size();
+  }
+  [[nodiscard]] std::size_t contender_count() const {
+    return contenders_.size();
+  }
+
  private:
   /// The transmission currently occupying the bus.  Kept as a member so
   /// the end-of-frame event is a [this]-only capture (8 bytes, inline in
@@ -149,7 +170,16 @@ class Bus {
                              Verdict verdict, sim::Time start,
                              std::size_t bits, int attempt);
 
-  void record_frame_end(const TxRecord& rec);
+  /// Drop dead controllers from live_ once no iteration is in flight.
+  void compact_live() {
+    if (!live_stale_) return;
+    std::erase_if(live_, [](const Controller* c) { return !c->alive(); });
+    live_stale_ = false;
+  }
+
+  /// `orphaned`: every co-transmitter died mid-frame — the error slot has
+  /// no live transmitter to charge (see complete_transmission).
+  void record_frame_end(const TxRecord& rec, bool orphaned);
 
   sim::Engine& engine_;
   BusConfig config_;
@@ -162,8 +192,20 @@ class Bus {
   obs::Counter* ctr_retransmissions_{nullptr};
   obs::Counter* ctr_arbitration_losses_{nullptr};
   std::function<void(const TxRecord&)> observer_;
-  std::vector<Controller*> controllers_;      ///< attach order (delivery order)
+  /// Live controllers in attach order — the delivery order.  Dead
+  /// controllers leave lazily (live_stale_ + compact_live()); recovered
+  /// ones re-enter at their attach ordinal.  Every per-frame loop is
+  /// O(live), not O(ever attached).
+  std::vector<Controller*> live_;
+  /// Live controllers with pending transmit work — the only ones the
+  /// arbitration passes look at.  Unordered (the winner is a strict
+  /// (key, node) minimum, so iteration order is immaterial); maintained
+  /// synchronously by Controller::sync_contender.
+  std::vector<Controller*> contenders_;
+  NodeSet live_set_;                          ///< nodes of live controllers
   std::array<Controller*, kMaxNodes> by_node_{};  ///< O(1) node -> controller
+  std::uint32_t next_ordinal_{0};
+  bool live_stale_{false};
   InFlight in_flight_;
   BusStats stats_;
   std::uint64_t tx_index_{0};

@@ -31,6 +31,7 @@ void Controller::request_tx(const Frame& frame) {
         return qk > nk;
       });
   queue_.insert(pos, std::move(tx));
+  sync_contender();
   bus_.on_tx_request();
 }
 
@@ -42,21 +43,24 @@ std::size_t Controller::abort_matching(
   // during transmission takes effect only if the frame errors out.
   const auto before = queue_.size();
   std::erase_if(queue_, [&](const PendingTx& q) { return match(q.frame); });
+  sync_contender();
   return before - queue_.size();
 }
 
 void Controller::crash() {
+  const bool was_alive = alive();
   crashed_ = true;
   queue_.clear();
+  if (was_alive) bus_.on_liveness_lost(*this);
+  sync_contender();
 }
 
-const Frame* Controller::peek_tx() const {
-  if (!alive() || queue_.empty()) return nullptr;
-  return &queue_.front().frame;
-}
-
-int Controller::head_attempts() const {
-  return queue_.empty() ? 0 : queue_.front().attempts;
+void Controller::sync_contender() {
+  const bool now = !queue_.empty() && alive();
+  if (now != contender_) {
+    contender_ = now;
+    bus_.set_contender(*this, now);
+  }
 }
 
 void Controller::bus_tx_succeeded(const Frame& frame) {
@@ -65,6 +69,7 @@ void Controller::bus_tx_succeeded(const Frame& frame) {
       [&](const PendingTx& q) { return q.frame == frame; });
   if (it == queue_.end()) return;  // aborted while in flight
   queue_.erase(it);
+  sync_contender();
   bump_tec(-1);
   begin_suspend_if_passive();
   if (client_ != nullptr) client_->on_tx_confirm(frame);
@@ -98,21 +103,11 @@ void Controller::add_acceptance_filter(std::uint32_t code,
 
 void Controller::clear_acceptance_filters() { filters_.clear(); }
 
-bool Controller::accepts(std::uint32_t id) const {
-  if (filters_.empty()) return true;
+bool Controller::accepts_filtered(std::uint32_t id) const {
   for (const AcceptanceFilter& f : filters_) {
     if ((id & f.mask) == (f.code & f.mask)) return true;
   }
   return false;
-}
-
-void Controller::bus_rx_deliver(const Frame& frame, bool own) {
-  if (!own) bump_rec(-1);
-  // Acceptance filtering happens after the frame is validated (the
-  // controller still acknowledged it); own transmissions bypass filters,
-  // as real controllers' self-reception paths do.
-  if (!own && !accepts(frame.id)) return;
-  if (client_ != nullptr) client_->on_rx(frame, own);
 }
 
 void Controller::bus_rx_error() { bump_rec(+1); }
@@ -138,6 +133,8 @@ void Controller::refresh_state() {
   if (tec_ >= 256) {
     state_ = ErrorState::kBusOff;
     queue_.clear();  // fault confinement: the node falls silent
+    if (!crashed_) bus_.on_liveness_lost(*this);
+    sync_contender();
     if (recorder_ != nullptr) {
       obs::Event ev;
       ev.when = bus_.engine().now();
@@ -157,6 +154,8 @@ void Controller::refresh_state() {
             tec_ = 0;
             rec_ = 0;
             state_ = ErrorState::kErrorActive;
+            bus_.on_liveness_gained(*this);
+            sync_contender();
             if (client_ != nullptr) client_->on_bus_off_recovered();
           });
     }

@@ -98,7 +98,11 @@ class Controller {
   /// node's participation in error signaling or acknowledgment.
   void add_acceptance_filter(std::uint32_t code, std::uint32_t mask);
   void clear_acceptance_filters();
-  [[nodiscard]] bool accepts(std::uint32_t id) const;
+  /// Inline fast path: the common no-filter configuration costs one
+  /// emptiness check per delivery (hot: once per node per frame).
+  [[nodiscard]] bool accepts(std::uint32_t id) const {
+    return filters_.empty() || accepts_filtered(id);
+  }
 
   [[nodiscard]] std::size_t tx_queue_depth() const { return queue_.size(); }
 
@@ -127,11 +131,23 @@ class Controller {
   // -- bus-facing interface (used by Bus only) --------------------------------
 
   /// Head of the transmit queue, or nullptr when this controller has
-  /// nothing to offer in the next arbitration round.
-  [[nodiscard]] const Frame* peek_tx() const;
+  /// nothing to offer in the next arbitration round.  Inline: called for
+  /// every contender in every arbitration pass.
+  [[nodiscard]] const Frame* peek_tx() const {
+    if (queue_.empty() || !alive()) return nullptr;
+    return &queue_.front().frame;
+  }
 
   /// Retransmission attempts already made for the queue head.
-  [[nodiscard]] int head_attempts() const;
+  [[nodiscard]] int head_attempts() const {
+    return queue_.empty() ? 0 : queue_.front().attempts;
+  }
+
+  /// Attach-order ordinal, assigned once by Bus::attach.  Orders the
+  /// bus's live-controller list so bus-off recovery re-inserts a
+  /// controller at its original delivery position.
+  [[nodiscard]] std::uint32_t attach_ordinal() const { return attach_ordinal_; }
+  void set_attach_ordinal(std::uint32_t ordinal) { attach_ordinal_ = ordinal; }
 
   /// Bus: `frame` (queued here, wire-identical match) was transmitted
   /// successfully.  Identified by content, NOT by queue position: a
@@ -146,7 +162,19 @@ class Controller {
   void bus_tx_failed(const Frame& frame, bool ack_error);
 
   /// Bus: deliver a valid frame (REC decrements on correct reception).
-  void bus_rx_deliver(const Frame& frame, bool own);
+  /// Inline: runs once per live node per frame — the simulator's most
+  /// frequent call.  REC at 0 stays 0, so the common error-free case
+  /// skips the counter/state machinery entirely.
+  void bus_rx_deliver(const Frame& frame, bool own) {
+    if (!own) {
+      if (rec_ != 0) bump_rec(-1);
+      // Acceptance filtering happens after the frame is validated (the
+      // controller still acknowledged it); own transmissions bypass
+      // filters, as real controllers' self-reception paths do.
+      if (!filters_.empty() && !accepts_filtered(frame.id)) return;
+    }
+    if (client_ != nullptr) client_->on_rx(frame, own);
+  }
 
   /// Bus: this node observed a frame error as a receiver (REC += 1).
   void bus_rx_error();
@@ -162,6 +190,10 @@ class Controller {
   void bump_rec(int delta);
   void refresh_state();
   void begin_suspend_if_passive();
+  [[nodiscard]] bool accepts_filtered(std::uint32_t id) const;
+  /// Report queue-emptiness/liveness transitions to the bus's contender
+  /// list; called after every operation that can flip the condition.
+  void sync_contender();
 
   struct AcceptanceFilter {
     std::uint32_t code;
@@ -181,6 +213,8 @@ class Controller {
   ErrorState state_{ErrorState::kErrorActive};
   bool crashed_{false};
   bool auto_recovery_{false};
+  bool contender_{false};  ///< mirrored in Bus's contender list
+  std::uint32_t attach_ordinal_{0};
   sim::Time suspended_until_{sim::Time::zero()};
 };
 

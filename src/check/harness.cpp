@@ -5,6 +5,7 @@
 #include "can/bus.hpp"
 #include "canely/mid.hpp"
 #include "canely/node.hpp"
+#include "sim/arena.hpp"
 #include "sim/engine.hpp"
 
 namespace canely::check {
@@ -109,11 +110,20 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
   bus.set_fault_injector(&injector);
   bus.set_recorder(recorder);
 
-  std::vector<std::unique_ptr<Node>> nodes;
+  // Per-worker arena: the whole node universe for this run comes out of
+  // retained blocks, and teardown is one reverse finalizer sweep — the
+  // second run on a campaign worker thread does no node mallocs at all.
+  static thread_local sim::Arena arena;
+  struct ArenaScope {
+    sim::Arena& a;
+    ~ArenaScope() { a.reset(); }
+  } arena_scope{arena};  // declared after bus: nodes die before the bus
+
+  std::vector<Node*> nodes;
   nodes.reserve(cfg.n);
   for (std::size_t i = 0; i < cfg.n; ++i) {
-    nodes.push_back(std::make_unique<Node>(
-        bus, static_cast<can::NodeId>(i), cfg.params, nullptr, recorder));
+    nodes.push_back(arena.make<Node>(bus, static_cast<can::NodeId>(i),
+                                     cfg.params, nullptr, recorder));
   }
   obs::Histogram* hist_detect =
       recorder != nullptr

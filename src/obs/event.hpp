@@ -79,6 +79,10 @@ struct Event {
       std::uint8_t outcome;   ///< can::TxOutcome
       std::uint8_t attempt;   ///< retransmission ordinal, 0-based
       std::uint8_t remote;    ///< 1 for remote frames
+      /// 1 when every co-transmitter died mid-frame (§6.1): `node` is
+      /// the historical transmitter, but the error slot belongs to the
+      /// bus — no live node completed it.
+      std::uint8_t orphaned;
     } frame;
     /// kFdTimerArm/Expire, kFdSuspect, kFdaRoundStart, kFdaNty.
     struct Peer {

@@ -130,7 +130,10 @@ std::vector<TraceEvent> build_trace_events(const EventRing& ring) {
         t.args.emplace_back("outcome", outcome_name(e.u.frame.outcome));
         t.args.emplace_back("bits", std::to_string(e.u.frame.bits));
         t.args.emplace_back("attempt", std::to_string(e.u.frame.attempt));
-        t.args.emplace_back("tx_node", std::to_string(e.node));
+        t.args.emplace_back("tx_node",
+                            e.u.frame.orphaned != 0
+                                ? std::to_string(e.node) + " (died mid-frame)"
+                                : std::to_string(e.node));
         break;
       }
       case EventKind::kFdaRoundStart:

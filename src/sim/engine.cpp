@@ -9,18 +9,18 @@
 namespace canely::sim {
 
 bool Engine::dispatch_next() {
-  while (!queue_.empty()) {
-    const QEntry e = queue_.top();
+  while (const QEntry* pe = queue_.peek()) {
+    const QEntry e = *pe;
     queue_.pop();
     if (!entry_live(e)) continue;  // cancelled; stale entry
-    Slot& slot = slots_[e.slot()];
-    Callback cb = std::move(slot.cb);
+    Slot& slot = slot_ref(e.slot());
     slot.cur_seq = 0;
-    free_slot(e.slot());
     --live_;
     now_ = e.t;
     ++dispatched_;
-    cb();  // may reallocate slots_; `slot` is dead from here
+    slot.cb();  // chunk storage is stable: safe even if it schedules
+    slot.cb.reset();
+    free_slot(e.slot());
     return true;
   }
   return false;
@@ -32,24 +32,27 @@ std::size_t Engine::run_until(Time t) {
   // One flat loop instead of peek + dispatch_next(): each entry is
   // popped and checked exactly once.  Stale (cancelled) entries are
   // dropped no matter their timestamp; a live entry past `t` ends the
-  // run (it stays queued — only top() was read).
-  while (!stopped_ && !queue_.empty()) {
-    const QEntry e = queue_.top();
-    if (!entry_live(e)) {
-      queue_.pop();
+  // run (it stays queued — only peek() was read).  `stopped_` can only
+  // change inside a callback, so it is tested after dispatch rather
+  // than on every queue probe.
+  while (const QEntry* pe = queue_.peek()) {
+    const QEntry e = *pe;
+    Slot& slot = slot_ref(e.slot());  // one lookup serves liveness + dispatch
+    if (slot.cur_seq != e.seq_lo()) {
+      queue_.pop();  // cancelled; stale entry
       continue;
     }
     if (e.t > t) break;
     queue_.pop();
-    Slot& slot = slots_[e.slot()];
-    Callback cb = std::move(slot.cb);
     slot.cur_seq = 0;
-    free_slot(e.slot());
     --live_;
     now_ = e.t;
     ++dispatched_;
-    cb();  // may reallocate slots_; `slot` is dead from here
+    slot.cb();  // chunk storage is stable: safe even if it schedules
+    slot.cb.reset();
+    free_slot(e.slot());
     ++n;
+    if (stopped_) break;
   }
   if (now_ < t) now_ = t;
   return n;

@@ -8,18 +8,21 @@
 // number).  A whole run is therefore a pure function of its inputs, which
 // the property-test suites rely on.
 //
-// Internals (DESIGN.md "Engine internals"): callbacks live in a pooled
-// slot vector recycled through a free list; the priority queue holds only
-// 16-byte POD entries ordered by (time, seq).  An EventId encodes
-// (slot, generation): cancel() bumps nothing but frees the slot, and the
-// stale queue entry is skipped at pop time when its generation no longer
-// matches (lazy deletion, exactly as the seed implementation skipped
-// seqs missing from its live-set — dispatch order is unchanged).  With
-// the small-buffer `sim::Callback` payload, steady-state
-// schedule->dispatch performs no heap allocation.
+// Internals (DESIGN.md "Engine internals"): callbacks live in pooled
+// slots recycled through a free list; slots are stored in fixed-size
+// chunks whose addresses never move, so dispatch invokes the callback
+// in place instead of moving the 48-byte payload out first.  The
+// priority queue holds only 16-byte POD entries ordered by (time, seq).
+// An EventId encodes (slot, generation): cancel() bumps nothing but
+// frees the slot, and the stale queue entry is skipped at pop time when
+// its generation no longer matches (lazy deletion, exactly as the seed
+// implementation skipped seqs missing from its live-set — dispatch
+// order is unchanged).  With the small-buffer `sim::Callback` payload,
+// steady-state schedule->dispatch performs no heap allocation.
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -64,16 +67,18 @@ class Engine {
     const std::uint64_t seq = next_seq_++;
     const auto seq_lo = static_cast<std::uint32_t>(seq);
     const std::uint32_t s = alloc_slot();
-    Slot& slot = slots_[s];
+    Slot& slot = slot_ref(s);
     if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
       slot.cb = std::forward<F>(cb);
+      // Only a moved-in Callback can be empty; emplace of a raw
+      // callable always arms the slot, so skip the check there.
+      if (!slot.cb) {
+        free_slot(s);
+        --next_seq_;
+        throw std::logic_error("Engine::schedule_at: empty callback");
+      }
     } else {
       slot.cb.emplace(std::forward<F>(cb));
-    }
-    if (!slot.cb) {
-      free_slot(s);
-      --next_seq_;
-      throw std::logic_error("Engine::schedule_at: empty callback");
     }
     slot.cur_seq = seq_lo;
     queue_.push(QEntry{t, static_cast<std::uint64_t>(seq_lo) << 32 | s});
@@ -95,13 +100,14 @@ class Engine {
   /// when it surfaces (lazy deletion).
   bool cancel(EventId id) {
     const std::uint64_t hi = id.raw >> 32;
-    if (hi == 0 || hi > slots_.size()) return false;
+    if (hi == 0 || hi > slot_count_) return false;
     const auto s = static_cast<std::uint32_t>(hi - 1);
-    Slot& slot = slots_[s];
+    Slot& slot = slot_ref(s);
     const auto lo = static_cast<std::uint32_t>(id.raw);
     if (lo == 0 || slot.cur_seq != lo) return false;
     slot.cb.reset();  // release captured resources now, not at slot reuse
     slot.cur_seq = 0;
+    queue_.remove_staged(static_cast<std::uint64_t>(lo) << 32 | s);
     free_slot(s);
     --live_;
     return true;
@@ -168,14 +174,19 @@ class Engine {
     return static_cast<std::int32_t>(a.seq_lo() - b.seq_lo()) < 0;
   }
 
-  // Two-level priority queue: a small insertion-sorted staging array in
-  // front of a binary heap.  Most simulation events are dispatched or
+  // Two-level priority queue: a small unordered staging array in front
+  // of a binary heap.  Most simulation events are dispatched or
   // cancelled soon after they are scheduled, so they enter and leave
-  // through the staging array (a handful of 16-byte moves) and never
-  // pay the heap's sift costs; the heap only absorbs overflow when more
-  // than kStage events are in flight.  Dispatch order is identical to a
-  // single heap: `before` is one strict total order, and top() always
-  // compares the staging minimum against the heap minimum.
+  // through the staging array and never pay the heap's sift costs; the
+  // heap only absorbs overflow when more than kStage events are in
+  // flight.  push() is a branch-free append; top() finds the staging
+  // minimum with a conditional-move scan — with randomized timestamps
+  // an insertion sort mispredicts its shift length on nearly every
+  // push, and those flushes cost more than a short branchless scan.
+  // Dispatch order is identical to a single heap: `before` is one
+  // strict total order with no ties ((time, seq) pairs are unique), so
+  // *any* correct priority queue extracts the same sequence, and top()
+  // always compares the staging minimum against the heap minimum.
   class EventQueue {
    public:
     [[nodiscard]] bool empty() const {
@@ -183,38 +194,52 @@ class Engine {
     }
     void push(const QEntry& e) {
       if (stage_n_ == kStage) flush();
-      // Insertion sort, latest-dispatching first; the minimum sits at
-      // the end, so pop from staging is O(1).
-      std::size_t hole = stage_n_++;
-      while (hole > 0 && before(stage_[hole - 1], e)) {
-        stage_[hole] = stage_[hole - 1];
-        --hole;
-      }
-      stage_[hole] = e;
+      stage_[stage_n_++] = e;  // append: no shift, no data-dependent branch
     }
-    // top() records which structure holds the minimum so pop() doesn't
-    // repeat the comparison.  Contract: pop() must directly follow a
-    // top() call with no intervening push() — which is how the engine's
-    // dispatch loops use the queue.
-    [[nodiscard]] const QEntry& top() {
+    // peek() records which structure holds the minimum so pop()
+    // doesn't repeat the scan.  Contract: pop() must directly follow a
+    // peek() call with no intervening push() — which is how the
+    // engine's dispatch loops use the queue.
+    [[nodiscard]] const QEntry& top() { return *peek(); }
+    /// top() and empty() folded into one read: nullptr when empty.
+    [[nodiscard]] const QEntry* peek() {
       if (stage_n_ == 0) {
         top_in_stage_ = false;
-        return heap_.front();
+        return heap_.empty() ? nullptr : &heap_.front();
       }
-      if (!heap_.empty() && before(heap_.front(), stage_[stage_n_ - 1])) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < stage_n_; ++i) {
+        if (before(stage_[i], stage_[best])) best = i;
+      }
+      if (!heap_.empty() && before(heap_.front(), stage_[best])) {
         top_in_stage_ = false;
-        return heap_.front();
+        return &heap_.front();
       }
       top_in_stage_ = true;
-      return stage_[stage_n_ - 1];
+      top_idx_ = best;
+      return &stage_[best];
     }
     void pop() {  // removes top()
       if (top_in_stage_) {
-        --stage_n_;
+        stage_[top_idx_] = stage_[--stage_n_];  // swap-remove: order-free
         return;
       }
       std::pop_heap(heap_.begin(), heap_.end(), after);
       heap_.pop_back();
+    }
+    // Eagerly drop a cancelled event if it still sits in staging (the
+    // common case: surveillance timers are cancelled soon after being
+    // armed).  Keeps stale entries out of every later peek() scan; a
+    // miss means the entry overflowed to the heap and stays lazily
+    // deleted there.
+    bool remove_staged(std::uint64_t key) {
+      for (std::size_t i = 0; i < stage_n_; ++i) {
+        if (stage_[i].key == key) {
+          stage_[i] = stage_[--stage_n_];
+          return true;
+        }
+      }
+      return false;
     }
 
    private:
@@ -231,31 +256,56 @@ class Engine {
     }
     QEntry stage_[kStage];
     std::size_t stage_n_{0};
+    std::size_t top_idx_{0};
     bool top_in_stage_{false};
     std::vector<QEntry> heap_;
   };
 
   bool dispatch_next();  // pops and runs one live event; false if none.
 
+  // Slots live in fixed-size chunks; growing appends a chunk and never
+  // moves an existing Slot.  Stable addresses let dispatch invoke the
+  // callback in place — a scheduling callback may grow the pool under
+  // its own feet without invalidating the reference it runs from.
+  static constexpr std::uint32_t kChunkBits = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  // First-chunk fast path: most runs never outgrow 1024 slots, and the
+  // chunk's address is stable for the Engine's lifetime, so one cached
+  // pointer replaces the vector -> unique_ptr -> slot load chain with a
+  // single perfectly-predicted branch and one load.
+  [[nodiscard]] Slot& slot_ref(std::uint32_t s) {
+    return s < kChunkSize ? chunk0_[s]
+                          : chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t s) const {
+    return s < kChunkSize ? chunk0_[s]
+                          : chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
   std::uint32_t alloc_slot() {
     if (free_head_ != kNoSlot) {
       const std::uint32_t s = free_head_;
-      free_head_ = slots_[s].next_free;
+      free_head_ = slot_ref(s).next_free;
       return s;
     }
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    if ((slot_count_ & (kChunkSize - 1)) == 0) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      if (slot_count_ == 0) chunk0_ = chunks_.front().get();
+    }
+    return slot_count_++;
   }
   void free_slot(std::uint32_t s) {
-    slots_[s].next_free = free_head_;
+    slot_ref(s).next_free = free_head_;
     free_head_ = s;
   }
   [[nodiscard]] bool entry_live(const QEntry& e) const {
-    return slots_[e.slot()].cur_seq == e.seq_lo();
+    return slot_ref(e.slot()).cur_seq == e.seq_lo();
   }
 
   EventQueue queue_;
-  std::vector<Slot> slots_;        // grows to the max concurrent event count
+  Slot* chunk0_{nullptr};  // cached chunks_[0].get(); address is stable
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // stable slot storage
+  std::uint32_t slot_count_{0};    // slots ever allocated (high-water mark)
   std::uint32_t free_head_{kNoSlot};
   std::size_t live_{0};
   Time now_{Time::zero()};

@@ -9,6 +9,9 @@
 
 #include "can/bus.hpp"
 #include "can/controller.hpp"
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace canely::can {
@@ -455,6 +458,113 @@ TEST_F(BusTest, SuspendDoesNotBlockOtherTransmitters) {
   ASSERT_GE(rec[2]->rx.size(), 2u);
   EXPECT_EQ(rec[2]->rx[rec[2]->rx.size() - 2].frame.id, 0x30u);
   EXPECT_EQ(rec[2]->rx.back().frame.id, 0x08u);
+}
+
+TEST_F(BusTest, CrashedControllersLeaveTheLiveSet) {
+  // The datapath is O(active listeners): crashing a controller removes
+  // it from the live list and the contender list immediately, so a frame
+  // sent after n-1 crashes touches one-element structures — while its
+  // TxRecord stays bit-identical to what a full scan would produce.
+  constexpr std::size_t kN = 64;
+  make_nodes(kN);
+  EXPECT_EQ(bus->live_count(), kN);
+  for (std::size_t i = 2; i < kN; ++i) ctl[i]->crash();
+  EXPECT_EQ(bus->live_count(), 2u);
+  EXPECT_EQ(bus->contender_count(), 0u);
+
+  std::vector<TxRecord> log;
+  bus->set_observer([&](const TxRecord& r) { log.push_back(r); });
+  const std::uint8_t payload[] = {0xAB};
+  ctl[0]->request_tx(Frame::make_data(0x123, payload));
+  EXPECT_EQ(bus->contender_count(), 1u);
+  engine.run_until(sim::Time::ms(1));
+
+  // Seed-identical record: ok outcome, transmitter 0, delivered to the
+  // two survivors only.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].outcome, TxOutcome::kOk);
+  EXPECT_EQ(log[0].transmitter, 0);
+  EXPECT_EQ(log[0].co_transmitters.bits(), 0b01u);
+  EXPECT_EQ(log[0].delivered_to.bits(), 0b11u);
+  EXPECT_EQ(log[0].attempt, 0);
+  ASSERT_EQ(rec[1]->rx.size(), 1u);
+  EXPECT_EQ(rec[2]->rx.size(), 0u);  // crashed: silent and deaf
+  EXPECT_EQ(bus->contender_count(), 0u);
+
+  // With every peer gone the lone transmitter gets no ACK — same record
+  // the full-scan datapath produced in the seed.
+  ctl[1]->crash();
+  EXPECT_EQ(bus->live_count(), 1u);
+  log.clear();
+  ctl[0]->request_tx(Frame::make_data(0x222, payload));
+  engine.run_until(sim::Time::us(1200));
+  ASSERT_GE(log.size(), 1u);
+  EXPECT_EQ(log[0].outcome, TxOutcome::kAckError);
+  EXPECT_EQ(log[0].transmitter, 0);
+  EXPECT_EQ(log[0].delivered_to.bits(), 0u);
+}
+
+TEST_F(BusTest, AllCoTransmittersDyingMidFrameChargesErrorToTheBus) {
+  // §6.1: when every co-transmitter dies mid-frame the truncated frame
+  // is a global error, but no live node owns it — the stats and obs
+  // layers must charge the error to the bus, not to the dead
+  // transmitter's per-node slot, and must flag the event as orphaned.
+  make_nodes(2);
+  obs::Recorder recorder;
+  bus->set_recorder(&recorder);
+  std::vector<TxRecord> log;
+  bus->set_observer([&](const TxRecord& r) { log.push_back(r); });
+
+  const std::uint8_t payload[] = {0x5A};
+  ctl[0]->request_tx(Frame::make_data(0x100, payload));
+  engine.run_until(sim::Time::us(20));  // mid-frame (~68 us on the wire)
+  ctl[0]->crash();
+  engine.run_until(sim::Time::ms(1));
+
+  // The TxRecord itself is unchanged by the relabeling: historical
+  // transmitter 0, error outcome, first attempt, nothing delivered, no
+  // retransmission (the sender is gone).
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].outcome, TxOutcome::kError);
+  EXPECT_EQ(log[0].transmitter, 0);
+  EXPECT_EQ(log[0].attempt, 0);
+  EXPECT_EQ(log[0].delivered_to.bits(), 0u);
+  EXPECT_EQ(bus->stats().errors, 1u);
+  EXPECT_EQ(bus->stats().ok, 0u);
+  EXPECT_EQ(rec[1]->rx.size(), 0u);
+
+  // Obs: the error counts globally but not against any node.
+  const obs::Counter* errors =
+      recorder.metrics().find_counter("bus.frames_error");
+  ASSERT_NE(errors, nullptr);
+  EXPECT_EQ(errors->total(), 1u);
+  EXPECT_EQ(errors->node(0), 0u);
+  // And the frame event carries the orphaned flag.
+  bool saw_orphaned_tx = false;
+  for (std::size_t i = 0; i < recorder.ring().size(); ++i) {
+    const obs::Event& e = recorder.ring().at(i);
+    if (e.kind == obs::EventKind::kFrameTx) {
+      EXPECT_EQ(e.node, 0);
+      EXPECT_EQ(e.u.frame.orphaned, 1);
+      saw_orphaned_tx = true;
+    }
+  }
+  EXPECT_TRUE(saw_orphaned_tx);
+}
+
+TEST_F(BusTest, FailedDuplicateAttachLeavesBusIntact) {
+  make_nodes(2);
+  EXPECT_THROW(Controller(1, *bus), std::logic_error);
+  // The rejected attach mutated nothing: both originals still listed,
+  // and the incumbent with id 1 still transmits and receives.
+  EXPECT_EQ(bus->live_count(), 2u);
+  EXPECT_EQ(bus->contender_count(), 0u);
+  ctl[1]->request_tx(Frame::make_data(0x55, {}));
+  engine.run_until(sim::Time::ms(1));
+  EXPECT_EQ(rec[1]->cnf.size(), 1u);
+  ASSERT_EQ(rec[0]->rx.size(), 1u);
+  EXPECT_EQ(rec[0]->rx[0].frame.id, 0x55u);
+  EXPECT_EQ(bus->stats().ok, 1u);
 }
 
 }  // namespace

@@ -100,7 +100,7 @@ TEST(Perfetto, PairsSpansAndDemotesUnmatchedHalves) {
   frame.when = sim::Time::us(10);
   frame.kind = obs::EventKind::kFrameTx;
   frame.node = 1;
-  frame.u.frame = {0x100, 135, 135'000, 0, 0, 0};
+  frame.u.frame = {0x100, 135, 135'000, 0, 0, 0, 0};
   ring.push(frame);
   ring.push(peer_event(20, obs::EventKind::kFdaRoundStart, 1, 2));
   ring.push(peer_event(30, obs::EventKind::kFdaNty, 1, 2));

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/engine.hpp"
 #include "sim/timer.hpp"
 
@@ -33,12 +34,17 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t size) { return operator new(size); }
+// GCC pairs the replaced operator new with this free() across inlining
+// and flags a mismatch; the pairing is correct (new uses malloc above).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept {
   if (p != nullptr) {
     g_deletes.fetch_add(1, std::memory_order_relaxed);
     std::free(p);
   }
 }
+#pragma GCC diagnostic pop
 void operator delete[](void* p) noexcept { operator delete(p); }
 void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
 void operator delete[](void* p, std::size_t) noexcept { operator delete(p); }
@@ -167,6 +173,77 @@ TEST(Alloc, OversizedCallableWorksThroughTheEngine) {
   e.schedule_after(Time::us(1), [big, &sum] { sum += big[11] + 1; });
   e.run();
   EXPECT_EQ(sum, 42u);
+}
+
+// ---------------------------------------------------------------------------
+// sim::Arena (DESIGN.md §8): bump allocation, reverse-order finalizers,
+// block retention across reset().
+// ---------------------------------------------------------------------------
+
+namespace {
+std::vector<int>* g_destroy_order = nullptr;
+
+struct Tracked {
+  explicit Tracked(int id) : id_{id} {}
+  ~Tracked() {
+    if (g_destroy_order != nullptr) g_destroy_order->push_back(id_);
+  }
+  int id_;
+};
+}  // namespace
+
+TEST(Arena, DestroysInReverseConstructionOrder) {
+  std::vector<int> order;
+  g_destroy_order = &order;
+  Arena arena;
+  arena.make<Tracked>(1);
+  arena.make<Tracked>(2);
+  arena.make<Tracked>(3);
+  EXPECT_EQ(arena.live_finalizers(), 3u);
+  arena.reset();
+  g_destroy_order = nullptr;
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(arena.live_finalizers(), 0u);
+}
+
+TEST(Arena, TriviallyDestructibleCostsNoFinalizer) {
+  Arena arena;
+  int* p = arena.make<int>(7);
+  auto* q = arena.make<std::array<std::uint64_t, 4>>();
+  EXPECT_EQ(*p, 7);
+  (*q)[3] = 9;
+  EXPECT_EQ(arena.live_finalizers(), 0u);
+}
+
+TEST(Arena, ResetRetainsBlocksAndSteadyStateIsAllocationFree) {
+  Arena arena;
+  auto round = [&] {
+    for (int i = 0; i < 200; ++i) arena.make<std::uint64_t>(i);
+    arena.reset();
+  };
+  round();  // warm-up: acquires blocks and finalizer capacity
+  const std::size_t retained = arena.bytes_retained();
+  EXPECT_GE(retained, 200 * sizeof(std::uint64_t));
+  const std::uint64_t before = news();
+  for (int r = 0; r < 10; ++r) round();
+  EXPECT_EQ(news() - before, 0u);  // teardown is a pointer reset
+  EXPECT_EQ(arena.bytes_retained(), retained);
+}
+
+TEST(Arena, HonorsAlignmentAndOversizeRequests) {
+  struct alignas(64) Wide {
+    std::uint8_t fill[64];
+  };
+  Arena arena;
+  arena.make<std::uint8_t>(1);  // misalign the bump pointer
+  Wide* w = arena.make<Wide>();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 64, 0u);
+  // Larger than a whole block: gets a block of its own.
+  auto* big = arena.make<std::array<std::uint8_t, Arena::kBlockBytes + 1>>();
+  (*big)[Arena::kBlockBytes] = 42;
+  EXPECT_EQ((*big)[Arena::kBlockBytes], 42);
+  // The arena can keep allocating small objects afterwards.
+  EXPECT_EQ(*arena.make<int>(5), 5);
 }
 
 }  // namespace
