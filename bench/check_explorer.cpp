@@ -9,8 +9,16 @@
 // finds a membership-agreement counterexample, shrinks it to a locally
 // minimal reproducer, and writes a replayable JSON artifact.
 //
-// Exit codes: 0 = exploration clean (or replay reproduced), 1 = violation
-// found (artifact written) or replay mismatch, 2 = usage/IO error.
+// Exploration at scale: --exhaustive switches depth 2 to the full
+// base x second cross product with equivalence dedup on; --shard i/N
+// runs one slice of the deterministic unit order; --frontier FILE
+// checkpoints progress for resume-after-kill; --merge OUT IN...
+// combines completed shard frontiers into a file byte-identical to an
+// unsharded run's.
+//
+// Exit codes: 0 = exploration clean (or replay reproduced / merge ok),
+// 1 = violation found (artifact written) or replay mismatch,
+// 2 = usage/IO error.
 //
 // Aggregate output is byte-identical for any --threads value (campaign
 // runner determinism); the printed aggregate hash makes that checkable
@@ -21,9 +29,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "campaign/cli.hpp"
 #include "check/artifact.hpp"
 #include "check/explore.hpp"
+#include "check/frontier.hpp"
 #include "check/shrink.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/recorder.hpp"
@@ -37,13 +48,25 @@ void usage(std::ostream& os) {
         "  --threads N         worker threads (0 = hardware concurrency)\n"
         "  --seed S            master seed for random walks\n"
         "  --nodes N           scenario size (default 8)\n"
+        "  --duration-ms T     override scenario duration (default 160)\n"
         "  --no-fda            ablate FDA agreement (defaults --depth 2)\n"
         "  --depth D           1 = exhaustive single fault, 2 = targeted\n"
         "  --max-frames N      cap targeted attempts (0 = all)\n"
         "  --max-victim-sets N cap victim subsets per attempt (0 = all)\n"
         "  --max-bases N       depth 2: cap bases examined (0 = all)\n"
+        "  --targets N         depth 2: seconds per base (0 = all)\n"
         "  --random-walks N    extra seeded multi-fault scripts\n"
         "  --quick             small smoke budget\n"
+        "  --exhaustive        depth-2 full cross product, dedup on\n"
+        "  --dedup/--no-dedup  equivalence-class dedup (record mode)\n"
+        "  --naive             cost out naive re-run-from-zero (bench)\n"
+        "  --shard i/N         run slice i of an N-way unit partition\n"
+        "  --frontier FILE     checkpoint/resume frontier file\n"
+        "  --checkpoint N      units per frontier checkpoint (default 16)\n"
+        "  --stop-after N      stop after N units (frontier test hook)\n"
+        "  --cache-cells N     prefix-replay cache capacity (default 64)\n"
+        "  --verify-every N    re-execute every N-th dedup skip (tripwire)\n"
+        "  --merge OUT IN...   merge completed shard frontiers into OUT\n"
         "  --no-shrink         keep the first violating script as found\n"
         "  --artifact FILE     counterexample output "
         "(default check_counterexample.json)\n"
@@ -117,11 +140,41 @@ int replay(const std::string& path) {
   return 1;
 }
 
+int merge(const std::string& out, const std::vector<std::string>& inputs) {
+  try {
+    std::vector<check::FrontierFile> shards;
+    shards.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+      shards.push_back(check::load_frontier(path));
+    }
+    const check::FrontierFile merged = check::merge_frontiers(shards);
+    check::write_frontier(out, merged);
+    std::size_t violations = 0;
+    for (const check::FrontierRecord& r : merged.records) {
+      if (r.violated) ++violations;
+    }
+    std::cout << "merged " << shards.size() << " shard frontier(s) -> "
+              << out << "\n"
+              << "records merged:         " << merged.records.size() << "\n"
+              << "violations found:       " << violations << "\n"
+              << "aggregate hash:         " << hex(merged.aggregate) << "\n";
+    if (merged.partial) {
+      std::cout << "WARNING: merged frontier is PARTIAL — budget caps "
+                   "truncated the space\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "merge: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   check::ExploreConfig cfg;
   std::size_t nodes = 8;
+  std::int64_t duration_ms = 0;
   bool fda_on = true;
   bool depth_set = false;
   bool do_shrink = true;
@@ -144,6 +197,8 @@ int main(int argc, char** argv) {
       cfg.seed = std::stoull(next("--seed"));
     } else if (arg == "--nodes") {
       nodes = std::stoul(next("--nodes"));
+    } else if (arg == "--duration-ms") {
+      duration_ms = std::stol(next("--duration-ms"));
     } else if (arg == "--no-fda") {
       fda_on = false;
     } else if (arg == "--depth") {
@@ -155,12 +210,52 @@ int main(int argc, char** argv) {
       cfg.max_victim_sets = std::stoul(next("--max-victim-sets"));
     } else if (arg == "--max-bases") {
       cfg.max_bases = std::stoul(next("--max-bases"));
+    } else if (arg == "--targets") {
+      cfg.depth2_targets = std::stoul(next("--targets"));
     } else if (arg == "--random-walks") {
       cfg.random_walks = std::stoul(next("--random-walks"));
     } else if (arg == "--quick") {
       cfg.max_frames = 24;
       cfg.max_victim_sets = 16;
       cfg.max_bases = 48;
+      cfg.depth2_targets = 4;
+    } else if (arg == "--exhaustive") {
+      cfg.exhaustive = true;
+      cfg.dedup = true;
+      cfg.depth = 2;
+      depth_set = true;
+    } else if (arg == "--dedup") {
+      cfg.dedup = true;
+    } else if (arg == "--no-dedup") {
+      cfg.dedup = false;
+    } else if (arg == "--naive") {
+      cfg.naive_rerun = true;
+    } else if (arg == "--shard") {
+      if (!campaign::parse_shard(next("--shard"), cfg.shard_index,
+                                 cfg.shard_count)) {
+        std::cerr << "--shard wants i/N with i < N (got '" << argv[i]
+                  << "')\n";
+        return 2;
+      }
+    } else if (arg == "--frontier") {
+      cfg.frontier_path = next("--frontier");
+    } else if (arg == "--checkpoint") {
+      cfg.checkpoint_every = std::stoul(next("--checkpoint"));
+    } else if (arg == "--stop-after") {
+      cfg.stop_after_units = std::stoul(next("--stop-after"));
+    } else if (arg == "--cache-cells") {
+      cfg.prefix_cache_cells = std::stoul(next("--cache-cells"));
+    } else if (arg == "--verify-every") {
+      cfg.dedup_verify_every = std::stoul(next("--verify-every"));
+    } else if (arg == "--merge") {
+      const std::string out = next("--merge");
+      std::vector<std::string> inputs;
+      while (i + 1 < argc) inputs.emplace_back(argv[++i]);
+      if (inputs.empty()) {
+        std::cerr << "--merge wants OUT followed by at least one input\n";
+        return 2;
+      }
+      return merge(out, inputs);
     } else if (arg == "--no-shrink") {
       do_shrink = false;
     } else if (arg == "--artifact") {
@@ -182,22 +277,77 @@ int main(int argc, char** argv) {
   if (!replay_path.empty()) return replay(replay_path);
 
   cfg.scenario = check::ScenarioConfig::membership(nodes, fda_on);
+  if (duration_ms > 0) cfg.scenario.duration = sim::Time::ms(duration_ms);
   if (!fda_on && !depth_set) cfg.depth = 2;
 
+  const bool record_mode = cfg.exhaustive || cfg.dedup ||
+                           cfg.shard_count > 1 || !cfg.frontier_path.empty() ||
+                           cfg.stop_after_units != 0;
   std::cout << "exploring n=" << nodes << " membership scenario, FDA "
             << (fda_on ? "on" : "OFF (ablated)") << ", depth " << cfg.depth
-            << ", threads " << cfg.threads << "\n";
+            << (cfg.exhaustive ? " (exhaustive)" : "") << ", threads ";
+  if (cfg.threads == 0) {
+    std::cout << "auto";
+  } else {
+    std::cout << cfg.threads;
+  }
+  if (cfg.shard_count > 1) {
+    std::cout << ", shard " << cfg.shard_index << "/" << cfg.shard_count;
+  }
+  std::cout << "\n";
 
   const check::ExploreResult result = check::explore(cfg);
 
+  if (result.resumed) {
+    std::cout << "resumed from frontier:  " << cfg.frontier_path << "\n";
+  }
   std::cout << "frames in fault window: " << result.frames_in_window
             << " (targeted " << result.frames_targeted << ")\n"
             << "placements enumerated:  " << result.placements << "\n"
-            << "checked runs executed:  " << result.runs << "\n"
-            << "violations found:       " << result.violations.size() << "\n"
+            << "checked runs executed:  " << result.runs << "\n";
+  if (record_mode) {
+    std::cout << "probe runs:             " << result.probe_runs << " ("
+              << result.prefix_cache_hits << " cache hits)\n";
+    if (cfg.dedup) {
+      std::cout << "equivalence classes:    " << result.dedup_classes << " ("
+                << result.dedup_skips << " units skipped without simulation)"
+                << "\n";
+      if (cfg.dedup_verify_every != 0) {
+        std::cout << "dedup tripwire:         " << result.dedup_verified
+                  << " re-executed, " << result.dedup_mismatches
+                  << " mismatches\n";
+      }
+    }
+  }
+  std::cout << "violations found:       " << result.violations.size() << "\n"
             << "aggregate hash:         " << hex(result.aggregate_hash)
             << "\n";
-  if (result.frames_targeted < result.frames_in_window) {
+  if (result.partial) {
+    std::cout << "WARNING: PARTIAL exploration — budget caps truncated the "
+                 "space:\n";
+    if (result.dropped_frames != 0) {
+      std::cout << "  dropped " << result.dropped_frames
+                << " in-window attempts (--max-frames " << cfg.max_frames
+                << ")\n";
+    }
+    if (result.dropped_victim_sets != 0) {
+      std::cout << "  dropped " << result.dropped_victim_sets
+                << " victim subsets (--max-victim-sets "
+                << cfg.max_victim_sets << ")\n";
+    }
+    if (result.dropped_bases != 0) {
+      std::cout << "  dropped " << result.dropped_bases
+                << " depth-2 bases (--max-bases " << cfg.max_bases << ")\n";
+    }
+    if (result.dropped_targets != 0) {
+      std::cout << "  dropped " << result.dropped_targets
+                << " depth-2 seconds (--targets " << cfg.depth2_targets
+                << ")\n";
+    }
+    if (!cfg.frontier_path.empty()) {
+      std::cout << "  frontier file is marked \"partial\": true\n";
+    }
+  } else if (result.frames_targeted < result.frames_in_window) {
     std::cout << "note: budget caps dropped "
               << result.frames_in_window - result.frames_targeted
               << " eligible frames — NOT an exhaustive exploration\n";

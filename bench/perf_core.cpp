@@ -35,6 +35,7 @@
 #include "can/bitstream.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
+#include "check/explore.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -195,6 +196,42 @@ double membership_cycle_rate(std::size_t n, std::uint64_t formations) {
   return static_cast<double>(formations) / seconds_since(t0);
 }
 
+/// Exploration-at-scale throughput (DESIGN.md §12): placements resolved
+/// per second by the depth-2 exhaustive explorer over the n=8 membership
+/// scenario.  `naive` off measures the scale engine (equivalence dedup +
+/// per-base prefix probes); `naive` on costs out the re-run-from-zero
+/// strategy — stateless workers re-simulating every proper prefix of
+/// each unit's script, nothing shared — on a uniform 1/12 shard sample
+/// of the same space (its per-unit cost is workload-size independent by
+/// construction, so the sample keeps the cell affordable).  The ratio
+/// between the two committed cells is the scale engine's speedup.
+double check_explore_rate(bool naive, std::size_t threads,
+                          std::uint64_t scale) {
+  check::ExploreConfig cfg;
+  cfg.scenario = check::ScenarioConfig::membership(8, /*fda_on=*/true);
+  cfg.threads = threads;
+  cfg.depth = 2;
+  cfg.exhaustive = true;
+  cfg.max_frames = 0;
+  cfg.max_victim_sets = scale > 1 ? 4 : 6;
+  cfg.max_bases = scale > 1 ? 24 : 120;
+  cfg.depth2_targets = scale > 1 ? 8 : 0;
+  cfg.dedup = !naive;
+  cfg.naive_rerun = naive;
+  if (naive) {
+    cfg.shard_index = 0;
+    cfg.shard_count = 12;
+  }
+  const auto t0 = Clock::now();
+  const check::ExploreResult result = check::explore(cfg);
+  const double secs = seconds_since(t0);
+  if (result.placements == 0) {
+    std::cerr << "perf_core: explorer resolved no placements\n";
+    return 0.0;
+  }
+  return static_cast<double>(result.placements) / secs;
+}
+
 campaign::Json cell(const char* scenario, campaign::Json params,
                     const char* metric, const campaign::Summary& s) {
   params.set("scenario", campaign::Json::string(scenario));
@@ -307,6 +344,32 @@ int main(int argc, char** argv) {
     params.set("nodes", campaign::Json::integer(8));
     cells.push(cell("membership_cycle", std::move(params),
                     "formations_per_sec", members_s));
+  }
+  // Exploration cells run fewer reps: each rep is a seconds-long
+  // deterministic workload (noise-robust on its own), and the naive
+  // comparator triples every unit's cost by design.
+  const std::size_t explore_reps = reps < 3 ? reps : 3;
+  std::vector<double> explore_on, explore_naive;
+  for (std::size_t r = 0; r < explore_reps; ++r) {
+    explore_on.push_back(
+        check_explore_rate(/*naive=*/false, opts.threads, scale));
+    explore_naive.push_back(
+        check_explore_rate(/*naive=*/true, opts.threads, scale));
+  }
+  const auto explore_on_s = campaign::summarize(explore_on);
+  const auto explore_naive_s = campaign::summarize(explore_naive);
+  report("check_explore", explore_on_s, "placements/s");
+  report("check_explore_naive", explore_naive_s, "placements/s");
+  std::cout << "  check_explore: scale engine resolves placements "
+            << std::setprecision(1)
+            << explore_on_s.max / explore_naive_s.max
+            << "x faster than naive re-run-from-zero\n";
+  for (int naive = 0; naive <= 1; ++naive) {
+    campaign::Json params = campaign::Json::object();
+    params.set("nodes", campaign::Json::integer(8));
+    cells.push(cell(naive != 0 ? "check_explore_naive" : "check_explore",
+                    std::move(params), "placements_per_sec",
+                    naive != 0 ? explore_naive_s : explore_on_s));
   }
   const auto trace_off_s = campaign::summarize(trace_off);
   const auto trace_on_s = campaign::summarize(trace_on);

@@ -6,6 +6,25 @@
 
 namespace canely::campaign {
 
+bool parse_shard(const std::string& text, std::size_t& index,
+                 std::size_t& count) {
+  const std::size_t slash = text.find('/');
+  if (slash == 0 || slash == std::string::npos || slash + 1 >= text.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long i =
+      std::strtoull(text.substr(0, slash).c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  const std::string denom = text.substr(slash + 1);
+  const unsigned long long n = std::strtoull(denom.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  if (n == 0 || i >= n) return false;
+  index = static_cast<std::size_t>(i);
+  count = static_cast<std::size_t>(n);
+  return true;
+}
+
 CliOptions parse_cli(int argc, char** argv, const std::string& default_json) {
   CliOptions opts;
   opts.json_path = default_json;
@@ -26,6 +45,10 @@ CliOptions parse_cli(int argc, char** argv, const std::string& default_json) {
       opts.json_path = value();
     } else if (arg == "--no-json") {
       opts.json_path.clear();
+    } else if (arg == "--shard") {
+      if (!parse_shard(value(), opts.shard_index, opts.shard_count)) {
+        opts.help = true;
+      }
     } else {
       opts.help = true;  // includes --help / -h / anything unknown
     }
@@ -35,11 +58,13 @@ CliOptions parse_cli(int argc, char** argv, const std::string& default_json) {
 
 void print_cli_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threads N] [--seed S] [--json PATH | --no-json]\n"
+               "usage: %s [--threads N] [--seed S] [--json PATH | --no-json]"
+               " [--shard i/N]\n"
                "  --threads N  worker threads (default: hardware concurrency)\n"
                "  --seed S     campaign master seed (default 42)\n"
                "  --json PATH  write the campaign trajectory JSON here\n"
-               "  --no-json    suppress JSON emission\n",
+               "  --no-json    suppress JSON emission\n"
+               "  --shard i/N  run slice i of an N-way partition\n",
                argv0);
 }
 

@@ -5,6 +5,7 @@
 //   --seed S      master seed of the grid (default 42)
 //   --json PATH   write the BENCH_*.json trajectory here ("" = skip)
 //   --no-json     suppress the default JSON emission
+//   --shard i/N   run slice i of an N-way deterministic partition
 //   --help        print usage
 //
 // Every refactored bench accepts exactly these flags, so the
@@ -20,8 +21,15 @@ struct CliOptions {
   std::size_t threads{0};  ///< 0 = hardware concurrency
   std::uint64_t seed{42};
   std::string json_path;   ///< empty = no JSON emission
+  std::size_t shard_index{0};  ///< --shard i/N: this process owns slice i
+  std::size_t shard_count{1};
   bool help{false};
 };
+
+/// Parse a "--shard i/N" argument ("0/4", "3/4", ...).  Returns false —
+/// leaving `index`/`count` untouched — unless 0 <= i < N and N >= 1.
+[[nodiscard]] bool parse_shard(const std::string& text, std::size_t& index,
+                               std::size_t& count);
 
 /// Parse argv.  `default_json` seeds `json_path` (pass "" for benches
 /// that only emit on request).  Unknown flags set `help` so the bench

@@ -5,7 +5,8 @@
 // (std::to_chars) make the serialization a pure function of the value
 // tree: the same campaign aggregate always dumps to the same bytes,
 // which is how test_campaign.cpp asserts sequential/parallel equality
-// at the output level.  Writing only — the repo never parses JSON.
+// at the output level.  Writing only — reading lives with the checker's
+// file formats (check/json_reader.hpp).
 
 #include <cstdint>
 #include <memory>

@@ -465,4 +465,26 @@ void Bus::complete_transmission(const Frame& frame, NodeSet co,
   if (!contenders_.empty()) schedule_arbitration();
 }
 
+void Bus::hash_state(sim::StateHasher& h) const {
+  // Included: the live set, channel occupancy and the scheduled-
+  // arbitration flag, and the coalesced suspend-retry wake-up (flag +
+  // instant) — the complete event-source state of the channel.
+  //
+  // Excluded, deliberately:
+  //  * tx_index_: the global attempt counter only matters to fault-script
+  //    targeting; the dedup samples universes whose remaining script is
+  //    empty past the injection point, so differing counters cannot
+  //    change any future behavior.
+  //  * in_flight_: only meaningful while transmitting_ — the checker
+  //    samples inside judge(), before the end-of-frame event exists.
+  //  * stats_, next_ordinal_, live_stale_, live_/contenders_: diagnostics,
+  //    immutable configuration, or values derived from controller state
+  //    (which the controllers hash themselves).
+  h.feed(live_set_.bits());
+  h.feed_bool(transmitting_);
+  h.feed_bool(arbitration_scheduled_);
+  h.feed_bool(suspend_retry_pending_);
+  h.feed_time(suspend_retry_at_);
+}
+
 }  // namespace canely::can

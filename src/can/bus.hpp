@@ -115,6 +115,11 @@ class Bus {
   [[nodiscard]] const BusStats& stats() const { return stats_; }
   [[nodiscard]] bool busy() const { return transmitting_; }
 
+  /// Canonical channel state for the checker's equivalence dedup
+  /// (sim/hash.hpp): liveness set, occupancy/arbitration flags, pending
+  /// suspend-retry wake-up.  See the implementation for exclusions.
+  void hash_state(sim::StateHasher& h) const;
+
   // -- controller registration (Controller ctor/dtor use these) ------------
   void attach(Controller& controller);
   void detach(Controller& controller);

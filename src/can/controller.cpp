@@ -165,4 +165,33 @@ void Controller::refresh_state() {
                                         : ErrorState::kErrorActive;
 }
 
+void Controller::hash_state(sim::StateHasher& h) const {
+  // Included: liveness, the suspend window, and the transmit queue in its
+  // already-(arbitration key, seq)-sorted order — frame content plus the
+  // retransmission count, everything arbitration and delivery read.
+  //
+  // Excluded, deliberately:
+  //  * tec_/rec_/state_: the error-state machine only changes behavior at
+  //    thresholds (128/256) that a checker placement cannot reach — each
+  //    scripted fault adds at most 8 to the transmitter's TEC and a crash
+  //    terminates the counter entirely, so a depth-<=2 script tops out at
+  //    TEC 16; excluding the raw counters lets universes whose transient
+  //    error history differs (but whose future behavior is identical)
+  //    collapse into one equivalence class.
+  //  * next_seq_ and per-entry seq: pure relative tiebreaks, fully
+  //    captured by hashing the queue in its sorted order.
+  //  * acceptance filters and the attach ordinal: immutable scenario
+  //    configuration, identical across all placements of one exploration.
+  h.feed_bool(crashed_);
+  h.feed_time(suspended_until_);
+  h.feed(queue_.size());
+  for (const PendingTx& p : queue_) {
+    h.feed(p.frame.id);
+    h.feed((static_cast<std::uint64_t>(p.frame.format) << 16) |
+           (static_cast<std::uint64_t>(p.frame.remote) << 8) | p.frame.dlc);
+    h.feed_bytes(p.frame.payload());
+    h.feed(static_cast<std::uint64_t>(p.attempts));
+  }
+}
+
 }  // namespace canely::can

@@ -18,6 +18,7 @@
 #include "can/frame.hpp"
 #include "can/types.hpp"
 #include "obs/recorder.hpp"
+#include "sim/hash.hpp"
 #include "sim/time.hpp"
 
 namespace canely::can {
@@ -178,6 +179,11 @@ class Controller {
 
   /// Bus: this node observed a frame error as a receiver (REC += 1).
   void bus_rx_error();
+
+  /// Canonical state for the checker's equivalence dedup (sim/hash.hpp):
+  /// liveness, suspend window, transmit queue in arbitration order.  See
+  /// the implementation for the documented exclusions.
+  void hash_state(sim::StateHasher& h) const;
 
  private:
   struct PendingTx {

@@ -18,6 +18,7 @@
 #include "canely/fda.hpp"
 #include "canely/params.hpp"
 #include "obs/recorder.hpp"
+#include "sim/hash.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -50,6 +51,19 @@ class FailureDetector {
   /// Count of explicit life-signs this node has broadcast (diagnostics —
   /// the bandwidth evaluation of Fig. 10 cares about this number).
   [[nodiscard]] std::uint64_t els_sent() const { return els_sent_; }
+
+  /// Canonical surveillance state for the checker's equivalence dedup:
+  /// per-node monitored flag + alarm deadline.  Raw timer ids are
+  /// allocation-order handles and deliberately not fed; the deadline is
+  /// Time::max() for inactive alarms, so activeness is covered.
+  /// els_sent_ / els_credit_ are excluded — pure diagnostics feeding obs
+  /// counters, never read back by the protocol.
+  void hash_state(sim::StateHasher& h) const {
+    for (std::size_t r = 0; r < can::kMaxNodes; ++r) {
+      h.feed_bool(monitored_[r]);
+      h.feed_time(timers_.deadline(tid_[r]));
+    }
+  }
 
  private:
   void fd_alarm_start(can::NodeId r);            // a00-a06

@@ -16,6 +16,7 @@
 #include "can/types.hpp"
 #include "canely/driver.hpp"
 #include "obs/recorder.hpp"
+#include "sim/hash.hpp"
 
 namespace canely {
 
@@ -63,6 +64,17 @@ class FdaProtocol {
 
   /// Failure-signs delivered upward at this node (diagnostics).
   [[nodiscard]] std::uint64_t ntys_delivered() const { return ntys_; }
+
+  /// Canonical protocol state for the checker's equivalence dedup: the
+  /// per-mid duplicate/request counters of Fig. 6.  ntys_ is excluded
+  /// (diagnostic count); agreement_ is excluded (immutable scenario
+  /// configuration, identical across all placements of one exploration).
+  void hash_state(sim::StateHasher& h) const {
+    for (std::size_t r = 0; r < can::kMaxNodes; ++r) {
+      h.feed(static_cast<std::uint64_t>(fs_ndup_[r]));
+      h.feed(static_cast<std::uint64_t>(fs_nreq_[r]));
+    }
+  }
 
  private:
   void on_rtr_ind(const Mid& mid);  // lines r00-r09

@@ -27,6 +27,7 @@
 #include "canely/driver.hpp"
 #include "canely/membership.hpp"
 #include "canely/mid.hpp"
+#include "sim/hash.hpp"
 
 namespace canely {
 
@@ -69,6 +70,22 @@ class GroupMembership {
   /// Node facade wires this) so that site failures cascade into group
   /// views.
   void on_site_change(can::NodeSet active, can::NodeSet failed);
+
+  /// Canonical state for the checker's equivalence dedup: the non-empty
+  /// announcement sets, index-framed (the count feed keeps a sparse table
+  /// from aliasing with a different sparse table of equal total bits).
+  void hash_state(sim::StateHasher& h) const {
+    std::uint64_t populated = 0;
+    for (const can::NodeSet& set : announced_) {
+      if (!set.empty()) ++populated;
+    }
+    h.feed(populated);
+    for (std::size_t g = 0; g < announced_.size(); ++g) {
+      if (announced_[g].empty()) continue;
+      h.feed(g);
+      h.feed(announced_[g].bits());
+    }
+  }
 
  private:
   void on_announce(const Mid& mid, bool joining);

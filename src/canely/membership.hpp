@@ -25,6 +25,7 @@
 #include "canely/params.hpp"
 #include "canely/rha.hpp"
 #include "obs/recorder.hpp"
+#include "sim/hash.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -78,6 +79,21 @@ class MembershipService {
   [[nodiscard]] can::NodeSet rl() const { return rl_; }
   [[nodiscard]] can::NodeSet ff() const { return ff_; }
   [[nodiscard]] std::uint64_t views_installed() const { return views_; }
+
+  /// Canonical protocol state for the checker's equivalence dedup: the
+  /// Fig. 9 data sets, the cycle-timer deadline, and the service/
+  /// re-entrancy flags.  views_ and pending_cycles_ are excluded — they
+  /// only feed diagnostics and obs histograms, never a protocol branch.
+  void hash_state(sim::StateHasher& h) const {
+    h.feed(rf_.bits());
+    h.feed(rj_.bits());
+    h.feed(rjp_.bits());
+    h.feed(rl_.bits());
+    h.feed(ff_.bits());
+    h.feed_time(timers_.deadline(tid_));
+    h.feed_bool(started_);
+    h.feed_bool(in_cycle_);
+  }
 
  private:
   void on_join_ind(const Mid& mid);          // s04-s06

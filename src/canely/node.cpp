@@ -95,4 +95,34 @@ void Node::crash_at(sim::Time when) {
   engine_.schedule_at(when, [this] { crash(); });
 }
 
+void Node::hash_state(sim::StateHasher& h) const {
+  // Fixed feed order: liveness, controller, then the stack bottom-up
+  // (fd, fda, rha, msh, groups), then the periodic traffic streams.
+  // Exclusions beyond what each component documents: crash_at() events
+  // (never used by the checked harness — it crashes nodes synchronously
+  // from the bus observer) and the tracer/recorder wiring (pure
+  // observation).
+  h.feed_bool(crashed_);
+  controller_.hash_state(h);
+  fd_.hash_state(h);
+  fda_.hash_state(h);
+  rha_.hash_state(h);
+  msh_.hash_state(h);
+  groups_.hash_state(h);
+  std::uint64_t active_streams = 0;
+  for (const PeriodicStream& s : periodic_) {
+    if (s.active) ++active_streams;
+  }
+  h.feed(active_streams);
+  for (std::size_t i = 0; i < periodic_.size(); ++i) {
+    const PeriodicStream& s = periodic_[i];
+    if (!s.active) continue;
+    h.feed(i);
+    h.feed_time(s.period);
+    h.feed(s.payload.size());
+    h.feed_bytes(s.payload);
+    h.feed_time(timers_.deadline(s.timer));
+  }
+}
+
 }  // namespace canely

@@ -139,6 +139,11 @@ class Node {
   [[nodiscard]] GroupMembership& groups() { return groups_; }
   [[nodiscard]] sim::TimerService& timers() { return timers_; }
 
+  /// Canonical whole-node state for the checker's equivalence dedup:
+  /// controller + every protocol component + the periodic traffic
+  /// streams.  See node.cpp for the feed order and exclusions.
+  void hash_state(sim::StateHasher& h) const;
+
  private:
   void periodic_tick(std::uint8_t stream);
   void emit_lifecycle(obs::EventKind kind);

@@ -30,6 +30,7 @@
 #include "canely/driver.hpp"
 #include "canely/params.hpp"
 #include "obs/recorder.hpp"
+#include "sim/hash.hpp"
 #include "sim/timer.hpp"
 
 namespace canely {
@@ -83,6 +84,26 @@ class RhaProtocol {
   /// clear this, or a later abort could target a newer frame whose mid
   /// collides with the transmitted one.
   [[nodiscard]] bool pending() const { return have_pending_; }
+
+  /// Canonical protocol state for the checker's equivalence dedup:
+  /// termination-timer deadline, current vector, per-value duplicate
+  /// counters (ordered map — deterministic iteration), and the pending
+  /// own-signal bookkeeping.  executions_ is excluded (diagnostic);
+  /// last_sent_mid_ is fed only while a signal is pending — it is the
+  /// abort target and dead state otherwise.
+  void hash_state(sim::StateHasher& h) const {
+    h.feed_time(timers_.deadline(tid_));
+    h.feed(rhv_.bits());
+    h.feed(rhv_ndup_.size());
+    for (const auto& [value, count] : rhv_ndup_) {
+      h.feed(value);
+      h.feed(static_cast<std::uint64_t>(count));
+    }
+    h.feed_bool(have_pending_);
+    if (have_pending_) {
+      h.feed(static_cast<std::uint64_t>(last_sent_mid_.encode()));
+    }
+  }
 
  private:
   void rha_init_send(can::NodeSet rw);                         // a00-a09

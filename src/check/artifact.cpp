@@ -1,13 +1,10 @@
 #include "check/artifact.hpp"
 
-#include <cctype>
 #include <cstdlib>
-#include <fstream>
-#include <map>
-#include <memory>
-#include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "check/json_reader.hpp"
 
 namespace canely::check {
 namespace {
@@ -89,243 +86,27 @@ void write_artifact(const std::string& path, const Artifact& artifact) {
 
 namespace {
 
-/// Minimal JSON value for the parser below.  Numbers are kept as int64 —
-/// the artifact schema only uses integers (all durations in ns).
-struct Value {
-  enum class Kind : std::uint8_t {
-    kNull,
-    kBool,
-    kInt,
-    kString,
-    kArray,
-    kObject
-  };
-  Kind kind{Kind::kNull};
-  bool b{false};
-  std::int64_t i{0};
-  std::string s;
-  std::vector<Value> array;
-  std::vector<std::pair<std::string, Value>> object;
-
-  [[nodiscard]] const Value* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_{text} {}
-
-  Value parse() {
-    Value v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("artifact JSON: " + why + " at offset " +
-                             std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume(const std::string& word) {
-    if (text_.compare(pos_, word.size(), word) == 0) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  Value value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"': {
-        Value v;
-        v.kind = Value::Kind::kString;
-        v.s = string();
-        return v;
-      }
-      case 't': {
-        if (!consume("true")) fail("bad literal");
-        Value v;
-        v.kind = Value::Kind::kBool;
-        v.b = true;
-        return v;
-      }
-      case 'f': {
-        if (!consume("false")) fail("bad literal");
-        Value v;
-        v.kind = Value::Kind::kBool;
-        return v;
-      }
-      case 'n': {
-        if (!consume("null")) fail("bad literal");
-        return Value{};
-      }
-      default:
-        return number();
-    }
-  }
-
-  Value object() {
-    expect('{');
-    Value v;
-    v.kind = Value::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  Value array() {
-    expect('[');
-    Value v;
-    v.kind = Value::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            // The emitter never produces \u escapes for the artifact's
-            // ASCII content; accept and keep the raw sequence.
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            out += "\\u" + text_.substr(pos_, 4);
-            pos_ += 4;
-            break;
-          }
-          default:
-            fail("bad escape");
-        }
-        continue;
-      }
-      out += c;
-    }
-  }
-
-  Value number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
-      ++pos_;
-    }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
-      fail("bad number");
-    }
-    if (pos_ < text_.size() &&
-        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      fail("non-integer number (artifact schema uses integers only)");
-    }
-    Value v;
-    v.kind = Value::Kind::kInt;
-    v.i = std::strtoll(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_{0};
-};
+using jsonin::Value;
+constexpr const char* kWhat = "artifact JSON";
 
 const Value& require(const Value& obj, const std::string& key,
                      Value::Kind kind) {
-  const Value* v = obj.find(key);
-  if (v == nullptr || v->kind != kind) {
-    throw std::runtime_error("artifact JSON: missing or mistyped field '" +
-                             key + "'");
-  }
-  return *v;
+  return jsonin::require(obj, key, kind, kWhat);
 }
 
 std::int64_t get_int(const Value& obj, const std::string& key) {
-  return require(obj, key, Value::Kind::kInt).i;
+  return jsonin::get_int(obj, key, kWhat);
 }
 
 bool get_bool(const Value& obj, const std::string& key) {
-  return require(obj, key, Value::Kind::kBool).b;
+  return jsonin::get_bool(obj, key, kWhat);
 }
 
 }  // namespace
 
 Artifact load_artifact(const std::string& path) {
-  std::ifstream in{path, std::ios::binary};
-  if (!in) throw std::runtime_error("cannot open artifact: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-
-  const Value root = Parser{text}.parse();
+  const std::string text = jsonin::read_file(path, kWhat);
+  const Value root = jsonin::parse(text, kWhat);
   if (root.kind != Value::Kind::kObject) {
     throw std::runtime_error("artifact JSON: root is not an object");
   }

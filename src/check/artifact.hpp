@@ -11,8 +11,8 @@
 // value.
 //
 // Writing goes through campaign::Json (insertion-ordered, deterministic
-// bytes).  Reading uses a minimal recursive-descent parser local to this
-// module — the only place in the repository that parses JSON.
+// bytes).  Reading uses the checker's shared minimal JSON reader
+// (check/json_reader.hpp).
 
 #include <cstdint>
 #include <string>

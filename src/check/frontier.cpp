@@ -1,0 +1,260 @@
+#include "check/frontier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "check/harness.hpp"
+#include "check/json_reader.hpp"
+
+namespace canely::check {
+namespace {
+
+constexpr const char* kSchema = "canely-frontier-1";
+constexpr const char* kWhat = "frontier JSON";
+
+using jsonin::Value;
+
+const Value& require(const Value& obj, const std::string& key,
+                     Value::Kind kind) {
+  return jsonin::require(obj, key, kind, kWhat);
+}
+
+std::int64_t get_int(const Value& obj, const std::string& key) {
+  return jsonin::get_int(obj, key, kWhat);
+}
+
+bool get_bool(const Value& obj, const std::string& key) {
+  return jsonin::get_bool(obj, key, kWhat);
+}
+
+std::uint64_t get_u64_string(const Value& obj, const std::string& key) {
+  return std::strtoull(require(obj, key, Value::Kind::kString).s.c_str(),
+                       nullptr, 10);
+}
+
+campaign::Json u64_string(std::uint64_t v) {
+  return campaign::Json::string(std::to_string(v));
+}
+
+campaign::Json script_json(const FaultScript& script) {
+  campaign::Json arr = campaign::Json::array();
+  for (const FaultEvent& ev : script) {
+    campaign::Json e = campaign::Json::object();
+    e.set("tx", campaign::Json::integer(static_cast<std::int64_t>(ev.tx)));
+    e.set("op", campaign::Json::string(
+                    ev.op == FaultOp::kOmit ? "omit" : "error"));
+    campaign::Json victims = campaign::Json::array();
+    for (can::NodeId id : ev.victims) {
+      victims.push(campaign::Json::integer(static_cast<std::int64_t>(id)));
+    }
+    e.set("victims", std::move(victims));
+    e.set("crash_sender", campaign::Json::boolean(ev.crash_sender));
+    arr.push(std::move(e));
+  }
+  return arr;
+}
+
+FaultScript parse_script(const Value& arr) {
+  FaultScript script;
+  for (const Value& e : arr.array) {
+    if (e.kind != Value::Kind::kObject) {
+      throw std::runtime_error(std::string{kWhat} +
+                               ": script event is not an object");
+    }
+    FaultEvent ev;
+    ev.tx = static_cast<std::uint64_t>(get_int(e, "tx"));
+    const std::string& op = require(e, "op", Value::Kind::kString).s;
+    if (op == "omit") {
+      ev.op = FaultOp::kOmit;
+    } else if (op == "error") {
+      ev.op = FaultOp::kError;
+    } else {
+      throw std::runtime_error(std::string{kWhat} + ": unknown op '" + op +
+                               "'");
+    }
+    for (const Value& id : require(e, "victims", Value::Kind::kArray).array) {
+      if (id.kind != Value::Kind::kInt || id.i < 0 ||
+          id.i >= static_cast<std::int64_t>(can::kMaxNodes)) {
+        throw std::runtime_error(std::string{kWhat} + ": bad victim id");
+      }
+      ev.victims.insert(static_cast<can::NodeId>(id.i));
+    }
+    ev.crash_sender = get_bool(e, "crash_sender");
+    script.push_back(ev);
+  }
+  return script;
+}
+
+void fold_string(std::uint64_t& h, const std::string& s) {
+  h = fnv1a(h, s.size());
+  for (char c : s) h = fnv1a(h, static_cast<std::uint8_t>(c));
+}
+
+}  // namespace
+
+std::uint64_t fold_records(const std::vector<FrontierRecord>& records) {
+  std::uint64_t h = kFnvOffset;
+  for (const FrontierRecord& r : records) {
+    h = fnv1a(h, r.u);
+    h = fnv1a(h, r.j);
+    h = fnv1a(h, r.key);
+    h = fnv1a(h, r.violated ? 1 : 0);
+    if (r.violated) {
+      fold_string(h, r.violation.monitor);
+      h = fnv1a(h, static_cast<std::uint64_t>(r.violation.when.to_ns()));
+      fold_string(h, r.violation.detail);
+    }
+  }
+  return h;
+}
+
+campaign::Json frontier_json(const FrontierFile& frontier) {
+  campaign::Json records = campaign::Json::array();
+  for (const FrontierRecord& r : frontier.records) {
+    campaign::Json rec = campaign::Json::object();
+    rec.set("u", campaign::Json::integer(static_cast<std::int64_t>(r.u)));
+    rec.set("j", campaign::Json::integer(static_cast<std::int64_t>(r.j)));
+    rec.set("key", u64_string(r.key));
+    rec.set("violated", campaign::Json::boolean(r.violated));
+    if (r.violated) {
+      campaign::Json vio = campaign::Json::object();
+      vio.set("monitor", campaign::Json::string(r.violation.monitor));
+      vio.set("when_ns", campaign::Json::integer(r.violation.when.to_ns()));
+      vio.set("detail", campaign::Json::string(r.violation.detail));
+      rec.set("violation", std::move(vio));
+      rec.set("script", script_json(r.script));
+    }
+    records.push(std::move(rec));
+  }
+
+  campaign::Json root = campaign::Json::object();
+  root.set("schema", campaign::Json::string(kSchema));
+  root.set("fingerprint", u64_string(frontier.fingerprint));
+  root.set("total", campaign::Json::integer(
+                        static_cast<std::int64_t>(frontier.total)));
+  root.set("shard_index", campaign::Json::integer(frontier.shard_index));
+  root.set("shard_count", campaign::Json::integer(frontier.shard_count));
+  root.set("cursor", campaign::Json::integer(
+                         static_cast<std::int64_t>(frontier.cursor)));
+  root.set("complete", campaign::Json::boolean(frontier.complete));
+  root.set("partial", campaign::Json::boolean(frontier.partial));
+  root.set("aggregate", u64_string(fold_records(frontier.records)));
+  root.set("records", std::move(records));
+  return root;
+}
+
+void write_frontier(const std::string& path, const FrontierFile& frontier) {
+  const std::string tmp = path + ".tmp";
+  campaign::write_file(tmp, frontier_json(frontier).dump(1) + "\n");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("frontier: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+FrontierFile load_frontier(const std::string& path) {
+  const std::string text = jsonin::read_file(path, kWhat);
+  const Value root = jsonin::parse(text, kWhat);
+  if (root.kind != Value::Kind::kObject) {
+    throw std::runtime_error(std::string{kWhat} + ": root is not an object");
+  }
+  if (require(root, "schema", Value::Kind::kString).s != kSchema) {
+    throw std::runtime_error(std::string{kWhat} + ": unknown schema");
+  }
+
+  FrontierFile f;
+  f.fingerprint = get_u64_string(root, "fingerprint");
+  f.total = static_cast<std::uint64_t>(get_int(root, "total"));
+  f.shard_index = static_cast<std::uint32_t>(get_int(root, "shard_index"));
+  f.shard_count = static_cast<std::uint32_t>(get_int(root, "shard_count"));
+  f.cursor = static_cast<std::uint64_t>(get_int(root, "cursor"));
+  f.complete = get_bool(root, "complete");
+  f.partial = get_bool(root, "partial");
+
+  for (const Value& rv : require(root, "records", Value::Kind::kArray).array) {
+    if (rv.kind != Value::Kind::kObject) {
+      throw std::runtime_error(std::string{kWhat} +
+                               ": record is not an object");
+    }
+    FrontierRecord r;
+    r.u = static_cast<std::uint64_t>(get_int(rv, "u"));
+    r.j = static_cast<std::uint64_t>(get_int(rv, "j"));
+    r.key = get_u64_string(rv, "key");
+    r.violated = get_bool(rv, "violated");
+    if (r.violated) {
+      const Value& vio = require(rv, "violation", Value::Kind::kObject);
+      r.violation.monitor = require(vio, "monitor", Value::Kind::kString).s;
+      r.violation.when = sim::Time::ns(get_int(vio, "when_ns"));
+      r.violation.detail = require(vio, "detail", Value::Kind::kString).s;
+      r.script = parse_script(require(rv, "script", Value::Kind::kArray));
+    }
+    f.records.push_back(std::move(r));
+  }
+
+  f.aggregate = fold_records(f.records);
+  if (f.aggregate != get_u64_string(root, "aggregate")) {
+    throw std::runtime_error(std::string{kWhat} +
+                             ": aggregate does not match records in " + path);
+  }
+  if (f.cursor != f.records.size()) {
+    throw std::runtime_error(std::string{kWhat} +
+                             ": cursor does not match record count in " +
+                             path);
+  }
+  return f;
+}
+
+FrontierFile merge_frontiers(const std::vector<FrontierFile>& shards) {
+  if (shards.empty()) {
+    throw std::runtime_error("frontier merge: no shards");
+  }
+  const std::uint32_t count = shards.front().shard_count;
+  if (count != shards.size()) {
+    throw std::runtime_error("frontier merge: got " +
+                             std::to_string(shards.size()) + " shards of " +
+                             std::to_string(count));
+  }
+  std::vector<bool> seen(count, false);
+  for (const FrontierFile& s : shards) {
+    if (s.fingerprint != shards.front().fingerprint) {
+      throw std::runtime_error(
+          "frontier merge: shards explore different configurations");
+    }
+    if (s.shard_count != count || s.shard_index >= count) {
+      throw std::runtime_error("frontier merge: inconsistent shard labels");
+    }
+    if (seen[s.shard_index]) {
+      throw std::runtime_error("frontier merge: duplicate shard " +
+                               std::to_string(s.shard_index));
+    }
+    seen[s.shard_index] = true;
+    if (!s.complete) {
+      throw std::runtime_error("frontier merge: shard " +
+                               std::to_string(s.shard_index) +
+                               " is incomplete");
+    }
+  }
+
+  FrontierFile merged;
+  merged.fingerprint = shards.front().fingerprint;
+  merged.shard_index = 0;
+  merged.shard_count = 1;
+  merged.complete = true;
+  for (const FrontierFile& s : shards) {
+    merged.total += s.total;
+    merged.cursor += s.cursor;
+    merged.partial = merged.partial || s.partial;
+    merged.records.insert(merged.records.end(), s.records.begin(),
+                          s.records.end());
+  }
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const FrontierRecord& a, const FrontierRecord& b) {
+              return a.u != b.u ? a.u < b.u : a.j < b.j;
+            });
+  merged.aggregate = fold_records(merged.records);
+  return merged;
+}
+
+}  // namespace canely::check

@@ -1,5 +1,6 @@
 #include "check/harness.hpp"
 
+#include <functional>
 #include <memory>
 
 #include "can/bus.hpp"
@@ -7,6 +8,7 @@
 #include "canely/node.hpp"
 #include "sim/arena.hpp"
 #include "sim/engine.hpp"
+#include "sim/hash.hpp"
 
 namespace canely::check {
 namespace {
@@ -17,8 +19,17 @@ namespace {
 /// index the scripts key on.
 class LoggingInjector final : public can::FaultInjector {
  public:
+  /// Returns the canonical state hash of the whole universe, evaluated at
+  /// the instant of the call (judge-time, pre-verdict).
+  using Sampler = std::function<std::uint64_t()>;
+
   LoggingInjector(FaultScript script, bool want_log)
       : inner_{std::move(script)}, want_log_{want_log} {}
+
+  void set_sampler(Sampler sampler, sim::Time until) {
+    sampler_ = std::move(sampler);
+    sample_until_ = until;
+  }
 
   can::Verdict judge(const can::TxContext& ctx) override {
     if (want_log_) {
@@ -35,6 +46,11 @@ class LoggingInjector final : public can::FaultInjector {
       }
       log_.push_back(e);
     }
+    // Sample before the verdict: the hash captures the state a fault
+    // targeting this attempt would act on.
+    if (sampler_ && ctx.start < sample_until_) {
+      samples_.push_back(StateSample{ctx.tx_index, sampler_()});
+    }
     return inner_.judge(ctx);
   }
 
@@ -43,11 +59,15 @@ class LoggingInjector final : public can::FaultInjector {
   }
 
   [[nodiscard]] std::vector<TxLogEntry>& log() { return log_; }
+  [[nodiscard]] std::vector<StateSample>& samples() { return samples_; }
 
  private:
   ScriptInjector inner_;
   bool want_log_;
+  Sampler sampler_;
+  sim::Time sample_until_{sim::Time::max()};
   std::vector<TxLogEntry> log_;
+  std::vector<StateSample> samples_;
 };
 
 std::uint64_t hash_record(std::uint64_t h, const can::TxRecord& rec) {
@@ -101,6 +121,16 @@ sim::Time ScenarioConfig::expel_grace() const {
 
 RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
                       bool want_tx_log, obs::Recorder* recorder) {
+  RunOptions opts;
+  opts.want_tx_log = want_tx_log;
+  opts.recorder = recorder;
+  return run_checked(cfg, script, opts);
+}
+
+RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
+                      const RunOptions& opts) {
+  const bool want_tx_log = opts.want_tx_log;
+  obs::Recorder* recorder = opts.recorder;
   sim::Engine engine;
   can::BusConfig bus_cfg;
   bus_cfg.clustering = cfg.clustering;
@@ -172,6 +202,25 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
     });
   }
 
+  if (opts.want_samples) {
+    // Canonical state hash: fixed feed order — instant, bus, nodes 0..n-1,
+    // the crash record the harness itself maintains, then the monitor
+    // panel.  Everything the run's continuation depends on is in here;
+    // each component documents its own exclusions.
+    injector.set_sampler(
+        [&]() {
+          sim::StateHasher h;
+          h.feed_time(engine.now());
+          bus.hash_state(h);
+          for (const Node* node : nodes) node->hash_state(h);
+          h.feed(end.crashed.bits());
+          for (can::NodeId c : end.crashed) h.feed_time(end.crash_time[c]);
+          for (const Monitor* m : monitors) m->hash_state(h, cfg.n);
+          return h.digest();
+        },
+        opts.sample_until);
+  }
+
   std::uint64_t hash = kFnvOffset;
   bus.set_observer([&](const can::TxRecord& rec) {
     hash = hash_record(hash, rec);
@@ -211,6 +260,7 @@ RunResult run_checked(const ScenarioConfig& cfg, const FaultScript& script,
   result.attempts = bus.stats().attempts;
   result.end = end.end;
   if (want_tx_log) result.tx_log = std::move(injector.log());
+  if (opts.want_samples) result.samples = std::move(injector.samples());
   return result;
 }
 

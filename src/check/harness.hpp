@@ -76,6 +76,30 @@ struct ViewInstall {
   can::NodeSet view;
 };
 
+/// Canonical whole-universe state hash sampled at the judge-time of one
+/// transmission attempt (before any verdict for that attempt applies).
+/// Two runs in the same state at the attempt a fault targets evolve
+/// identically under the same fault — the explorer's equivalence dedup
+/// keys on this.
+struct StateSample {
+  std::uint64_t tx_index{};
+  std::uint64_t state_hash{};
+};
+
+/// Knobs for run_checked beyond the scenario and the script.
+struct RunOptions {
+  /// Collect the per-attempt targeting map (probe runs).
+  bool want_tx_log{false};
+  /// Sample the canonical state hash at every attempt's judge-time.
+  bool want_samples{false};
+  /// Stop sampling at this instant (attempts starting later are not
+  /// hashed) — bounds probe cost to the fault window under scrutiny.
+  sim::Time sample_until{sim::Time::max()};
+  /// Structured observability feed (typed events + metrics); used to
+  /// attach a Perfetto timeline to counterexample artifacts.
+  obs::Recorder* recorder{nullptr};
+};
+
 /// Everything a checked run reports.
 struct RunResult {
   std::vector<Violation> violations;
@@ -83,15 +107,18 @@ struct RunResult {
   std::vector<TxLogEntry> tx_log;  ///< only when requested
   /// Per-node view-install history; only when the tx log is requested.
   std::array<std::vector<ViewInstall>, can::kMaxNodes> installs{};
+  /// Judge-time state hashes; only when RunOptions::want_samples.
+  std::vector<StateSample> samples;
   std::uint64_t attempts{0};  ///< bus attempts completed
   sim::Time end{};
 };
 
-/// Execute one checked run.  `want_tx_log` collects the per-attempt
-/// targeting map (probe runs); plain exploration runs skip it.
-/// `recorder`, when non-null, captures the structured observability feed
-/// (typed events + metrics) of the run — used to attach a Perfetto
-/// timeline to counterexample artifacts.
+/// Execute one checked run.
+[[nodiscard]] RunResult run_checked(const ScenarioConfig& cfg,
+                                    const FaultScript& script,
+                                    const RunOptions& opts);
+
+/// Convenience overload matching the pre-RunOptions signature.
 [[nodiscard]] RunResult run_checked(const ScenarioConfig& cfg,
                                     const FaultScript& script,
                                     bool want_tx_log = false,

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal JSON reader shared by the checker's file formats (counterexample
+// artifacts, exploration frontiers).
+//
+// The schemas this reads are produced by campaign::Json, so the reader
+// supports exactly that dialect: integers only (no floats — every duration
+// is in ns), insertion-ordered objects, plain ASCII strings.  Unknown
+// fields are preserved in the value tree and simply ignored by callers,
+// which is what keeps the formats forward-extensible.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace canely::check::jsonin {
+
+/// A parsed JSON value.  Numbers are kept as int64.
+struct Value {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kString,
+    kArray,
+    kObject
+  };
+  Kind kind{Kind::kNull};
+  bool b{false};
+  std::int64_t i{0};
+  std::string s;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Parse `text` completely; throws std::runtime_error (message prefixed
+/// with `what`) on syntax errors or trailing input.
+[[nodiscard]] Value parse(const std::string& text, const std::string& what);
+
+/// Fetch a mandatory field of the given kind; throws std::runtime_error
+/// when missing or mistyped.
+[[nodiscard]] const Value& require(const Value& obj, const std::string& key,
+                                   Value::Kind kind, const std::string& what);
+
+[[nodiscard]] std::int64_t get_int(const Value& obj, const std::string& key,
+                                   const std::string& what);
+[[nodiscard]] bool get_bool(const Value& obj, const std::string& key,
+                            const std::string& what);
+
+/// Read a whole file; throws std::runtime_error when it cannot be opened.
+[[nodiscard]] std::string read_file(const std::string& path,
+                                    const std::string& what);
+
+}  // namespace canely::check::jsonin

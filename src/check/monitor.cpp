@@ -34,6 +34,11 @@ std::string seq_str(const std::vector<can::NodeSet>& seq) {
   return out + "]";
 }
 
+void hash_string(sim::StateHasher& h, const std::string& s) {
+  h.feed(s.size());
+  for (char c : s) h.feed(static_cast<std::uint8_t>(c));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- FDA
@@ -86,6 +91,20 @@ void FdaAgreementMonitor::finish(const EndState& end,
   }
 }
 
+void FdaAgreementMonitor::hash_state(sim::StateHasher& h,
+                                     std::size_t n) const {
+  // Full first-delivery table for the n scenario nodes: finish() reads
+  // exactly these coordinates plus the EndState (which the harness feeds
+  // separately).
+  for (std::size_t at = 0; at < n; ++at) {
+    for (std::size_t failed = 0; failed < n; ++failed) {
+      const Delivery& d = first_[at][failed];
+      h.feed_bool(d.delivered);
+      if (d.delivered) h.feed_time(d.when);
+    }
+  }
+}
+
 // ---------------------------------------------------------------- RHA
 
 void RhaAgreementMonitor::on_rha_end(can::NodeId at, can::NodeSet agreed,
@@ -108,6 +127,14 @@ void RhaAgreementMonitor::finish(const EndState& end,
                          seq_str(seqs_[b]))});
       }
     }
+  }
+}
+
+void RhaAgreementMonitor::hash_state(sim::StateHasher& h,
+                                     std::size_t n) const {
+  for (std::size_t at = 0; at < n; ++at) {
+    h.feed(seqs_[at].size());
+    for (can::NodeSet agreed : seqs_[at]) h.feed(agreed.bits());
   }
 }
 
@@ -217,6 +244,19 @@ void ViewConsistencyMonitor::finish(const EndState& end,
   }
 }
 
+void ViewConsistencyMonitor::hash_state(sim::StateHasher& h,
+                                        std::size_t n) const {
+  // Full install history (time + view); expel_grace_/converge_by_ are
+  // immutable scenario configuration and not fed.
+  for (std::size_t at = 0; at < n; ++at) {
+    h.feed(installs_[at].size());
+    for (const Install& in : installs_[at]) {
+      h.feed_time(in.when);
+      h.feed(in.view.bits());
+    }
+  }
+}
+
 // --------------------------------------------------------- fail-silence
 
 void FailSilenceMonitor::on_crash(can::NodeId node, sim::Time when) {
@@ -240,6 +280,24 @@ void FailSilenceMonitor::on_tx(const can::TxRecord& rec) {
 void FailSilenceMonitor::finish(const EndState& /*end*/,
                                 std::vector<Violation>& out) {
   out.insert(out.end(), pending_.begin(), pending_.end());
+}
+
+void FailSilenceMonitor::hash_state(sim::StateHasher& h,
+                                    std::size_t n) const {
+  h.feed(crashed_.bits());
+  for (std::size_t c = 0; c < n; ++c) {
+    if (crashed_.contains(static_cast<can::NodeId>(c))) {
+      h.feed_time(crash_time_[c]);
+    }
+  }
+  // Violations buffered for finish(): already-observed babbling is part
+  // of the run's verdict, so it must separate equivalence classes.
+  h.feed(pending_.size());
+  for (const Violation& v : pending_) {
+    hash_string(h, v.monitor);
+    h.feed_time(v.when);
+    hash_string(h, v.detail);
+  }
 }
 
 // ---------------------------------------------------- detection latency
@@ -275,6 +333,20 @@ void DetectionLatencyMonitor::finish(const EndState& end,
                        int{d.failed}, " only at ", d.when, " (crash ",
                        end.crash_time[d.failed], ", bound ", bound_, ")")});
     }
+  }
+}
+
+void DetectionLatencyMonitor::hash_state(sim::StateHasher& h,
+                                         std::size_t n) const {
+  h.feed(deliveries_.size());
+  for (const Delivery& d : deliveries_) {
+    h.feed(d.at);
+    h.feed(d.failed);
+    h.feed_time(d.when);
+  }
+  for (std::size_t at = 0; at < n; ++at) {
+    h.feed_bool(has_install_[at]);
+    if (has_install_[at]) h.feed_time(first_install_[at]);
   }
 }
 

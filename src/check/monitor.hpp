@@ -37,6 +37,7 @@
 
 #include "can/bus.hpp"
 #include "can/types.hpp"
+#include "sim/hash.hpp"
 #include "sim/time.hpp"
 
 namespace canely::check {
@@ -92,6 +93,17 @@ class Monitor {
   }
 
   virtual void finish(const EndState& end, std::vector<Violation>& out) = 0;
+
+  /// Feed the monitor's accumulated observation state into `h` (the
+  /// checker's equivalence dedup; sim/hash.hpp).  Because every monitor
+  /// renders its verdict exclusively in finish(), equal monitor state at
+  /// a sampling point implies equal final violation sets for equal
+  /// continuations — the soundness anchor of class collapsing.  `n` is
+  /// the scenario size, bounding the per-node tables that are fed.
+  virtual void hash_state(sim::StateHasher& h, std::size_t n) const {
+    (void)h;
+    (void)n;
+  }
 };
 
 /// FDA agreement and validity (Fig. 6).
@@ -103,6 +115,7 @@ class FdaAgreementMonitor final : public Monitor {
   void on_fda_nty(can::NodeId at, can::NodeId failed,
                   sim::Time when) override;
   void finish(const EndState& end, std::vector<Violation>& out) override;
+  void hash_state(sim::StateHasher& h, std::size_t n) const override;
 
  private:
   struct Delivery {
@@ -124,6 +137,7 @@ class RhaAgreementMonitor final : public Monitor {
   void on_rha_end(can::NodeId at, can::NodeSet agreed,
                   sim::Time when) override;
   void finish(const EndState& end, std::vector<Violation>& out) override;
+  void hash_state(sim::StateHasher& h, std::size_t n) const override;
 
  private:
   std::array<std::vector<can::NodeSet>, can::kMaxNodes> seqs_{};
@@ -151,6 +165,7 @@ class ViewConsistencyMonitor final : public Monitor {
   void on_view_installed(can::NodeId at, can::NodeSet view,
                          sim::Time when) override;
   void finish(const EndState& end, std::vector<Violation>& out) override;
+  void hash_state(sim::StateHasher& h, std::size_t n) const override;
 
  private:
   struct Install {
@@ -171,6 +186,7 @@ class FailSilenceMonitor final : public Monitor {
   void on_crash(can::NodeId node, sim::Time when) override;
   void on_tx(const can::TxRecord& rec) override;
   void finish(const EndState& end, std::vector<Violation>& out) override;
+  void hash_state(sim::StateHasher& h, std::size_t n) const override;
 
  private:
   can::NodeSet crashed_;
@@ -192,6 +208,7 @@ class DetectionLatencyMonitor final : public Monitor {
   void on_view_installed(can::NodeId at, can::NodeSet view,
                          sim::Time when) override;
   void finish(const EndState& end, std::vector<Violation>& out) override;
+  void hash_state(sim::StateHasher& h, std::size_t n) const override;
 
  private:
   struct Delivery {

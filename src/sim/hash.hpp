@@ -1,0 +1,66 @@
+#pragma once
+// Canonical state hashing for simulation components.
+//
+// The checker's equivalence dedup (src/check/explore.cpp) collapses fault
+// placements whose pre-injection universe state is identical: equal hash +
+// equal remaining script implies an identical continuation, because every
+// component of a checked run is a deterministic function of its state.
+// Components expose `hash_state(sim::StateHasher&) const` methods that feed
+// their canonical state — everything that influences future behavior, and
+// nothing that doesn't (diagnostic counters, trace history) — into this
+// accumulator in a fixed, documented order.
+//
+// The hash is a seeded byte-wise FNV-1a over typed feeds.  Every feed
+// mixes a full 64-bit word, so adjacent fields never alias (a bool is a
+// whole word, not one bit), and the digest is a pure function of the fed
+// sequence — independent of platform, thread count, and process.  The
+// seed keeps independently-keyed hash domains (state classes vs. script
+// keys) from colliding structurally.
+
+#include <cstdint>
+#include <span>
+
+#include "sim/time.hpp"
+
+namespace canely::sim {
+
+/// Seeded FNV-1a accumulator for canonical component state.
+class StateHasher {
+ public:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  explicit constexpr StateHasher(std::uint64_t seed = 0) {
+    feed(seed);
+  }
+
+  /// Mix one 64-bit word, byte-wise little-endian.
+  constexpr void feed(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xFF;
+      hash_ *= kPrime;
+    }
+  }
+
+  constexpr void feed_bool(bool value) { feed(value ? 1 : 0); }
+
+  /// Times feed as their raw nanosecond count; Time::max() (the "timer
+  /// not pending" deadline) hashes like any other value, so activeness is
+  /// covered by the deadline feed alone.
+  constexpr void feed_time(Time t) {
+    feed(static_cast<std::uint64_t>(t.to_ns()));
+  }
+
+  /// Raw bytes, each mixed as one word (length must be framed by the
+  /// caller when ambiguity is possible — feed the count first).
+  constexpr void feed_bytes(std::span<const std::uint8_t> bytes) {
+    for (std::uint8_t b : bytes) feed(b);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_{kOffset};
+};
+
+}  // namespace canely::sim

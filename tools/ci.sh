@@ -118,7 +118,8 @@ tolerance = float(os.environ["CANELY_PERF_TOLERANCE"])
 
 expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
             "bus_load:64", "membership_cycle:8", "trace_overhead:obs0",
-            "trace_overhead:obs1"]
+            "trace_overhead:obs1", "check_explore:8",
+            "check_explore_naive:8"]
 missing = [k for k in expected if k not in fresh]
 assert not missing, f"missing cells: {missing}"
 bad = {k: v for k, v in fresh.items() if not v > 0}
@@ -180,6 +181,30 @@ stage_check() {
     exit 1
   fi
   echo "check: --quick clean, aggregate byte-identical for 1 and 4 threads"
+
+  # Depth-2 exhaustive smoke: a tightly budgeted cross product must
+  # complete, and two shards merged must be byte-identical to the
+  # unsharded frontier — the scale engine's sharding contract.
+  local fdir=build-ci/check/frontiers
+  rm -rf "$fdir" && mkdir -p "$fdir"
+  local caps="--exhaustive --max-frames 8 --max-victim-sets 4 \
+              --max-bases 8 --targets 2 --no-shrink"
+  # shellcheck disable=SC2086
+  "$dir/bench/check_explorer" $caps --frontier "$fdir/all.json" \
+    --threads 4 >/dev/null
+  # shellcheck disable=SC2086
+  "$dir/bench/check_explorer" $caps --shard 0/2 \
+    --frontier "$fdir/s0.json" --threads 1 >/dev/null
+  # shellcheck disable=SC2086
+  "$dir/bench/check_explorer" $caps --shard 1/2 \
+    --frontier "$fdir/s1.json" --threads 4 >/dev/null
+  "$dir/bench/check_explorer" --merge "$fdir/merged.json" \
+    "$fdir/s0.json" "$fdir/s1.json" >/dev/null
+  if ! cmp -s "$fdir/all.json" "$fdir/merged.json"; then
+    echo "check: merged shard frontier differs from the unsharded run" >&2
+    exit 1
+  fi
+  echo "check: depth-2 exhaustive smoke ok, shard union byte-identical"
 }
 
 stage_obs() {
