@@ -10,6 +10,12 @@
 //     bus (arbitration + serialization + delivery fan-out);
 //   * membership_cycle — full CANELy membership formations/sec (8 nodes
 //     join, converge to a common view), the end-to-end macro number;
+//   * net_medium    — delivered messages/sec through the lossy
+//     point-to-point medium at 64 nodes (delay + loss + dup draws, the
+//     per-copy cost floor under every net baseline);
+//   * swim_steady   — delivered SWIM protocol messages/sec at 128 nodes
+//     in failure-free steady state (probe rotation, acks, piggyback
+//     encode/decode);
 //   * trace_overhead — the bus_load workload with the obs recorder off
 //     vs on: the structured-observability emit path (typed event into the
 //     ring + counter adds) must cost <= 5% of hot-path throughput.
@@ -31,11 +37,13 @@
 #include <string>
 #include <vector>
 
+#include "baselines/swim.hpp"
 #include "campaign/campaign.hpp"
 #include "can/bitstream.hpp"
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "check/explore.hpp"
+#include "net/medium.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -196,6 +204,76 @@ double membership_cycle_rate(std::size_t n, std::uint64_t formations) {
   return static_cast<double>(formations) / seconds_since(t0);
 }
 
+/// Lossy point-to-point medium throughput (DESIGN.md §13): n nodes,
+/// each pumping unicasts to a rotating peer with every 16th send a
+/// broadcast, under modest delay/loss/duplication draws.  Delivered
+/// messages/sec — the per-copy cost floor under every net baseline.
+double net_medium_rate(std::size_t n, std::uint64_t target_deliveries,
+                       std::uint64_t seed) {
+  sim::Engine engine;
+  net::MediumConfig cfg;
+  cfg.n = n;
+  cfg.default_link.delay_min = sim::Time::us(50);
+  cfg.default_link.delay_max = sim::Time::ms(1);
+  cfg.default_link.drop_p = 0.01;
+  cfg.default_link.dup_p = 0.01;
+  net::Medium medium{engine, cfg, seed};
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    medium.attach(static_cast<net::NodeId>(i),
+                  [&sink](const net::Message& m) { sink += m.bytes.size(); });
+  }
+  const sim::Time period = sim::Time::us(100);
+  std::uint64_t round = 0;
+  std::function<void()> pump = [&] {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Message m;
+      m.from = static_cast<net::NodeId>(i);
+      m.to = round % 16 == 15
+                 ? net::kBroadcast
+                 : static_cast<net::NodeId>((i + 1 + round % (n - 1)) % n);
+      m.kind = 1;
+      m.bytes.assign(24, static_cast<std::uint8_t>(round));
+      medium.send(std::move(m));
+    }
+    ++round;
+    engine.schedule_after(period, pump);
+  };
+  engine.schedule_after(sim::Time::zero(), pump);
+  const auto t0 = Clock::now();
+  while (medium.stats().delivered < target_deliveries) {
+    engine.run_for(sim::Time::ms(10));
+  }
+  const double secs = seconds_since(t0);
+  if (sink == 0xdead) std::cerr << "";
+  return static_cast<double>(medium.stats().delivered) / secs;
+}
+
+/// SWIM steady state at n=128 on a clean medium: full protocol machinery
+/// (probe rotation, acks, piggyback encode/decode) with no failures.
+/// Delivered protocol messages/sec of wall clock.
+double swim_steady_rate(std::size_t n, std::uint64_t target_deliveries,
+                        std::uint64_t seed) {
+  sim::Engine engine;
+  net::MediumConfig cfg;
+  cfg.n = n;
+  cfg.default_link.delay_min = sim::Time::us(100);
+  cfg.default_link.delay_max = sim::Time::ms(2);
+  net::Medium medium{engine, cfg, seed};
+  baselines::SwimCluster swim{medium, n, baselines::SwimParams{}, seed ^ 1};
+  swim.start();
+  const auto t0 = Clock::now();
+  while (medium.stats().delivered < target_deliveries) {
+    engine.run_for(sim::Time::ms(100));
+  }
+  const double secs = seconds_since(t0);
+  if (!swim.views_agree(net::Members::all(n))) {
+    std::cerr << "perf_core: SWIM steady state lost agreement\n";
+    return 0.0;
+  }
+  return static_cast<double>(medium.stats().delivered) / secs;
+}
+
 /// Exploration-at-scale throughput (DESIGN.md §12): placements resolved
 /// per second by the depth-2 exhaustive explorer over the n=8 membership
 /// scenario.  `naive` off measures the scale engine (equivalence dedup +
@@ -287,11 +365,14 @@ int main(int argc, char** argv) {
   const std::uint64_t fifo_events = 6'000'000 / scale;
   const std::uint64_t bus_frames = 120'000 / scale;
   const std::uint64_t formations = 150 / scale + 1;
+  const std::uint64_t net_deliveries = 600'000 / scale;
+  const std::uint64_t swim_deliveries = 200'000 / scale;
 
   std::cout << "perf_core — simulator hot-path throughput (" << reps
             << " reps" << (scale > 1 ? ", quick" : "") << ")\n\n";
 
-  std::vector<double> churn, fifo, members, trace_off, trace_on;
+  std::vector<double> churn, fifo, members, net_med, swim_st, trace_off,
+      trace_on;
   std::vector<std::vector<double>> bus_rates;
   const std::size_t bus_sizes[] = {8, 32, 64};
   bus_rates.resize(std::size(bus_sizes));
@@ -302,6 +383,8 @@ int main(int argc, char** argv) {
       bus_rates[bi].push_back(bus_load_rate(bus_sizes[bi], bus_frames));
     }
     members.push_back(membership_cycle_rate(8, formations));
+    net_med.push_back(net_medium_rate(64, net_deliveries, opts.seed + r));
+    swim_st.push_back(swim_steady_rate(128, swim_deliveries, opts.seed + r));
     // Back-to-back pair so the off/on ratio sees the same machine state;
     // alternating the order cancels any monotone drift (thermal, turbo
     // decay) that would otherwise bias whichever side always ran second.
@@ -344,6 +427,22 @@ int main(int argc, char** argv) {
     params.set("nodes", campaign::Json::integer(8));
     cells.push(cell("membership_cycle", std::move(params),
                     "formations_per_sec", members_s));
+  }
+  const auto net_med_s = campaign::summarize(net_med);
+  const auto swim_st_s = campaign::summarize(swim_st);
+  report("net_medium_n64", net_med_s, "msgs/s");
+  report("swim_steady_n128", swim_st_s, "msgs/s");
+  {
+    campaign::Json params = campaign::Json::object();
+    params.set("nodes", campaign::Json::integer(64));
+    cells.push(cell("net_medium", std::move(params), "msgs_per_sec",
+                    net_med_s));
+  }
+  {
+    campaign::Json params = campaign::Json::object();
+    params.set("nodes", campaign::Json::integer(128));
+    cells.push(cell("swim_steady", std::move(params), "msgs_per_sec",
+                    swim_st_s));
   }
   // Exploration cells run fewer reps: each rep is a seconds-long
   // deterministic workload (noise-robust on its own), and the naive

@@ -13,8 +13,8 @@ bool parse_shard(const std::string& text, std::size_t& index,
     return false;
   }
   char* end = nullptr;
-  const unsigned long long i =
-      std::strtoull(text.substr(0, slash).c_str(), &end, 10);
+  const std::string numer = text.substr(0, slash);
+  const unsigned long long i = std::strtoull(numer.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return false;
   const std::string denom = text.substr(slash + 1);
   const unsigned long long n = std::strtoull(denom.c_str(), &end, 10);

@@ -10,11 +10,11 @@
 namespace canely::lint {
 namespace {
 
-constexpr std::array<std::string_view, 13> kDeterminismDirs = {
+constexpr std::array<std::string_view, 14> kDeterminismDirs = {
     "src/sim/",      "src/can/",       "src/canely/",   "src/broadcast/",
     "src/campaign/", "src/check/",     "src/scenario/", "src/baselines/",
     "src/clocksync/", "src/media/",    "src/workload/", "src/analysis/",
-    "src/obs/"};
+    "src/obs/",      "src/net/"};
 
 constexpr std::array<std::string_view, 3> kWireFiles = {
     "src/can/types.hpp", "src/can/frame.hpp", "src/canely/mid.hpp"};

@@ -6,8 +6,8 @@
 // Zones are path-scoped (paths are repo-relative, '/'-separated):
 //
 //   determinism  src/{sim,can,canely,broadcast,campaign,check,scenario,
-//                baselines,clocksync,media,workload,analysis}/ — code
-//                whose output must be a pure function of its inputs.
+//                baselines,clocksync,media,workload,analysis,obs,net}/ —
+//                code whose output must be a pure function of its inputs.
 //   wire         src/can/types.hpp, src/can/frame.hpp, src/canely/mid.hpp
 //                — struct members must use fixed-width integer types.
 //   hot-path     any file/function tagged `// canely-lint: hot-path`.

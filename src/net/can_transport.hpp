@@ -1,0 +1,53 @@
+#pragma once
+// CAN side of the transmit/deliver seam (DESIGN.md §13): adapts a
+// can::Bus to net::Transport, so a protocol written against the seam
+// runs unchanged over the simulated CAN wire.
+//
+// Mapping: one can::Controller per attached node; a net::Message rides
+// a single extended-format data frame whose 29-bit identifier encodes
+// (kind, from, to) — CAN is a broadcast medium, so every controller
+// hears every frame and the adapter filters on the destination field.
+// The data field caps payloads at 8 bytes; protocols needing more must
+// run on net::Medium (no fragmentation here — the adapter exists to
+// prove the seam, not to turn CAN into UDP).
+//
+// Loss/partition knobs live with the bus's own fault injector, not
+// here: the CAN medium's failure semantics are exactly the ones the
+// paper models, which is the point of the comparison.
+
+#include <memory>
+#include <vector>
+
+#include "can/bus.hpp"
+#include "can/controller.hpp"
+#include "net/transport.hpp"
+
+namespace canely::net {
+
+class CanTransport final : public Transport {
+ public:
+  /// Nodes must fit the CAN id budget: [0, can::kMaxNodes).
+  explicit CanTransport(can::Bus& bus);
+  ~CanTransport() override;
+
+  void attach(NodeId node, Handler handler) override;
+  void send(Message msg) override;
+  [[nodiscard]] sim::Engine& engine() override;
+  [[nodiscard]] const TransportStats& stats() const override {
+    return stats_;
+  }
+
+  /// Maximum payload a single CAN data frame can carry for us.
+  static constexpr std::size_t kMaxBytes = can::kMaxData;
+  /// kind must fit the identifier bits left after two node fields.
+  static constexpr std::uint32_t kMaxKind = (1u << 15) - 1;
+
+ private:
+  struct Port;  // Controller + client glue, one per attached node
+
+  can::Bus& bus_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  TransportStats stats_;
+};
+
+}  // namespace canely::net

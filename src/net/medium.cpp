@@ -1,0 +1,123 @@
+#include "net/medium.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace canely::net {
+
+Medium::Medium(sim::Engine& engine, MediumConfig config, std::uint64_t seed)
+    : engine_{engine},
+      config_{config},
+      rng_{seed},
+      handlers_(config.n),
+      crashed_(config.n, false) {
+  if (config.n == 0) {
+    throw std::invalid_argument("net::Medium: config.n must be > 0");
+  }
+}
+
+void Medium::attach(NodeId node, Handler handler) {
+  if (node >= config_.n) {
+    throw std::out_of_range("net::Medium::attach: node id out of range");
+  }
+  handlers_[node] = std::move(handler);
+}
+
+void Medium::set_link(NodeId from, NodeId to, LinkModel model) {
+  if (from >= config_.n || to >= config_.n) {
+    throw std::out_of_range("net::Medium::set_link: node id out of range");
+  }
+  links_[static_cast<std::uint64_t>(from) << 32 | to] = model;
+}
+
+void Medium::set_partition(std::vector<std::uint64_t> mask) {
+  if (mask.size() != config_.n) {
+    throw std::invalid_argument(
+        "net::Medium::set_partition: mask must have one word per node");
+  }
+  partition_ = std::move(mask);
+}
+
+void Medium::clear_partition() { partition_.clear(); }
+
+void Medium::crash(NodeId node) {
+  if (node < config_.n) crashed_[node] = true;
+}
+
+const LinkModel& Medium::link(NodeId from, NodeId to) const {
+  const auto it = links_.find(static_cast<std::uint64_t>(from) << 32 | to);
+  return it != links_.end() ? it->second : config_.default_link;
+}
+
+bool Medium::reachable(NodeId from, NodeId to) const {
+  if (partition_.empty()) return true;
+  return (partition_[from] & partition_[to]) != 0;
+}
+
+void Medium::send(Message msg) {
+  if (msg.from >= config_.n) {
+    throw std::out_of_range("net::Medium::send: sender id out of range");
+  }
+  if (msg.to != kBroadcast && msg.to >= config_.n) {
+    throw std::out_of_range("net::Medium::send: destination out of range");
+  }
+  if (crashed_[msg.from]) return;  // a dead node transmits nothing
+  if (msg.to != kBroadcast) {
+    const LinkModel& m = link(msg.from, msg.to);
+    transmit_copy(msg, m, /*duplicate=*/false);
+    return;
+  }
+  // Broadcast: one independently-faulted copy per other attached node.
+  Message copy = msg;
+  for (NodeId to = 0; to < config_.n; ++to) {
+    if (to == msg.from) continue;
+    copy.to = to;
+    transmit_copy(copy, link(msg.from, to), /*duplicate=*/false);
+  }
+}
+
+void Medium::transmit_copy(const Message& msg, const LinkModel& m,
+                           bool duplicate) {
+  const std::uint64_t wire_bytes = config_.header_bytes + msg.bytes.size();
+  ++stats_.sent;
+  stats_.bytes_sent += wire_bytes;
+  if (duplicate) ++stats_.duplicated;
+  if (recorder_ != nullptr) {
+    recorder_->metrics().counter("net.msgs_sent").add();
+    recorder_->metrics().counter("net.bytes_sent").add(wire_bytes);
+  }
+  // Draw order is fixed (drop, delay, dup) so the consumed stream — and
+  // with it every later draw — is independent of the outcomes.
+  const bool dropped = m.drop_p > 0.0 && rng_.chance(m.drop_p);
+  const sim::Time spread = m.delay_max - m.delay_min;
+  sim::Time delay = m.delay_min;
+  if (spread > sim::Time::zero()) {
+    delay += sim::Time::ns(static_cast<std::int64_t>(
+        rng_.below(static_cast<std::uint64_t>(spread.to_ns()) + 1)));
+  }
+  const bool dup = !duplicate && m.dup_p > 0.0 && rng_.chance(m.dup_p);
+  if (dropped || !reachable(msg.from, msg.to)) {
+    ++stats_.dropped;
+    if (recorder_ != nullptr) {
+      recorder_->metrics().counter("net.msgs_dropped").add();
+    }
+  } else {
+    engine_.schedule_after(delay, [this, msg] { deliver(msg); });
+  }
+  // The duplicate re-enters as a fresh copy with its own delay (it may
+  // overtake the original) and drop draw, but never re-duplicates: at
+  // most one extra copy per transmission, so dup_p = 1.0 terminates.
+  if (dup) transmit_copy(msg, m, /*duplicate=*/true);
+}
+
+void Medium::deliver(const Message& msg) {
+  if (crashed_[msg.to] || !handlers_[msg.to]) {
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += config_.header_bytes + msg.bytes.size();
+  handlers_[msg.to](msg);
+}
+
+}  // namespace canely::net

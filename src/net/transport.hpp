@@ -1,0 +1,62 @@
+#pragma once
+// The transmit/deliver seam that makes the engine media-agnostic
+// (DESIGN.md §13).
+//
+// Every medium the simulator hosts — the lossy point-to-point Medium in
+// this directory, and the CAN bus via the CanTransport adapter — exposes
+// the same three verbs: attach a per-node delivery handler, send a
+// message, read traffic counters.  Protocols written against Transport
+// (SWIM, gossip, Rapid-style cut detection) run unchanged over either
+// medium; the engine itself never learns which one is underneath.
+//
+// Delivery contract shared by all implementations:
+//   * handlers run from engine events, never re-entrantly inside send();
+//   * a send() at time t delivers at some t' > t or never (drop);
+//   * all nondeterminism (delay draws, drops, duplicates) derives from
+//     the medium's own seeded Rng — a run is a pure function of
+//     (seed, send sequence), per the determinism zone rules.
+
+#include <functional>
+
+#include "net/types.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::net {
+
+/// Cumulative traffic counters of a medium.  `sent` counts transmitted
+/// copies as the medium defines them — the point-to-point Medium
+/// charges one copy per receiver (a broadcast of fan-out f counts f, a
+/// duplicate counts again), while CanTransport charges one frame per
+/// broadcast, because a CAN wire physically reaches everyone at once.
+/// That asymmetry is data, not noise: it is the bandwidth edge the
+/// membership shootout measures.
+struct TransportStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped{0};     ///< loss draws + partition/crash filtering
+  std::uint64_t duplicated{0};  ///< extra copies injected by dup_p
+  std::uint64_t bytes_sent{0};
+  std::uint64_t bytes_delivered{0};
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// Register `node`'s delivery handler.  One handler per node; a
+  /// message to a node with no handler is counted dropped.
+  virtual void attach(NodeId node, Handler handler) = 0;
+
+  /// Queue a message.  `to` may be kBroadcast (delivered to every
+  /// attached node except `from`, each copy charged separately).
+  virtual void send(Message msg) = 0;
+
+  /// The engine this medium schedules on (protocol timers live here).
+  [[nodiscard]] virtual sim::Engine& engine() = 0;
+
+  [[nodiscard]] virtual const TransportStats& stats() const = 0;
+};
+
+}  // namespace canely::net

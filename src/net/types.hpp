@@ -1,0 +1,115 @@
+#pragma once
+// Fundamental types of the media-agnostic point-to-point network layer
+// (DESIGN.md §13).
+//
+// `src/net` exists so the simulator can host workloads that are *not*
+// CAN: general asynchronous distributed-systems protocols (SWIM, gossip,
+// Rapid-style cut detection) whose natural medium is a lossy unicast
+// network, at node counts far beyond the 64-node CAN bitmap.  NodeId is
+// therefore a plain 32-bit index and membership views are dynamic
+// bitsets sized at construction, not can::NodeSet.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace canely::net {
+
+/// Index of a process on the simulated network.  Valid range [0, n).
+using NodeId = std::uint32_t;
+
+/// Destination meaning "every attached node" (medium-level fan-out; the
+/// per-copy cost is still charged once per receiver, see medium.hpp).
+inline constexpr NodeId kBroadcast = 0xFFFF'FFFF;
+
+/// One point-to-point message.  `kind` is protocol-defined; `bytes` is
+/// the serialized payload.  Bandwidth accounting charges
+/// MediumConfig::header_bytes + bytes.size() per transmitted copy.
+struct Message {
+  NodeId from{0};
+  NodeId to{0};
+  std::uint32_t kind{0};
+  std::vector<std::uint8_t> bytes;
+};
+
+/// A set of nodes, sized for clusters up to any n (bitmap words).  The
+/// net-side analogue of can::NodeSet, used for membership views of the
+/// SWIM / gossip / Rapid baselines at n = 8..1024 and beyond.
+class Members {
+ public:
+  Members() = default;
+  explicit Members(std::size_t n) : n_{n}, words_((n + 63) / 64, 0) {}
+
+  /// The full set {0, ..., n-1}.
+  [[nodiscard]] static Members all(std::size_t n) {
+    Members m{n};
+    for (std::size_t i = 0; i < n; ++i) m.insert(static_cast<NodeId>(i));
+    return m;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return n_; }
+
+  void insert(NodeId id) {
+    if (id < n_) words_[id >> 6] |= 1ULL << (id & 63);
+  }
+  void erase(NodeId id) {
+    if (id < n_) words_[id >> 6] &= ~(1ULL << (id & 63));
+  }
+  [[nodiscard]] bool contains(NodeId id) const {
+    return id < n_ && (words_[id >> 6] >> (id & 63) & 1) != 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(popcount(w));
+    return c;
+  }
+
+  friend bool operator==(const Members&, const Members&) = default;
+
+  /// Raw words, low node ids in word 0 bit 0 (state hashing, tests).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  static int popcount(std::uint64_t w) {
+    int c = 0;
+    while (w != 0) {
+      w &= w - 1;
+      ++c;
+    }
+    return c;
+  }
+  std::size_t n_{0};
+  std::vector<std::uint64_t> words_;
+};
+
+/// Little-endian scalar append/read helpers shared by the baseline
+/// protocols' wire codecs (swim.cpp, gossip.cpp, rapid.cpp).  Explicit
+/// byte order keeps serialized sizes — and therefore the bandwidth
+/// curves — platform-independent.
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+[[nodiscard]] inline std::uint32_t get_u32(const std::vector<std::uint8_t>& in,
+                                           std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         static_cast<std::uint32_t>(in[at + 1]) << 8 |
+         static_cast<std::uint32_t>(in[at + 2]) << 16 |
+         static_cast<std::uint32_t>(in[at + 3]) << 24;
+}
+[[nodiscard]] inline std::uint64_t get_u64(const std::vector<std::uint8_t>& in,
+                                           std::size_t at) {
+  return static_cast<std::uint64_t>(get_u32(in, at)) |
+         static_cast<std::uint64_t>(get_u32(in, at + 4)) << 32;
+}
+
+}  // namespace canely::net

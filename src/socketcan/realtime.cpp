@@ -4,20 +4,36 @@
 
 namespace canely::socketcan {
 
+std::chrono::nanoseconds SteadyWallClock::now() {
+  return std::chrono::steady_clock::now().time_since_epoch();
+}
+
+void SteadyWallClock::sleep_for(std::chrono::microseconds d) {
+  std::this_thread::sleep_for(d);
+}
+
 void RealTimeRunner::run_for(std::chrono::milliseconds wall) {
-  using clock = std::chrono::steady_clock;
-  const auto start_wall = clock::now();
+  SteadyWallClock steady;
+  WallClock& clock = clock_ != nullptr ? *clock_ : steady;
+
+  const auto start_wall = clock.now();
   const auto start_sim = engine_.now();
   const auto deadline = start_wall + wall;
 
-  while (clock::now() < deadline) {
+  while (clock.now() < deadline) {
     for (auto& p : pollers_) p();
     // Advance the simulation up to "now" in wall terms.
-    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
-        clock::now() - start_wall);
+    const auto elapsed = clock.now() - start_wall;
     engine_.run_until(start_sim + sim::Time::ns(elapsed.count()));
-    std::this_thread::sleep_for(poll_interval_);
+    clock.sleep_for(poll_interval_);
   }
+  // Catch up the tail: wherever the loop left off (sleep overshoot, a
+  // stalled host), the simulation ends exactly `wall` later than it
+  // began.  run_until is a no-op if the loop already went past this.
+  engine_.run_until(
+      start_sim +
+      sim::Time::ns(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count()));
 }
 
 }  // namespace canely::socketcan

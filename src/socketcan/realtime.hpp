@@ -12,9 +12,30 @@
 
 namespace canely::socketcan {
 
+/// The runner's view of wall time, injectable so pacing logic is testable
+/// without depending on the host scheduler: production uses the steady
+/// clock and really sleeps; tests substitute a fake whose now() advances
+/// exactly poll_interval per sleep_for(), making tick/poll counts exact
+/// regardless of machine load (tests/test_socketcan.cpp).
+class WallClock {
+ public:
+  virtual ~WallClock() = default;
+  [[nodiscard]] virtual std::chrono::nanoseconds now() = 0;
+  virtual void sleep_for(std::chrono::microseconds d) = 0;
+};
+
+/// std::chrono::steady_clock + std::this_thread::sleep_for.
+class SteadyWallClock final : public WallClock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() override;
+  void sleep_for(std::chrono::microseconds d) override;
+};
+
 class RealTimeRunner {
  public:
-  explicit RealTimeRunner(sim::Engine& engine) : engine_{engine} {}
+  /// `clock` is non-owning and may be null (steady clock + real sleeps).
+  explicit RealTimeRunner(sim::Engine& engine, WallClock* clock = nullptr)
+      : engine_{engine}, clock_{clock} {}
 
   /// Register a poller invoked every `poll_interval` of wall time
   /// (non-blocking socket drains, UI, ...).
@@ -27,11 +48,15 @@ class RealTimeRunner {
   }
 
   /// Run for `wall` of wall-clock time, keeping engine.now() aligned with
-  /// elapsed real time (sleeping when the simulation is ahead).
+  /// elapsed real time (sleeping when the simulation is ahead).  On
+  /// return the engine has advanced by exactly `wall` past its starting
+  /// point, even if the host stalled mid-run: the tail is simulated in
+  /// one final catch-up step.
   void run_for(std::chrono::milliseconds wall);
 
  private:
   sim::Engine& engine_;
+  WallClock* clock_;
   std::vector<std::function<void()>> pollers_;
   std::chrono::microseconds poll_interval_{std::chrono::microseconds{200}};
 };

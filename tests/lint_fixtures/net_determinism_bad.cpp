@@ -1,0 +1,15 @@
+#include <chrono>
+#include <random>
+
+namespace canely::net {
+
+// A lossy medium drawing delays from OS entropy and stamping deliveries
+// with host time: exactly what the determinism zone exists to reject.
+long long draw_delay_ns() {
+  std::random_device entropy;
+  const auto stamp = std::chrono::steady_clock::now();
+  return static_cast<long long>(entropy()) +
+         stamp.time_since_epoch().count();
+}
+
+}  // namespace canely::net

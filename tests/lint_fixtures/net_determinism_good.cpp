@@ -1,0 +1,12 @@
+#include <cstdint>
+
+namespace canely::net {
+
+// The compliant counterpart: delay comes from the medium's own seeded
+// stream, "now" comes from the engine — a pure function of its inputs.
+template <typename Rng>
+std::int64_t draw_delay_ns(Rng& rng, std::int64_t engine_now_ns) {
+  return engine_now_ns + static_cast<std::int64_t>(rng.below(1000));
+}
+
+}  // namespace canely::net

@@ -67,6 +67,8 @@ TEST(LintRules, TableListsFifteenRules) {
 TEST(LintClassify, DeterminismDirsWireFilesAndSkips) {
   EXPECT_TRUE(classify("src/sim/engine.cpp").flags.determinism);
   EXPECT_TRUE(classify("./src/broadcast/edcan.hpp").flags.determinism);
+  EXPECT_TRUE(classify("src/net/medium.cpp").flags.determinism);
+  EXPECT_TRUE(classify("src/baselines/swim.cpp").flags.determinism);
   EXPECT_FALSE(classify("src/socketcan/gateway.cpp").flags.determinism);
   EXPECT_FALSE(classify("tools/canely_lint.cpp").flags.determinism);
 
@@ -82,6 +84,26 @@ TEST(LintClassify, DeterminismDirsWireFilesAndSkips) {
 }
 
 // --- determinism zone ------------------------------------------------------
+
+TEST(LintDeterminism, NetZoneRejectsEntropyAndWallClocks) {
+  // src/net/ is determinism-zoned: a medium seeded from OS entropy and
+  // stamping with host time must fire; the seeded-Rng/engine-time
+  // counterpart must stay silent; the same bad content outside the zone
+  // is not the determinism rules' business.
+  const FileResult bad =
+      lint_fixture("net_determinism_bad.cpp", "src/net/fixture.cpp");
+  EXPECT_EQ(rules_of(bad),
+            (std::vector<std::string>{"no-rand", "no-wall-clock"}))
+      << dump(bad);
+
+  const FileResult good =
+      lint_fixture("net_determinism_good.cpp", "src/net/fixture.cpp");
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+
+  const FileResult outside =
+      lint_fixture("net_determinism_bad.cpp", "tools/fixture.cpp");
+  EXPECT_TRUE(outside.findings.empty()) << dump(outside);
+}
 
 TEST(LintDeterminism, WallClockFiresAndStaysSilent) {
   const FileResult bad = lint_fixture("no_wall_clock_bad.cpp",

@@ -1,0 +1,255 @@
+// Tests for the distributed-membership shootout baselines (DESIGN.md
+// §13): SWIM, gossip heartbeating and the Rapid-style cut detector on
+// the lossy net::Medium — crash detection, no false positives under
+// zero loss, refutation, view-stability batching, and cross-run
+// determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "baselines/gossip.hpp"
+#include "baselines/rapid.hpp"
+#include "baselines/swim.hpp"
+#include "net/medium.hpp"
+#include "sim/engine.hpp"
+
+namespace canely::baselines {
+namespace {
+
+using sim::Time;
+
+net::MediumConfig lan(std::size_t n) {
+  net::MediumConfig cfg;
+  cfg.n = n;
+  cfg.default_link.delay_min = Time::us(100);
+  cfg.default_link.delay_max = Time::ms(2);
+  return cfg;
+}
+
+struct Detection {
+  net::NodeId observer;
+  net::NodeId failed;
+  std::int64_t at_ns;
+};
+
+// ------------------------------------------------------------------ SWIM --
+
+TEST(Swim, DetectsCrashEverywhereAndConverges) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(16), 11};
+  SwimCluster swim{medium, 16, SwimParams{}, 22};
+
+  std::vector<Detection> detections;
+  swim.set_failure_handler([&](net::NodeId obs, net::NodeId failed) {
+    detections.push_back({obs, failed, engine.now().to_ns()});
+  });
+
+  swim.start();
+  engine.schedule_at(Time::sec(5), [&] {
+    medium.crash(3);
+    swim.crash(3);
+  });
+  engine.run_until(Time::sec(30));
+
+  net::Members expect = net::Members::all(16);
+  expect.erase(3);
+  EXPECT_TRUE(swim.views_agree(expect));
+
+  // Every survivor eventually removed node 3, nobody removed anyone else.
+  std::set<net::NodeId> observers;
+  for (const Detection& d : detections) {
+    EXPECT_EQ(d.failed, 3u);
+    EXPECT_GT(d.at_ns, Time::sec(5).to_ns());
+    observers.insert(d.observer);
+  }
+  EXPECT_EQ(observers.size(), 15u);
+  EXPECT_EQ(swim.view_changes(), 15u);
+}
+
+TEST(Swim, NoFalsePositivesOnLosslessNetwork) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(16), 33};
+  SwimCluster swim{medium, 16, SwimParams{}, 44};
+  swim.set_failure_handler([&](net::NodeId, net::NodeId) {
+    FAIL() << "false positive on a lossless network";
+  });
+  swim.start();
+  engine.run_until(Time::sec(60));
+  EXPECT_EQ(swim.view_changes(), 0u);
+  EXPECT_TRUE(swim.views_agree(net::Members::all(16)));
+}
+
+TEST(Swim, SuspicionRefutationSurvivesModerateLoss) {
+  // 5% loss, no crashes: probes and acks go missing, suspicions arise,
+  // and the incarnation mechanism must refute every one of them before
+  // the suspicion timeout turns it into a confirmed (false) death.
+  sim::Engine engine;
+  net::MediumConfig cfg = lan(12);
+  cfg.default_link.drop_p = 0.05;
+  net::Medium medium{engine, cfg, 55};
+  SwimParams params;
+  params.suspicion_periods = 5;
+  SwimCluster swim{medium, 12, params, 66};
+  swim.start();
+  engine.run_until(Time::sec(120));
+  EXPECT_EQ(swim.view_changes(), 0u);
+  EXPECT_TRUE(swim.views_agree(net::Members::all(12)));
+}
+
+// ---------------------------------------------------------------- gossip --
+
+TEST(Gossip, AllToAllDetectsCrashWithinTimeoutBound) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(16), 11};
+  GossipParams params;  // fanout = 0: all-to-all heartbeating
+  GossipCluster gossip{medium, 16, params, 22};
+
+  std::vector<Detection> detections;
+  gossip.set_failure_handler([&](net::NodeId obs, net::NodeId failed) {
+    detections.push_back({obs, failed, engine.now().to_ns()});
+  });
+
+  gossip.start();
+  const Time crash_at = Time::sec(5);
+  engine.schedule_at(crash_at, [&] {
+    medium.crash(7);
+    gossip.crash(7);
+  });
+  engine.run_until(Time::sec(30));
+
+  net::Members expect = net::Members::all(16);
+  expect.erase(7);
+  EXPECT_TRUE(gossip.views_agree(expect));
+  ASSERT_EQ(detections.size(), 15u);
+  for (const Detection& d : detections) {
+    EXPECT_EQ(d.failed, 7u);
+    // Detection is timeout-bound: last heartbeat before the crash plus
+    // fail_timeout plus one period of sweep granularity (and slack for
+    // the 2 ms worst-case link delay).
+    const std::int64_t bound = crash_at.to_ns() +
+                               params.fail_timeout.to_ns() +
+                               2 * params.period.to_ns() + Time::ms(4).to_ns();
+    EXPECT_GT(d.at_ns, crash_at.to_ns());
+    EXPECT_LE(d.at_ns, bound);
+  }
+}
+
+TEST(Gossip, NoFalsePositivesOnLosslessNetwork) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(16), 33};
+  GossipCluster gossip{medium, 16, GossipParams{}, 44};
+  gossip.set_failure_handler([&](net::NodeId, net::NodeId) {
+    FAIL() << "false positive on a lossless network";
+  });
+  gossip.start();
+  engine.run_until(Time::sec(60));
+  EXPECT_EQ(gossip.view_changes(), 0u);
+}
+
+TEST(Gossip, EpidemicFanoutModeAlsoConverges) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(24), 11};
+  GossipParams params;
+  params.fanout = 3;  // push full table to 3 random peers per period
+  params.fail_timeout = Time::ms(2000);   // epidemic spread needs slack:
+  params.cleanup_timeout = Time::ms(4000);  // counters hop, not beam
+  GossipCluster gossip{medium, 24, params, 22};
+  gossip.start();
+  engine.schedule_at(Time::sec(5), [&] {
+    medium.crash(1);
+    gossip.crash(1);
+  });
+  engine.run_until(Time::sec(40));
+  net::Members expect = net::Members::all(24);
+  expect.erase(1);
+  EXPECT_TRUE(gossip.views_agree(expect));
+}
+
+// ----------------------------------------------------------------- Rapid --
+
+TEST(Rapid, CorrelatedCrashBatchesIntoASingleCut) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(32), 11};
+  RapidCluster rapid{medium, 32, RapidParams{}, 22};
+
+  std::vector<Detection> detections;
+  rapid.set_failure_handler([&](net::NodeId obs, net::NodeId failed) {
+    detections.push_back({obs, failed, engine.now().to_ns()});
+  });
+
+  rapid.start();
+  engine.schedule_at(Time::sec(5), [&] {
+    for (net::NodeId f : {4u, 9u, 17u, 23u}) {
+      medium.crash(f);
+      rapid.crash(f);
+    }
+  });
+  engine.run_until(Time::sec(30));
+
+  net::Members expect = net::Members::all(32);
+  for (net::NodeId f : {4u, 9u, 17u, 23u}) expect.erase(f);
+  EXPECT_TRUE(rapid.views_agree(expect));
+
+  // The stability rule turns 4 simultaneous failures into ONE view
+  // change per survivor (28 installs), not 4 — the metric that
+  // separates Rapid from SWIM/gossip in the shootout.
+  EXPECT_EQ(rapid.view_changes(), 28u);
+  for (net::NodeId i = 0; i < 32; ++i) {
+    if (!rapid.crashed(i)) {
+      EXPECT_EQ(rapid.cuts_installed(i), 1u) << "node " << i;
+    }
+  }
+  EXPECT_EQ(detections.size(), 4u * 28u);
+}
+
+TEST(Rapid, NoFalsePositivesOnLosslessNetwork) {
+  sim::Engine engine;
+  net::Medium medium{engine, lan(16), 33};
+  RapidCluster rapid{medium, 16, RapidParams{}, 44};
+  rapid.set_failure_handler([&](net::NodeId, net::NodeId) {
+    FAIL() << "false positive on a lossless network";
+  });
+  rapid.start();
+  engine.run_until(Time::sec(60));
+  EXPECT_EQ(rapid.view_changes(), 0u);
+}
+
+// ----------------------------------------------------------- determinism --
+
+/// Fingerprint of a full protocol run: traffic totals + view state.
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>
+swim_fingerprint() {
+  sim::Engine engine;
+  net::MediumConfig cfg = lan(16);
+  cfg.default_link.drop_p = 0.03;
+  cfg.default_link.dup_p = 0.01;
+  net::Medium medium{engine, cfg, 99};
+  SwimCluster swim{medium, 16, SwimParams{}, 100};
+  swim.start();
+  engine.schedule_at(Time::sec(4), [&] {
+    medium.crash(2);
+    swim.crash(2);
+  });
+  engine.run_until(Time::sec(20));
+  std::uint64_t view_hash = 0;
+  for (net::NodeId i = 0; i < 16; ++i) {
+    for (std::uint64_t w : swim.view(i).words()) {
+      view_hash = view_hash * 1099511628211ULL + w;
+    }
+  }
+  return {medium.stats().sent, medium.stats().bytes_sent,
+          swim.view_changes(), view_hash};
+}
+
+TEST(NetBaselines, LossySwimRunsAreBitIdenticalAcrossRuns) {
+  const auto a = swim_fingerprint();
+  const auto b = swim_fingerprint();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace canely::baselines

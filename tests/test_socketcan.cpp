@@ -88,7 +88,19 @@ TEST(Gateway, LiveLoopbackIfAvailable) {
   EXPECT_EQ(gw->frames_out(), 1u);
 }
 
-TEST(RealTime, RunnerTracksWallClock) {
+/// Virtual wall clock: time advances only when the runner sleeps, so a
+/// run is a pure function of the poll interval — no host-scheduler
+/// dependence, hence exact (not banded) assertions under any CI load.
+class FakeWallClock final : public WallClock {
+ public:
+  [[nodiscard]] std::chrono::nanoseconds now() override { return now_; }
+  void sleep_for(std::chrono::microseconds d) override { now_ += d; }
+
+ private:
+  std::chrono::nanoseconds now_{0};
+};
+
+TEST(RealTime, RunnerTracksWallClockExactlyUnderVirtualTime) {
   sim::Engine engine;
   int ticks = 0;
   // A self-rescheduling 5 ms tick.
@@ -98,17 +110,42 @@ TEST(RealTime, RunnerTracksWallClock) {
   };
   engine.schedule_after(sim::Time::ms(5), tick);
 
-  RealTimeRunner runner{engine};
+  FakeWallClock clock;
+  RealTimeRunner runner{engine, &clock};
   int polls = 0;
   runner.add_poller([&] { ++polls; });
   runner.set_poll_interval(std::chrono::microseconds{500});
   runner.run_for(std::chrono::milliseconds{50});
 
-  // ~10 ticks in 50 ms of wall time (generous bounds for CI jitter).
-  EXPECT_GE(ticks, 5);
-  EXPECT_LE(ticks, 12);
-  EXPECT_GT(polls, 10);
-  EXPECT_GE(engine.now(), sim::Time::ms(25));
+  // 50 ms / 500 us = exactly 100 poll iterations (t = 0, 0.5, ... 49.5),
+  // and the final catch-up lands the engine on exactly 50 ms, firing the
+  // 5, 10, ..., 50 ms ticks: exactly 10.
+  EXPECT_EQ(polls, 100);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(engine.now(), sim::Time::ms(50));
+}
+
+TEST(RealTime, RunnerAgainstTheRealClockStaysLive) {
+  sim::Engine engine;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    engine.schedule_after(sim::Time::ms(2), tick);
+  };
+  engine.schedule_after(sim::Time::ms(2), tick);
+
+  RealTimeRunner runner{engine};
+  int polls = 0;
+  runner.add_poller([&] { ++polls; });
+  runner.set_poll_interval(std::chrono::microseconds{500});
+  runner.run_for(std::chrono::milliseconds{20});
+
+  // Only load-immune lower bounds here: the loop always runs at least
+  // once, and the catch-up guarantees the full 20 ms of simulated time
+  // (10 ticks) no matter how the host schedules us.
+  EXPECT_GE(polls, 1);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(engine.now(), sim::Time::ms(20));
 }
 
 }  // namespace

@@ -16,6 +16,11 @@
 #   tools/ci.sh check      Release build of the checker (src/check);
 #                          check_explorer --quick must come back clean and
 #                          byte-identical across thread counts
+#   tools/ci.sh shootout   Release build of bench/membership_shootout;
+#                          the --quick grid (4 protocols x n=8,32) must
+#                          converge on every cell, emit a structurally
+#                          valid trajectory, and be byte-identical across
+#                          thread counts
 #   tools/ci.sh lint       build canely_lint and run it over src/, tests/,
 #                          bench/ and examples/ (zero unsuppressed findings
 #                          required; see DESIGN.md §10), then run-clang-tidy
@@ -117,7 +122,8 @@ fresh, baseline = rates(sys.argv[1]), rates(sys.argv[2])
 tolerance = float(os.environ["CANELY_PERF_TOLERANCE"])
 
 expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
-            "bus_load:64", "membership_cycle:8", "trace_overhead:obs0",
+            "bus_load:64", "membership_cycle:8", "net_medium:64",
+            "swim_steady:128", "trace_overhead:obs0",
             "trace_overhead:obs1", "check_explore:8",
             "check_explore_naive:8"]
 missing = [k for k in expected if k not in fresh]
@@ -207,6 +213,51 @@ stage_check() {
   echo "check: depth-2 exhaustive smoke ok, shard union byte-identical"
 }
 
+stage_shootout() {
+  echo "=== shootout: membership baselines smoke + thread byte-identity ==="
+  local dir=build-ci/shootout
+  cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$dir" -j "$JOBS" --target membership_shootout
+  local j1=build-ci/shootout/shootout_t1.json
+  local j4=build-ci/shootout/shootout_t4.json
+  # The bench exits nonzero itself if any cell fails to re-converge.
+  "$dir/bench/membership_shootout" --quick --threads 1 --json "$j1" >/dev/null
+  "$dir/bench/membership_shootout" --quick --threads 4 --json "$j4"
+  if ! cmp -s "$j1" "$j4"; then
+    echo "shootout: trajectory differs between thread counts" >&2
+    exit 1
+  fi
+  # Structural validation: every protocol x n cell present, converged,
+  # with plausible curve points (positive bandwidth, nonnegative
+  # detection latency, no false positives at these loss rates).
+  python3 - "$j4" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["bench"] == "membership_shootout", doc.get("bench")
+
+cells = {(int(c["params"]["protocol"]), int(c["params"]["nodes"])): c["metrics"]
+         for c in doc["cells"]}
+protos = {0: "canely", 1: "swim", 2: "gossip", 3: "rapid"}
+expected = [(p, n) for p in protos for n in (8, 32)]
+missing = [k for k in expected if k not in cells]
+assert not missing, f"missing cells: {missing}"
+for (p, n), m in sorted(cells.items()):
+    name = f"{protos[p]}:{n}"
+    assert m["converged"] == 1, f"{name}: survivors never re-agreed"
+    assert m["measured"] == 1, f"{name}: quick cells must all be measured"
+    assert m["detection_first_ms"] > 0, f"{name}: no detection recorded"
+    assert m["detection_last_ms"] >= m["detection_first_ms"], name
+    assert m["bytes_per_node_s"] > 0, f"{name}: zero protocol traffic"
+    assert m["false_positives"] == 0, f"{name}: false positives"
+    assert m["view_changes"] >= n - 1, f"{name}: too few view changes"
+print(f"shootout: {len(cells)} cells converged, curves well-formed, "
+      "byte-identical across thread counts")
+EOF
+}
+
 stage_obs() {
   echo "=== obs: scenario trace export, structural + loss validation ==="
   local dir=build-ci/obs
@@ -293,7 +344,7 @@ stage_lint() {
 main() {
   local stages=("$@")
   if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint tier1 asan ubsan tsan perf check obs)
+    stages=(lint tier1 asan ubsan tsan perf check shootout obs)
   fi
   for s in "${stages[@]}"; do
     case "$s" in
@@ -303,11 +354,12 @@ main() {
       tsan) stage_tsan ;;
       perf) stage_perf ;;
       check) stage_check ;;
+      shootout) stage_shootout ;;
       obs) stage_obs ;;
       lint) stage_lint ;;
       *)
         echo "unknown stage: $s (expected lint, tier1, asan, ubsan, tsan," \
-             "perf, check, or obs)" >&2
+             "perf, check, shootout, or obs)" >&2
         exit 2
         ;;
     esac
