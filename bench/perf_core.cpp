@@ -43,6 +43,7 @@
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "check/explore.hpp"
+#include "lint/lint.hpp"
 #include "net/medium.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
@@ -310,6 +311,27 @@ double check_explore_rate(bool naive, std::size_t threads,
   return static_cast<double>(result.placements) / secs;
 }
 
+/// lint_full_tree — the whole-program canely_lint pass (per-TU indexing,
+/// call-graph merge, transitive analyses) over the real tree, in
+/// files/sec.  Tracked so the CI lint stage's cost cannot silently
+/// regress as the tree and the analyses grow.
+double lint_full_tree_rate() {
+  lint::Options lo;
+  lo.whole_program = true;
+  const auto t0 = Clock::now();
+  lint::RunResult result;
+  std::string error;
+  if (!lint::lint_paths(CANELY_SOURCE_DIR,
+                        {"src", "tests", "bench", "examples", "tools"}, lo,
+                        result, error)) {
+    std::cerr << "perf_core: lint walk failed: " << error << "\n";
+    return 0.0;
+  }
+  const double secs = seconds_since(t0);
+  if (result.files == 0 || secs <= 0.0) return 0.0;
+  return static_cast<double>(result.files) / secs;
+}
+
 campaign::Json cell(const char* scenario, campaign::Json params,
                     const char* metric, const campaign::Summary& s) {
   params.set("scenario", campaign::Json::string(scenario));
@@ -372,7 +394,7 @@ int main(int argc, char** argv) {
             << " reps" << (scale > 1 ? ", quick" : "") << ")\n\n";
 
   std::vector<double> churn, fifo, members, net_med, swim_st, trace_off,
-      trace_on;
+      trace_on, lint_tree;
   std::vector<std::vector<double>> bus_rates;
   const std::size_t bus_sizes[] = {8, 32, 64};
   bus_rates.resize(std::size(bus_sizes));
@@ -383,6 +405,7 @@ int main(int argc, char** argv) {
       bus_rates[bi].push_back(bus_load_rate(bus_sizes[bi], bus_frames));
     }
     members.push_back(membership_cycle_rate(8, formations));
+    lint_tree.push_back(lint_full_tree_rate());
     net_med.push_back(net_medium_rate(64, net_deliveries, opts.seed + r));
     swim_st.push_back(swim_steady_rate(128, swim_deliveries, opts.seed + r));
     // Back-to-back pair so the off/on ratio sees the same machine state;
@@ -428,6 +451,10 @@ int main(int argc, char** argv) {
     cells.push(cell("membership_cycle", std::move(params),
                     "formations_per_sec", members_s));
   }
+  const auto lint_s = campaign::summarize(lint_tree);
+  report("lint_full_tree", lint_s, "files/s");
+  cells.push(cell("lint_full_tree", campaign::Json::object(),
+                  "files_per_sec", lint_s));
   const auto net_med_s = campaign::summarize(net_med);
   const auto swim_st_s = campaign::summarize(swim_st);
   report("net_medium_n64", net_med_s, "msgs/s");

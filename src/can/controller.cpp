@@ -64,6 +64,7 @@ void Controller::sync_contender() {
 }
 
 void Controller::bus_tx_succeeded(const Frame& frame) {
+  // canely-lint: nondeterministic-ok(client seam: the socketcan gateway implements ControllerClient only under the real-time runner; sim runs bind deterministic clients)
   const auto it = std::find_if(
       queue_.begin(), queue_.end(),
       [&](const PendingTx& q) { return q.frame == frame; });

@@ -167,6 +167,7 @@ class Controller {
   /// frequent call.  REC at 0 stays 0, so the common error-free case
   /// skips the counter/state machinery entirely.
   void bus_rx_deliver(const Frame& frame, bool own) {
+    // canely-lint: nondeterministic-ok(client seam: the socketcan gateway implements ControllerClient only under the real-time runner; sim runs bind deterministic clients)
     if (!own) {
       if (rec_ != 0) bump_rec(-1);
       // Acceptance filtering happens after the frame is validated (the

@@ -151,6 +151,7 @@ class RandomFaults final : public FaultInjector {
     if (roll < p_global_ + p_inconsistent_ && !ctx.receivers.empty()) {
       // Pick 1..|receivers| victims uniformly.
       std::vector<NodeId> pool;
+      pool.reserve(ctx.receivers.size());
       for (NodeId id : ctx.receivers) pool.push_back(id);
       const std::size_t n_victims =
           1 + static_cast<std::size_t>(rng_.below(pool.size()));

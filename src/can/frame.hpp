@@ -26,6 +26,7 @@ enum class IdFormat : std::uint8_t {
 /// the data frame they solicit.  The paper's protocol suite encapsulates
 /// life-signs, failure-signs, JOIN and LEAVE requests in remote frames
 /// (saving the data field), and RHV signals in data frames.
+// canely-lint: allow(wire-layout) — frames are bit-serialized field by field (bitstream.cpp); in-memory padding never reaches the wire
 struct Frame {
   std::uint32_t id{0};          ///< 11-bit (base) or 29-bit (extended) identifier
   IdFormat format{IdFormat::kBase};

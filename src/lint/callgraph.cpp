@@ -1,0 +1,528 @@
+#include "lint/callgraph.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "lint/lint.hpp"
+
+namespace canely::lint {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+[[nodiscard]] std::string_view basename(std::string_view path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+[[nodiscard]] std::vector<std::string_view> split_qual(std::string_view n) {
+  std::vector<std::string_view> comps;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t sep = n.find("::", start);
+    if (sep == std::string_view::npos) {
+      comps.push_back(n.substr(start));
+      return comps;
+    }
+    comps.push_back(n.substr(start, sep - start));
+    start = sep + 2;
+  }
+}
+
+struct Edge {
+  std::size_t callee;
+  int line;  ///< earliest call-site line in the caller
+};
+
+struct Node {
+  const FileIndex* file{nullptr};
+  const FunctionIndex* fn{nullptr};
+  std::vector<std::string_view> comps;  ///< split qualified name
+  bool det_zone{false};
+  bool socketcan{false};
+  std::vector<Edge> out;
+  std::vector<std::size_t> in;  ///< caller node ids (for reverse BFS)
+};
+
+[[nodiscard]] std::string chain_label(const Node& n) {
+  return std::string{basename(n.file->path)} + ":" + n.fn->name;
+}
+
+class Graph {
+ public:
+  explicit Graph(const std::vector<FileIndex>& files) {
+    for (const FileIndex& fi : files) {
+      const Zones z = classify(fi.path);
+      const bool sc = fi.path.rfind("src/socketcan/", 0) == 0;
+      for (const FunctionIndex& fn : fi.functions) {
+        Node n;
+        n.file = &fi;
+        n.fn = &fn;
+        n.comps = split_qual(fn.name);
+        n.det_zone = z.flags.determinism;
+        n.socketcan = sc;
+        nodes_.push_back(std::move(n));
+      }
+    }
+    // Lookup by last name component; suffix filtering narrows the rest.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      by_last_[std::string{nodes_[i].comps.back()}].push_back(i);
+    }
+    resolve_edges();
+  }
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+ private:
+  /// Method names that overwhelmingly belong to std containers or to
+  /// ubiquitous project interfaces (`now` is on every clock-like type).
+  /// Member calls spelled with one of these resolve only within the
+  /// caller's own class scope — otherwise every `std::map::insert` in
+  /// the tree would grow an edge to any same-named project method, and
+  /// every `engine_.now()` would taint its caller with the socketcan
+  /// wall clock.
+  [[nodiscard]] static bool std_method(std::string_view n) {
+    static constexpr std::string_view kNames[] = {
+        "insert", "erase",   "push",     "pop",      "at",      "begin",
+        "end",    "cbegin",  "cend",     "rbegin",   "rend",    "find",
+        "clear",  "push_back", "pop_back", "push_front", "pop_front",
+        "front",  "back",    "size",     "empty",    "reserve", "resize",
+        "count",  "reset",   "swap",     "fill",     "assign",  "append",
+        "substr", "c_str",   "data",     "str",      "get",     "test",
+        "min",    "max",     "contains", "top",      "length",  "load",
+        "store",  "now"};
+    return std::find(std::begin(kNames), std::end(kNames), n) !=
+           std::end(kNames);
+  }
+
+  /// Do two functions live in the same class scope (one enclosing the
+  /// other counts — Engine::schedule_at vs Engine::EventQueue::push)?
+  [[nodiscard]] static bool scope_related(const Node& a, const Node& b) {
+    const std::size_t pa = a.comps.size() - 1;
+    const std::size_t pb = b.comps.size() - 1;
+    const std::size_t common = std::min(pa, pb);
+    for (std::size_t k = 0; k < common; ++k) {
+      if (a.comps[k] != b.comps[k]) return false;
+    }
+    return true;
+  }
+
+  /// Is a free function's namespace an enclosing namespace of the
+  /// caller — i.e. could an unqualified call plausibly reach it?
+  [[nodiscard]] static bool ns_visible(const Node& cand,
+                                       const Node& caller) {
+    const std::size_t pre = cand.comps.size() - 1;
+    if (pre > caller.comps.size()) return false;
+    for (std::size_t k = 0; k < pre; ++k) {
+      if (cand.comps[k] != caller.comps[k]) return false;
+    }
+    return true;
+  }
+
+  /// All node ids the call site may reach from `caller`.
+  [[nodiscard]] std::vector<std::size_t> resolve(const CallSite& cs,
+                                                 const Node& caller) const {
+    const std::vector<std::string_view> want = split_qual(cs.name);
+    const auto it = by_last_.find(std::string{want.back()});
+    if (it == by_last_.end()) return {};
+    std::vector<std::size_t> out;
+    for (const std::size_t id : it->second) {
+      const Node& n = nodes_[id];
+      // Qualified-name suffix match.
+      if (want.size() > n.comps.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < want.size(); ++k) {
+        if (want[want.size() - 1 - k] != n.comps[n.comps.size() - 1 - k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      if (cs.brace) {
+        // Only constructors: qualified name ends with `X::X`.
+        if (n.comps.size() < 2 ||
+            n.comps[n.comps.size() - 1] != n.comps[n.comps.size() - 2]) {
+          continue;
+        }
+      } else if (cs.member) {
+        if (!n.fn->member) continue;
+        if (std_method(want.back()) && !scope_related(n, caller)) continue;
+      } else if (want.size() == 1) {
+        // Plain unqualified call: an implicit-this method of the
+        // caller's own class, or a free function in an enclosing
+        // namespace.
+        if (n.fn->member) {
+          if (!scope_related(n, caller)) continue;
+        } else if (!ns_visible(n, caller)) {
+          continue;
+        } else if (n.comps.size() == 1 && n.file != caller.file) {
+          // A global-scope name (examples' run(), tools' main helpers)
+          // is visible everywhere by the prefix rule but is almost
+          // always a TU-local helper: resolve it same-file only.
+          continue;
+        }
+      }
+      out.push_back(id);
+      if (out.size() > kAmbiguityCap) return {};  // too noisy to use
+    }
+    return out;
+  }
+
+  void resolve_edges() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      std::map<std::size_t, int> line_of;  // callee -> earliest line
+      for (const CallSite& cs : nodes_[i].fn->calls) {
+        for (const std::size_t callee : resolve(cs, nodes_[i])) {
+          const auto [it, fresh] = line_of.emplace(callee, cs.line);
+          if (!fresh && cs.line < it->second) it->second = cs.line;
+        }
+      }
+      for (const auto& [callee, line] : line_of) {
+        nodes_[i].out.push_back({callee, line});
+        nodes_[callee].in.push_back(i);
+        ++edges_;
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::map<std::string, std::vector<std::size_t>> by_last_;
+  std::size_t edges_{0};
+};
+
+/// (1) Transitive hot-path propagation: forward BFS from every hot-tagged
+/// function; any function it reaches inherits the hot-path bans.  The
+/// finding lands on the violating line of the callee, with the shortest
+/// call chain from a hot root as witness.  Directly-tagged functions are
+/// excluded — the per-file rules already police their regions.
+void propagate_hot(const Graph& g, std::vector<Finding>& out) {
+  const std::vector<Node>& nodes = g.nodes();
+  std::vector<std::size_t> parent(nodes.size(), kNone);
+  std::vector<char> seen(nodes.size(), 0);
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].fn->hot) {
+      seen[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : nodes[u].out) {
+      if (seen[e.callee]) continue;
+      seen[e.callee] = 1;
+      parent[e.callee] = u;
+      queue.push_back(e.callee);
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!seen[i] || nodes[i].fn->hot) continue;
+    std::vector<std::string> chain;
+    for (std::size_t u = i; u != kNone; u = parent[u]) {
+      chain.push_back(chain_label(nodes[u]));
+    }
+    std::reverse(chain.begin(), chain.end());
+    for (const FactRef& fact : nodes[i].fn->hot_facts) {
+      out.push_back(Finding{
+          nodes[i].file->path, fact.line, "hot-path-transitive",
+          "'" + nodes[i].fn->name + "' is reachable from a hot-path region "
+              "and uses " + fact.what + " (inherits " + fact.rule + ")",
+          chain});
+    }
+  }
+}
+
+/// (2) Determinism escape: taint every non-zone function that reaches a
+/// nondeterminism sink (directly, or via src/socketcan), propagating
+/// backwards through non-zone, non-annotated callers.  A determinism-zone
+/// function calling a tainted function is a finding at the call site,
+/// unless either end is annotated `nondeterministic-ok`.
+void detect_escapes(const Graph& g, std::vector<Finding>& out) {
+  const std::vector<Node>& nodes = g.nodes();
+  std::vector<char> tainted(nodes.size(), 0);
+  std::vector<std::size_t> sink_next(nodes.size(), kNone);  // toward sink
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    if (n.det_zone || !n.fn->nondet_ok.empty()) continue;
+    if (!n.fn->nondet_facts.empty() || n.socketcan) {
+      tainted[i] = 1;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (const std::size_t caller : nodes[u].in) {
+      const Node& c = nodes[caller];
+      if (tainted[caller] || c.det_zone || !c.fn->nondet_ok.empty()) continue;
+      tainted[caller] = 1;
+      sink_next[caller] = u;
+      queue.push_back(caller);
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& a = nodes[i];
+    if (!a.det_zone || !a.fn->nondet_ok.empty()) continue;
+    for (const Edge& e : a.out) {
+      if (!tainted[e.callee]) continue;
+      // Witness: caller, then the taint chain down to the sink seed.
+      std::vector<std::string> chain{chain_label(a)};
+      std::size_t last = e.callee;
+      for (std::size_t u = e.callee; u != kNone; u = sink_next[u]) {
+        chain.push_back(chain_label(nodes[u]));
+        last = u;
+      }
+      const Node& sink = nodes[last];
+      const std::string what =
+          sink.fn->nondet_facts.empty()
+              ? std::string{"src/socketcan (real-time I/O)"}
+              : sink.fn->nondet_facts.front().what;
+      out.push_back(Finding{
+          a.file->path, e.line, "determinism-escape",
+          "'" + a.fn->name + "' calls '" + nodes[e.callee].fn->name +
+              "', which reaches " + what +
+              "; annotate the seam `// canely-lint: "
+              "nondeterministic-ok(reason)` or break the dependency",
+          std::move(chain)});
+    }
+  }
+}
+
+// --- wire-layout audit -----------------------------------------------------
+
+struct AliasEntry {
+  const AliasIndex* alias;
+};
+struct ConstEntry {
+  const ConstantIndex* constant;
+};
+
+struct TypeTables {
+  std::map<std::string, std::vector<AliasEntry>> aliases;   // by last comp
+  std::map<std::string, std::vector<ConstEntry>> constants; // by last comp
+};
+
+[[nodiscard]] std::string last_comp(std::string_view qual) {
+  const std::size_t sep = qual.rfind("::");
+  return std::string{sep == std::string_view::npos ? qual
+                                                   : qual.substr(sep + 2)};
+}
+
+/// Does the spelled (possibly partially qualified) name match the tail
+/// of the fully qualified one?  `can::NodeId` matches
+/// `canely::can::NodeId` but not `canely::net::NodeId`.
+[[nodiscard]] bool suffix_matches(std::string_view spelled,
+                                  std::string_view qualified) {
+  const std::vector<std::string_view> s = split_qual(spelled);
+  const std::vector<std::string_view> q = split_qual(qualified);
+  if (s.size() > q.size()) return false;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    if (s[s.size() - 1 - k] != q[q.size() - 1 - k]) return false;
+  }
+  return true;
+}
+
+/// Is the qualified name declared in a scope enclosing (or equal to)
+/// `scope` — i.e. visible to an unqualified spelling there?
+[[nodiscard]] bool visible_from(std::string_view qualified,
+                                const std::vector<std::string_view>& scope) {
+  const std::vector<std::string_view> q = split_qual(qualified);
+  if (q.size() - 1 > scope.size()) return false;
+  for (std::size_t k = 0; k + 1 < q.size(); ++k) {
+    if (q[k] != scope[k]) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] std::size_t builtin_size(std::string_view name) {
+  const std::string t = last_comp(name);
+  if (t == "uint8_t" || t == "int8_t" || t == "bool" || t == "byte") return 1;
+  if (t == "uint16_t" || t == "int16_t") return 2;
+  if (t == "uint32_t" || t == "int32_t") return 4;
+  if (t == "uint64_t" || t == "int64_t") return 8;
+  return 0;
+}
+
+/// Resolve a member type spelling through the merged alias tables to a
+/// fixed byte size; 0 if it does not bottom out.  Candidates suffix-match
+/// the spelling; if same-named aliases disagree, the ones visible from
+/// `scope` (the struct's own namespace) win.
+[[nodiscard]] std::size_t sized(const TypeTables& tt, std::string type,
+                                const std::vector<std::string_view>& scope) {
+  for (int hop = 0; hop < 8; ++hop) {
+    if (const std::size_t s = builtin_size(type)) return s;
+    const auto it = tt.aliases.find(last_comp(type));
+    if (it == tt.aliases.end()) return 0;
+    const std::string* target = nullptr;
+    bool conflict = false;
+    for (int pass = 0; pass < 2 && target == nullptr; ++pass) {
+      conflict = false;
+      for (const AliasEntry& e : it->second) {
+        if (!suffix_matches(type, e.alias->name)) continue;
+        if (pass == 0 && !visible_from(e.alias->name, scope)) continue;
+        if (target == nullptr) {
+          target = &e.alias->target;
+        } else if (*target != e.alias->target) {
+          conflict = true;
+        }
+      }
+      if (conflict) target = nullptr;
+      if (pass == 0 && conflict) return 0;  // ambiguous even in-scope
+    }
+    if (target == nullptr) return 0;
+    type = *target;
+  }
+  return 0;
+}
+
+[[nodiscard]] long long extent(const TypeTables& tt, const std::string& count,
+                               const std::vector<std::string_view>& scope) {
+  if (count.empty()) return 1;
+  if (count[0] >= '0' && count[0] <= '9') {
+    return std::strtoll(count.c_str(), nullptr, 0);
+  }
+  const auto it = tt.constants.find(last_comp(count));
+  if (it == tt.constants.end()) return 0;
+  const ConstantIndex* hit = nullptr;
+  for (int pass = 0; pass < 2 && hit == nullptr; ++pass) {
+    for (const ConstEntry& e : it->second) {
+      if (!suffix_matches(count, e.constant->name)) continue;
+      if (pass == 0 && !visible_from(e.constant->name, scope)) continue;
+      if (hit == nullptr) {
+        hit = e.constant;
+      } else if (hit->value != e.constant->value) {
+        return 0;
+      }
+    }
+  }
+  return hit == nullptr ? 0 : hit->value;
+}
+
+struct Laid {
+  std::string name;
+  std::size_t offset{0};
+  std::size_t size{0};
+  std::size_t align{0};
+};
+
+/// Natural-alignment layout.  Returns total size; `pad` ← bytes of
+/// implicit padding inserted (internal + tail).
+[[nodiscard]] std::size_t lay_out(std::vector<Laid>& members,
+                                  std::size_t& pad) {
+  std::size_t offset = 0;
+  std::size_t max_align = 1;
+  pad = 0;
+  for (Laid& m : members) {
+    const std::size_t rem = offset % m.align;
+    if (rem != 0) {
+      pad += m.align - rem;
+      offset += m.align - rem;
+    }
+    m.offset = offset;
+    offset += m.size;
+    max_align = std::max(max_align, m.align);
+  }
+  const std::size_t rem = offset % max_align;
+  if (rem != 0) {
+    pad += max_align - rem;
+    offset += max_align - rem;
+  }
+  return offset;
+}
+
+/// (3) Wire-layout audit: compute sizes and offsets of every wire-zone
+/// struct from the merged type tables; flag members without a fixed wire
+/// size, and structs whose natural layout contains implicit padding
+/// (with a reorder hint when sorting by alignment would remove it).
+void audit_wire_layout(const std::vector<FileIndex>& files,
+                       std::vector<Finding>& out) {
+  TypeTables tt;
+  for (const FileIndex& fi : files) {
+    for (const AliasIndex& a : fi.aliases) {
+      tt.aliases[last_comp(a.name)].push_back(AliasEntry{&a});
+    }
+    for (const ConstantIndex& c : fi.constants) {
+      tt.constants[last_comp(c.name)].push_back(ConstEntry{&c});
+    }
+  }
+  for (const FileIndex& fi : files) {
+    for (const StructIndex& st : fi.structs) {
+      if (st.members.empty()) continue;
+      const std::vector<std::string_view> scope = split_qual(st.name);
+      std::vector<Laid> laid;
+      bool computable = true;
+      for (const MemberIndex& m : st.members) {
+        std::string why;
+        std::size_t elem = 0;
+        long long count = 1;
+        if (m.opaque) {
+          why = "type '" + m.type + "' has no fixed wire size";
+        } else if (m.bitfield) {
+          why = "bitfield layout is implementation-defined";
+        } else if ((elem = sized(tt, m.type, scope)) == 0) {
+          why = "cannot resolve type '" + m.type + "' to a fixed size";
+        } else if ((count = extent(tt, m.count, scope)) <= 0) {
+          why = "cannot resolve array extent '" + m.count + "'";
+        }
+        if (!why.empty()) {
+          computable = false;
+          out.push_back(Finding{
+              fi.path, m.line, "wire-layout",
+              "member '" + m.name + "' of wire struct '" + st.name +
+                  "' defeats the layout audit: " + why,
+              {}});
+          continue;
+        }
+        laid.push_back({m.name, 0, elem * static_cast<std::size_t>(count),
+                        elem});
+      }
+      if (!computable || laid.empty()) continue;
+      std::size_t pad = 0;
+      const std::size_t total = lay_out(laid, pad);
+      if (pad == 0) continue;
+      std::string layout;
+      for (const Laid& m : laid) {
+        if (!layout.empty()) layout += ", ";
+        layout += m.name + "@" + std::to_string(m.offset) + "+" +
+                  std::to_string(m.size);
+      }
+      std::vector<Laid> sorted = laid;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const Laid& a, const Laid& b) {
+                         return a.align > b.align;
+                       });
+      std::size_t sorted_pad = 0;
+      const std::size_t sorted_total = lay_out(sorted, sorted_pad);
+      std::string msg =
+          "wire struct '" + st.name + "' has " + std::to_string(pad) +
+          " byte(s) of implicit padding; computed layout: " + layout +
+          " (total " + std::to_string(total) + ")";
+      if (sorted_total < total || sorted_pad < pad) {
+        msg += "; sorting members by decreasing alignment would save " +
+               std::to_string(total - sorted_total) + " byte(s)";
+      }
+      out.push_back(
+          Finding{fi.path, st.line, "wire-layout", std::move(msg), {}});
+    }
+  }
+}
+
+}  // namespace
+
+void whole_program_analyses(const std::vector<FileIndex>& files,
+                            std::vector<Finding>& out, GraphStats& stats) {
+  const Graph g{files};
+  stats.functions = g.nodes().size();
+  stats.edges = g.edge_count();
+  propagate_hot(g, out);
+  detect_escapes(g, out);
+  audit_wire_layout(files, out);
+}
+
+}  // namespace canely::lint

@@ -1,0 +1,37 @@
+#pragma once
+// Whole-program layer (docs/LINT.md): merges per-TU FileIndexes into a
+// project-wide call graph and runs the three cross-file analyses —
+// transitive hot-path propagation (hot-path-transitive), determinism
+// escape detection (determinism-escape) and the wire-layout audit
+// (wire-layout).
+//
+// Call resolution is name-based: a call site matches every function
+// whose "::"-qualified name ends with the spelled components (member
+// calls match by method name, `Type{...}` brace calls match only
+// constructors).  Calls that match nothing (externals, std::) are
+// assumed safe; calls that match more than kAmbiguityCap definitions
+// are dropped as noise.  Both limits are documented in docs/LINT.md.
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/index.hpp"
+
+namespace canely::lint {
+
+/// A call name matching more definitions than this is too ambiguous to
+/// propagate through (think `get` or a test-macro name).
+inline constexpr std::size_t kAmbiguityCap = 8;
+
+struct GraphStats {
+  std::size_t functions{0};  ///< nodes in the merged graph
+  std::size_t edges{0};      ///< resolved call edges (deduplicated)
+};
+
+/// Run all whole-program analyses over `files` (one FileIndex per TU, in
+/// sorted-path order — the order fixes node ids, so output is
+/// byte-stable).  Appends findings, pre-suppression, to `out`.
+void whole_program_analyses(const std::vector<FileIndex>& files,
+                            std::vector<Finding>& out, GraphStats& stats);
+
+}  // namespace canely::lint

@@ -1,0 +1,117 @@
+#pragma once
+// Per-translation-unit symbol index (docs/LINT.md): the semantic layer
+// between the lexer and the whole-program analyses in callgraph.hpp.
+//
+// build_index() runs the per-file rule engine AND a lightweight
+// declaration/call-site extractor over one token stream, producing a
+// FileIndex: raw findings, valid suppressions, every function definition
+// with its qualified name / call sites / nondeterminism+allocation facts,
+// plus the type aliases, integral constants and struct layouts the wire
+// audit needs.  The index serializes as a `canely-lint-index-1` JSON
+// artifact so CI can cache it per file, keyed on content hash — merging
+// cached indexes is byte-identical to re-extracting.
+//
+// The extractor is token-level, not a C++ parser.  Known limits (see
+// docs/LINT.md): calls through function pointers, virtual dispatch and
+// operator() are not modeled; overloads share one node per name.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace canely::lint {
+
+/// One call site inside a function body.
+struct CallSite {
+  std::string name;  ///< as spelled, "::"-joined if qualified
+  int line{1};
+  bool member{false};  ///< preceded by `.` / `->` — resolve by method name
+  bool brace{false};   ///< `Type{...}` — resolves only to constructors
+};
+
+/// A nondeterminism or allocation primitive used directly by a function:
+/// the seed facts the whole-program analyses propagate.
+struct FactRef {
+  int line{1};
+  std::string rule;  ///< per-file rule the fact maps to (e.g. no-hot-alloc)
+  std::string what;  ///< the offending spelling (e.g. "operator new")
+};
+
+struct FunctionIndex {
+  std::string name;  ///< qualified, "::"-joined (e.g. "sim::Engine::run")
+  int line{1};
+  bool member{false};       ///< defined inside a class (or out-of-class
+                            ///< with a qualified name) — member calls
+                            ///< resolve only to these
+  bool hot{false};          ///< inside a `canely-lint: hot-path` region
+  std::string nondet_ok;    ///< reason if annotated nondeterministic-ok
+  std::vector<FactRef> hot_facts;     ///< allocation / std::function / push
+  std::vector<FactRef> nondet_facts;  ///< clock / rand / getenv touches
+  std::vector<CallSite> calls;
+};
+
+/// `using Name = Target;` or `enum class Name : Target` — the wire audit
+/// resolves member types through these, across files.
+struct AliasIndex {
+  std::string name;    ///< qualified
+  std::string target;  ///< target type spelling, "::"-joined
+};
+
+/// `constexpr std::size_t kMaxData = 8;` — array extents in wire structs.
+struct ConstantIndex {
+  std::string name;  ///< qualified
+  long long value{0};
+};
+
+struct MemberIndex {
+  std::string name;
+  std::string type;   ///< element type spelling, "::"-joined
+  std::string count;  ///< array extent spelling ("" if scalar)
+  int line{1};
+  bool bitfield{false};
+  bool opaque{false};  ///< template/other type the audit cannot size
+};
+
+struct StructIndex {
+  std::string name;  ///< qualified
+  int line{1};
+  std::vector<MemberIndex> members;
+};
+
+/// A valid allow() suppression: silences `rules` on `line` and `line+1`.
+struct SuppressionIndex {
+  int line{1};
+  std::vector<std::string> rules;
+};
+
+struct FileIndex {
+  std::string path;  ///< repo-relative, '/'-separated
+  std::uint64_t content_hash{0};
+  std::vector<Finding> raw;  ///< per-file findings, pre-suppression,
+                             ///< sorted by line
+  std::vector<SuppressionIndex> suppressions;
+  std::vector<FunctionIndex> functions;
+  std::vector<AliasIndex> aliases;
+  std::vector<ConstantIndex> constants;
+  std::vector<StructIndex> structs;  ///< wire-zone files only
+};
+
+/// FNV-1a, the cache key hash: fnv64(path + '\0' + content).
+[[nodiscard]] std::uint64_t fnv64(std::string_view s);
+
+/// Lex + per-file rules + extraction.  Zone classification comes from
+/// the path (classify() in lint.hpp); a skipped path yields an empty
+/// index with only the hash set.
+[[nodiscard]] FileIndex build_index(std::string_view path,
+                                    std::string_view content);
+
+/// `canely-lint-index-1` serialization (byte-stable: field order fixed,
+/// entries in extraction order).
+[[nodiscard]] std::string index_to_json(const FileIndex& fi);
+[[nodiscard]] bool index_from_json(std::string_view text, FileIndex& out,
+                                   std::string& error);
+
+}  // namespace canely::lint

@@ -1,0 +1,262 @@
+#pragma once
+// Minimal JSON reader for canely-lint's own artifacts (the per-TU index
+// cache and --diff baselines).  Both are machine-written by this linter,
+// so the parser favors smallness over diagnostics: strict UTF-8 passes
+// through untouched, \uXXXX escapes outside ASCII are kept verbatim as
+// their escape text is never produced by our writer for index data.
+//
+// Deliberately separate from src/check's reader: canely_lint must stay a
+// leaf library with no dependencies beyond the lexer.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace canely::lint::json {
+
+struct Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+struct Value {
+  enum class Type : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject
+  };
+  Type type{Type::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::shared_ptr<Array> array;    ///< set iff kArray
+  std::shared_ptr<Object> object;  ///< set iff kObject
+
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+
+  [[nodiscard]] long long as_int() const {
+    return static_cast<long long>(number);
+  }
+  /// Object member lookup; a shared null sentinel for absent keys.
+  [[nodiscard]] const Value& operator[](const std::string& key) const {
+    static const Value kNull{};
+    if (!is_object()) return kNull;
+    const auto it = object->find(key);
+    return it == object->end() ? kNull : it->second;
+  }
+  [[nodiscard]] const Array& items() const {
+    static const Array kEmpty{};
+    return is_array() ? *array : kEmpty;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  /// Parse one document.  Returns false (and sets error) on malformed
+  /// input or trailing garbage.
+  [[nodiscard]] bool parse(Value& out, std::string& error) {
+    if (!value(out, error, 0)) return false;
+    ws();
+    if (i_ != s_.size()) {
+      error = "trailing characters after JSON document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  [[nodiscard]] bool lit(std::string_view w) {
+    if (s_.substr(i_, w.size()) != w) return false;
+    i_ += w.size();
+    return true;
+  }
+  [[nodiscard]] bool string_body(std::string& out, std::string& error) {
+    ++i_;  // opening quote
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_];
+      if (c == '\\') {
+        if (++i_ >= s_.size()) break;
+        switch (s_[i_]) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // Our writer only emits \u00XX for control bytes; decode the
+            // low byte and move on.
+            if (i_ + 4 >= s_.size()) {
+              error = "truncated \\u escape";
+              return false;
+            }
+            unsigned v = 0;
+            for (int k = 1; k <= 4; ++k) {
+              const char h = s_[i_ + static_cast<std::size_t>(k)];
+              v <<= 4;
+              if (h >= '0' && h <= '9') {
+                v |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                error = "bad \\u escape";
+                return false;
+              }
+            }
+            i_ += 4;
+            c = static_cast<char>(v & 0xFF);
+            break;
+          }
+          default:
+            error = "unknown string escape";
+            return false;
+        }
+      }
+      out += c;
+      ++i_;
+    }
+    if (i_ >= s_.size()) {
+      error = "unterminated string";
+      return false;
+    }
+    ++i_;  // closing quote
+    return true;
+  }
+
+  [[nodiscard]] bool value(Value& out, std::string& error, int depth) {
+    if (depth > 64) {
+      error = "nesting too deep";
+      return false;
+    }
+    ws();
+    if (i_ >= s_.size()) {
+      error = "unexpected end of input";
+      return false;
+    }
+    const char c = s_[i_];
+    if (c == '"') {
+      out.type = Value::Type::kString;
+      return string_body(out.string, error);
+    }
+    if (c == '{') {
+      ++i_;
+      out.type = Value::Type::kObject;
+      out.object = std::make_shared<Object>();
+      ws();
+      if (i_ < s_.size() && s_[i_] == '}') {
+        ++i_;
+        return true;
+      }
+      while (true) {
+        ws();
+        if (i_ >= s_.size() || s_[i_] != '"') {
+          error = "expected object key";
+          return false;
+        }
+        std::string key;
+        if (!string_body(key, error)) return false;
+        ws();
+        if (i_ >= s_.size() || s_[i_] != ':') {
+          error = "expected ':' after object key";
+          return false;
+        }
+        ++i_;
+        Value v;
+        if (!value(v, error, depth + 1)) return false;
+        (*out.object)[std::move(key)] = std::move(v);
+        ws();
+        if (i_ < s_.size() && s_[i_] == ',') {
+          ++i_;
+          continue;
+        }
+        if (i_ < s_.size() && s_[i_] == '}') {
+          ++i_;
+          return true;
+        }
+        error = "expected ',' or '}' in object";
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++i_;
+      out.type = Value::Type::kArray;
+      out.array = std::make_shared<Array>();
+      ws();
+      if (i_ < s_.size() && s_[i_] == ']') {
+        ++i_;
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!value(v, error, depth + 1)) return false;
+        out.array->push_back(std::move(v));
+        ws();
+        if (i_ < s_.size() && s_[i_] == ',') {
+          ++i_;
+          continue;
+        }
+        if (i_ < s_.size() && s_[i_] == ']') {
+          ++i_;
+          return true;
+        }
+        error = "expected ',' or ']' in array";
+        return false;
+      }
+    }
+    if (c == 't' && lit("true")) {
+      out.type = Value::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (c == 'f' && lit("false")) {
+      out.type = Value::Type::kBool;
+      return true;
+    }
+    if (c == 'n' && lit("null")) {
+      out.type = Value::Type::kNull;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = i_;
+      if (s_[i_] == '-') ++i_;
+      while (i_ < s_.size() &&
+             ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+              s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+              s_[i_] == '-')) {
+        ++i_;
+      }
+      out.type = Value::Type::kNumber;
+      out.number = std::stod(std::string{s_.substr(start, i_ - start)});
+      return true;
+    }
+    error = "unexpected character in JSON";
+    return false;
+  }
+
+  std::string_view s_;
+  std::size_t i_{0};
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] inline bool parse(std::string_view text, Value& out,
+                                std::string& error) {
+  Parser p{text};
+  return p.parse(out, error);
+}
+
+}  // namespace canely::lint::json

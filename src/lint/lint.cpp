@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <thread>
+
+#include "lint/callgraph.hpp"
+#include "lint/json_mini.hpp"
 
 namespace canely::lint {
 namespace {
@@ -16,8 +22,9 @@ constexpr std::array<std::string_view, 14> kDeterminismDirs = {
     "src/clocksync/", "src/media/",    "src/workload/", "src/analysis/",
     "src/obs/",      "src/net/"};
 
-constexpr std::array<std::string_view, 3> kWireFiles = {
-    "src/can/types.hpp", "src/can/frame.hpp", "src/canely/mid.hpp"};
+constexpr std::array<std::string_view, 4> kWireFiles = {
+    "src/can/types.hpp", "src/can/frame.hpp", "src/canely/mid.hpp",
+    "src/net/types.hpp"};
 
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view p) {
   return s.substr(0, p.size()) == p;
@@ -26,113 +33,26 @@ constexpr std::array<std::string_view, 3> kWireFiles = {
   return s.size() >= p.size() && s.substr(s.size() - p.size()) == p;
 }
 
-/// A parsed, *valid* suppression: silences `rules` on `line` and
-/// `line + 1`.  Invalid directives never reach this type — they are
-/// reported as findings instead.
-struct Suppression {
-  int line;
-  std::vector<std::string> rules;
-};
-
-/// Parse every `canely-lint:` directive in the comment stream.  Valid
-/// allow()s go to `sups`; malformed ones and unknown rule names become
-/// findings.
-void collect_suppressions(std::string_view path,
-                          const std::vector<Token>& toks,
-                          std::vector<Suppression>& sups,
-                          std::vector<Finding>& out) {
-  for (const Token& t : toks) {
-    if (t.kind != TokKind::kComment) continue;
-    const std::string_view text = t.text;
-    const std::size_t d = text.find("canely-lint:");
-    if (d == std::string_view::npos) continue;
-    // A directive must open its comment ("// canely-lint: ...");
-    // prose that merely *mentions* the grammar is not a directive.
-    if (text.find_first_not_of("/* \t", 0) != d) continue;
-    std::size_t i = d + 12;
-    while (i < text.size() && text[i] == ' ') ++i;
-    if (text.substr(i, 8) == "hot-path") continue;  // zone tag, not allow
-    if (text.substr(i, 5) != "allow") {
-      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
-                            "unrecognized canely-lint directive; expected "
-                            "'allow(<rules>) — <reason>' or 'hot-path'"});
-      continue;
-    }
-    i += 5;
-    while (i < text.size() && text[i] == ' ') ++i;
-    if (i >= text.size() || text[i] != '(') {
-      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
-                            "allow must list rules in parentheses: "
-                            "allow(rule-a, rule-b)"});
-      continue;
-    }
-    const std::size_t close = text.find(')', i);
-    if (close == std::string_view::npos) {
-      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
-                            "unterminated allow(...) rule list"});
-      continue;
-    }
-    // Split the rule list.
-    Suppression s{t.line, {}};
-    bool ok = true;
-    std::size_t start = i + 1;
-    for (std::size_t j = i + 1; j <= close; ++j) {
-      if (j == close || text[j] == ',') {
-        std::string_view rule = text.substr(start, j - start);
-        while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
-        while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
-        start = j + 1;
-        if (rule.empty()) continue;
-        if (!known_rule(rule)) {
-          out.push_back(Finding{std::string{path}, t.line, "unknown-rule",
-                                "allow() names unknown rule '" +
-                                    std::string{rule} +
-                                    "'; see canely_lint --list-rules"});
-          ok = false;
-          continue;
-        }
-        s.rules.emplace_back(rule);
-      }
-    }
-    if (s.rules.empty()) {
-      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
-                            "allow() lists no valid rule"});
-      continue;
-    }
-    // Reason: everything after the ')' minus separator punctuation
-    // (' — ', ' - ', ': ').  It must carry actual words.
-    std::size_t r = close + 1;
-    while (r < text.size() &&
-           (text[r] == ' ' || text[r] == '-' || text[r] == ':' ||
-            static_cast<unsigned char>(text[r]) >= 0x80)) {
-      ++r;  // the >=0x80 arm eats UTF-8 dashes (em/en)
-    }
-    std::string_view reason = text.substr(r);
-    const std::size_t tail = reason.find("*/");
-    if (tail != std::string_view::npos) reason = reason.substr(0, tail);
-    while (!reason.empty() && reason.back() == ' ') reason.remove_suffix(1);
-    if (reason.size() < 3) {
-      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
-                            "suppression without a reason; write "
-                            "'allow(" + s.rules.front() +
-                                ") — <why this is safe>'"});
-      continue;
-    }
-    if (ok) sups.push_back(std::move(s));
-  }
-}
-
+/// Silence check; marks every matching suppression as used so the
+/// whole-program pass can flag the ones that earn their keep nowhere.
 [[nodiscard]] bool suppressed_by(const Finding& f,
-                                 const std::vector<Suppression>& sups) {
+                                 const std::vector<SuppressionIndex>& sups,
+                                 std::vector<char>* used) {
   // The suppression machinery must not be able to silence itself.
-  if (f.rule == "bad-suppression" || f.rule == "unknown-rule") return false;
-  for (const Suppression& s : sups) {
+  if (f.rule == "bad-suppression" || f.rule == "unknown-rule" ||
+      f.rule == "unused-suppression") {
+    return false;
+  }
+  bool hit = false;
+  for (std::size_t i = 0; i < sups.size(); ++i) {
+    const SuppressionIndex& s = sups[i];
     if (f.line != s.line && f.line != s.line + 1) continue;
     if (std::find(s.rules.begin(), s.rules.end(), f.rule) != s.rules.end()) {
-      return true;
+      hit = true;
+      if (used) (*used)[i] = 1;
     }
   }
-  return false;
+  return hit;
 }
 
 void json_escape(std::string& out, std::string_view s) {
@@ -152,6 +72,176 @@ void json_escape(std::string& out, std::string_view s) {
         }
     }
   }
+}
+
+[[nodiscard]] std::string baseline_key(const Finding& f) {
+  std::string k = f.file;
+  k += '\1';
+  k += f.rule;
+  k += '\1';
+  k += f.message;
+  return k;
+}
+
+/// Load a canely-lint-1 / canely-lint-2 report as a baseline: the set of
+/// (file, rule, message) triples already accepted.  Line numbers are
+/// deliberately not part of the key so unrelated edits above a finding
+/// do not un-baseline it.
+[[nodiscard]] bool load_baseline(const std::string& path,
+                                 std::set<std::string>& out,
+                                 std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot read baseline " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  json::Value doc;
+  if (!json::parse(buf.str(), doc, error)) {
+    error = "baseline " + path + ": " + error;
+    return false;
+  }
+  const std::string& schema = doc["schema"].string;
+  if (schema != "canely-lint-1" && schema != "canely-lint-2") {
+    error = "baseline " + path + " is not a canely-lint report";
+    return false;
+  }
+  for (const json::Value& v : doc["findings"].items()) {
+    Finding f;
+    f.file = v["file"].string;
+    f.rule = v["rule"].string;
+    f.message = v["message"].string;
+    out.insert(baseline_key(f));
+  }
+  return true;
+}
+
+/// Merge per-file raw findings with the whole-program findings, apply
+/// suppressions, flag unused ones, and subtract the baseline.  `fis`
+/// must be in sorted-path order; the output is byte-stable.
+[[nodiscard]] bool finalize_run(const std::vector<FileIndex>& fis,
+                                const Options& opts, RunResult& result,
+                                std::string& error) {
+  result.whole_program = opts.whole_program;
+  result.files = fis.size();
+
+  std::vector<Finding> wp;
+  if (opts.whole_program) {
+    GraphStats stats;
+    whole_program_analyses(fis, wp, stats);
+    result.functions = stats.functions;
+    result.edges = stats.edges;
+  }
+
+  std::set<std::string> baseline;
+  if (!opts.diff_baseline.empty() &&
+      !load_baseline(opts.diff_baseline, baseline, error)) {
+    return false;
+  }
+
+  for (const FileIndex& fi : fis) {
+    std::vector<Finding> mine = fi.raw;
+    for (const Finding& f : wp) {
+      if (f.file == fi.path) mine.push_back(f);
+    }
+    std::vector<char> used(fi.suppressions.size(), 0);
+    std::vector<Finding> kept;
+    for (Finding& f : mine) {
+      if (suppressed_by(f, fi.suppressions, &used)) {
+        ++result.suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    if (opts.whole_program) {
+      for (std::size_t i = 0; i < fi.suppressions.size(); ++i) {
+        if (used[i]) continue;
+        std::string rules;
+        for (const std::string& r : fi.suppressions[i].rules) {
+          if (!rules.empty()) rules += ", ";
+          rules += r;
+        }
+        kept.push_back(Finding{
+            fi.path, fi.suppressions[i].line, "unused-suppression",
+            "allow(" + rules +
+                ") silences no finding under the whole-program pass; "
+                "delete it",
+            {}});
+      }
+    }
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
+    for (Finding& f : kept) {
+      if (!baseline.empty() && baseline.count(baseline_key(f)) != 0) {
+        ++result.baselined;
+      } else {
+        result.findings.push_back(std::move(f));
+      }
+    }
+  }
+  return true;
+}
+
+/// Build (or load from cache) one index per file, in parallel when asked.
+/// `contents[i]` belongs to `paths[i]`; slot-indexed output keeps the
+/// result independent of scheduling.
+[[nodiscard]] std::vector<FileIndex> build_indexes(
+    const std::vector<std::string>& paths,
+    const std::vector<std::string>& contents, const Options& opts) {
+  namespace fs = std::filesystem;
+  if (!opts.index_cache.empty()) {
+    std::error_code ec;
+    fs::create_directories(opts.index_cache, ec);  // missing dir = no cache
+  }
+  std::vector<FileIndex> fis(paths.size());
+  const int threads = std::max(1, opts.threads);
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (std::size_t i = next.fetch_add(1); i < paths.size();
+         i = next.fetch_add(1)) {
+      std::string cache_file;
+      if (!opts.index_cache.empty()) {
+        std::string key = paths[i];
+        key += '\0';
+        key += contents[i];
+        char hex[24];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(fnv64(key)));
+        cache_file =
+            (fs::path(opts.index_cache) / (std::string{hex} + ".json"))
+                .string();
+        std::ifstream in(cache_file, std::ios::binary);
+        if (in) {
+          std::ostringstream buf;
+          buf << in.rdbuf();
+          std::string err;
+          FileIndex cached;
+          if (index_from_json(buf.str(), cached, err) &&
+              cached.path == paths[i]) {
+            fis[i] = std::move(cached);
+            continue;
+          }
+        }
+      }
+      fis[i] = build_index(paths[i], contents[i]);
+      if (!cache_file.empty()) {
+        std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+        if (out) out << index_to_json(fis[i]);
+      }
+    }
+  };
+  if (threads == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+  return fis;
 }
 
 }  // namespace
@@ -180,34 +270,29 @@ Zones classify(std::string_view path) {
   return z;
 }
 
+std::span<const std::string_view> determinism_dirs() {
+  return kDeterminismDirs;
+}
+std::span<const std::string_view> wire_files() { return kWireFiles; }
+
 FileResult lint_source(std::string_view path, std::string_view content) {
   FileResult result;
   const Zones z = classify(path);
   if (z.skip) return result;
 
-  const std::vector<Token> toks = lex(content);
-  std::vector<Finding> raw;
-  run_rules(path, z.flags, toks, raw);
-
-  std::vector<Suppression> sups;
-  collect_suppressions(path, toks, sups, raw);
-
-  std::stable_sort(raw.begin(), raw.end(),
-                   [](const Finding& a, const Finding& b) {
-                     return a.line < b.line;
-                   });
-  for (Finding& f : raw) {
-    if (suppressed_by(f, sups)) {
+  const FileIndex fi = build_index(path, content);
+  for (const Finding& f : fi.raw) {
+    if (suppressed_by(f, fi.suppressions, nullptr)) {
       ++result.suppressed;
     } else {
-      result.findings.push_back(std::move(f));
+      result.findings.push_back(f);
     }
   }
   return result;
 }
 
 bool lint_paths(const std::string& root, const std::vector<std::string>& paths,
-                RunResult& result, std::string& error) {
+                const Options& opts, RunResult& result, std::string& error) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& p : paths) {
@@ -236,6 +321,8 @@ bool lint_paths(const std::string& root, const std::vector<std::string>& paths,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  std::vector<std::string> linted;
+  std::vector<std::string> contents;
   for (const std::string& rel : files) {
     if (classify(rel).skip) continue;
     std::ifstream in(fs::path(root) / rel, std::ios::binary);
@@ -245,13 +332,40 @@ bool lint_paths(const std::string& root, const std::vector<std::string>& paths,
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string content = buf.str();
-    FileResult fr = lint_source(rel, content);
-    result.suppressed += fr.suppressed;
-    ++result.files;
-    for (Finding& f : fr.findings) result.findings.push_back(std::move(f));
+    linted.push_back(rel);
+    contents.push_back(buf.str());
   }
-  return true;
+
+  const std::vector<FileIndex> fis = build_indexes(linted, contents, opts);
+  return finalize_run(fis, opts, result, error);
+}
+
+bool lint_paths(const std::string& root, const std::vector<std::string>& paths,
+                RunResult& result, std::string& error) {
+  return lint_paths(root, paths, Options{}, result, error);
+}
+
+RunResult lint_sources(std::vector<SourceFile> files, const Options& opts) {
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  std::vector<std::string> paths;
+  std::vector<std::string> contents;
+  for (SourceFile& f : files) {
+    if (classify(f.path).skip) continue;
+    paths.push_back(std::move(f.path));
+    contents.push_back(std::move(f.content));
+  }
+  const std::vector<FileIndex> fis = build_indexes(paths, contents, opts);
+  RunResult result;
+  std::string error;
+  if (!finalize_run(fis, opts, result, error)) {
+    // Baseline problems surface as a synthetic finding so in-memory
+    // callers cannot mistake a broken baseline for a clean run.
+    result.findings.push_back(Finding{"", 1, "bad-suppression", error, {}});
+  }
+  return result;
 }
 
 std::string to_text(const RunResult& r) {
@@ -265,19 +379,45 @@ std::string to_text(const RunResult& r) {
     out += ": ";
     out += f.message;
     out += '\n';
+    if (!f.chain.empty()) {
+      out += "    call chain: ";
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        if (i) out += " → ";
+        out += f.chain[i];
+      }
+      out += '\n';
+    }
   }
-  out += "canely_lint: " + std::to_string(r.findings.size()) + " finding" +
-         (r.findings.size() == 1 ? "" : "s") + " (" +
-         std::to_string(r.suppressed) + " suppressed) in " +
-         std::to_string(r.files) + " files\n";
+  if (!r.whole_program) {
+    out += "canely_lint: " + std::to_string(r.findings.size()) + " finding" +
+           (r.findings.size() == 1 ? "" : "s") + " (" +
+           std::to_string(r.suppressed) + " suppressed) in " +
+           std::to_string(r.files) + " files\n";
+  } else {
+    out += "canely_lint: " + std::to_string(r.findings.size()) + " finding" +
+           (r.findings.size() == 1 ? "" : "s") + " (" +
+           std::to_string(r.suppressed) + " suppressed, " +
+           std::to_string(r.baselined) + " baselined) in " +
+           std::to_string(r.files) + " files; call graph: " +
+           std::to_string(r.functions) + " functions, " +
+           std::to_string(r.edges) + " edges\n";
+  }
   return out;
 }
 
 std::string to_json(const RunResult& r) {
-  std::string out = "{\"schema\":\"canely-lint-1\",\"files\":" +
-                    std::to_string(r.files) +
-                    ",\"suppressed\":" + std::to_string(r.suppressed) +
-                    ",\"findings\":[";
+  std::string out = r.whole_program
+                        ? "{\"schema\":\"canely-lint-2\",\"files\":" +
+                              std::to_string(r.files) + ",\"functions\":" +
+                              std::to_string(r.functions) + ",\"edges\":" +
+                              std::to_string(r.edges) + ",\"suppressed\":" +
+                              std::to_string(r.suppressed) +
+                              ",\"baselined\":" +
+                              std::to_string(r.baselined) + ",\"findings\":["
+                        : "{\"schema\":\"canely-lint-1\",\"files\":" +
+                              std::to_string(r.files) + ",\"suppressed\":" +
+                              std::to_string(r.suppressed) +
+                              ",\"findings\":[";
   bool first = true;
   for (const Finding& f : r.findings) {
     if (!first) out += ',';
@@ -288,7 +428,18 @@ std::string to_json(const RunResult& r) {
     json_escape(out, f.rule);
     out += "\",\"message\":\"";
     json_escape(out, f.message);
-    out += "\"}";
+    out += '"';
+    if (!f.chain.empty()) {
+      out += ",\"chain\":[";
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        json_escape(out, f.chain[i]);
+        out += '"';
+      }
+      out += ']';
+    }
+    out += '}';
   }
   out += "]}\n";
   return out;

@@ -1,33 +1,41 @@
 #pragma once
-// canely-lint driver (DESIGN.md §10): zone classification, suppression
-// handling, file walking and output formatting on top of the rule engine
-// in rules.hpp.
+// canely-lint driver (DESIGN.md §10, docs/LINT.md): zone classification,
+// suppression handling, file walking and output formatting on top of the
+// rule engine in rules.hpp and the two-phase index/analyze layer in
+// index.hpp + callgraph.hpp.
 //
 // Zones are path-scoped (paths are repo-relative, '/'-separated):
 //
 //   determinism  src/{sim,can,canely,broadcast,campaign,check,scenario,
 //                baselines,clocksync,media,workload,analysis,obs,net}/ —
 //                code whose output must be a pure function of its inputs.
-//   wire         src/can/types.hpp, src/can/frame.hpp, src/canely/mid.hpp
-//                — struct members must use fixed-width integer types.
+//   wire         src/can/types.hpp, src/can/frame.hpp, src/canely/mid.hpp,
+//                src/net/types.hpp — struct members must use fixed-width
+//                integer types and audit-clean layouts.
 //   hot-path     any file/function tagged `// canely-lint: hot-path`.
 //   repo         every linted file; header-only rules apply to .hpp.
 //
 //   src/socketcan/ is exempt from the determinism zone (it is real-time
 //   by design: wall clocks and OS calls are its job); repo-wide rules
-//   still apply.  tests/lint_fixtures/ is never linted in tree walks —
-//   it holds deliberate violations for test_lint.cpp.
+//   still apply, and the whole-program escape analysis treats calls into
+//   it from zone code as findings.  tests/lint_fixtures/ is never linted
+//   in tree walks — it holds deliberate violations for test_lint.cpp.
 //
 // Suppressions: `// canely-lint: allow(rule-a, rule-b) — reason` on the
 // finding's line or the line directly above.  The reason is mandatory
 // (a reason-less suppression is itself a finding, `bad-suppression`);
-// naming a rule the linter does not define is `unknown-rule`.
+// naming a rule the linter does not define is `unknown-rule`.  Under the
+// whole-program pass, an allow() that silences nothing is
+// `unused-suppression`.  Escape seams are annotated
+// `// canely-lint: nondeterministic-ok(reason)` on or above the function.
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/index.hpp"
 #include "lint/rules.hpp"
 
 namespace canely::lint {
@@ -39,22 +47,39 @@ struct Zones {
 };
 [[nodiscard]] Zones classify(std::string_view path);
 
+/// The zone tables, for tests and docs tooling.
+[[nodiscard]] std::span<const std::string_view> determinism_dirs();
+[[nodiscard]] std::span<const std::string_view> wire_files();
+
 struct FileResult {
   std::vector<Finding> findings;  ///< unsuppressed, in source order
   std::size_t suppressed{0};      ///< findings silenced by valid allow()s
 };
 
-/// Lint one file's content.  `path` (repo-relative, '/'-separated) is
-/// used for zone classification and in findings; the content never
-/// touches the filesystem, so tests can lint fixture text under any
-/// pretend path.
+/// Lint one file's content (per-file rules only).  `path` (repo-relative,
+/// '/'-separated) is used for zone classification and in findings; the
+/// content never touches the filesystem, so tests can lint fixture text
+/// under any pretend path.
 [[nodiscard]] FileResult lint_source(std::string_view path,
                                      std::string_view content);
+
+struct Options {
+  bool whole_program{false};  ///< merge TU indexes, run graph analyses
+  int threads{1};             ///< parallel per-file indexing (output is
+                              ///< byte-identical at any thread count)
+  std::string index_cache;    ///< dir for content-hash-keyed index JSON
+  std::string diff_baseline;  ///< path to a baseline report; findings
+                              ///< present in it are counted, not shown
+};
 
 struct RunResult {
   std::vector<Finding> findings;  ///< all unsuppressed, files in sorted order
   std::size_t suppressed{0};
-  std::size_t files{0};           ///< files actually linted
+  std::size_t files{0};      ///< files actually linted
+  std::size_t functions{0};  ///< whole-program: call-graph nodes
+  std::size_t edges{0};      ///< whole-program: resolved call edges
+  std::size_t baselined{0};  ///< findings hidden by --diff baseline
+  bool whole_program{false};
 };
 
 /// Lint files and directory trees (recursively; *.hpp / *.cpp).  `paths`
@@ -62,14 +87,34 @@ struct RunResult {
 /// does not exist or a file cannot be read.
 [[nodiscard]] bool lint_paths(const std::string& root,
                               const std::vector<std::string>& paths,
+                              const Options& opts, RunResult& result,
+                              std::string& error);
+
+/// Per-file-rules-only compatibility overload.
+[[nodiscard]] bool lint_paths(const std::string& root,
+                              const std::vector<std::string>& paths,
                               RunResult& result, std::string& error);
 
-/// `file:line:rule: message` lines plus a summary line.
+/// In-memory run over (path, content) pairs — the whole-program pipeline
+/// without a filesystem, for cross-file fixture tests.  Files are
+/// processed in sorted-path order regardless of input order.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+[[nodiscard]] RunResult lint_sources(std::vector<SourceFile> files,
+                                     const Options& opts);
+
+/// `file:line:rule: message` lines (whole-program findings follow with an
+/// indented `call chain: a → b → …` witness line) plus a summary line.
 [[nodiscard]] std::string to_text(const RunResult& r);
 
-/// Machine-readable report, schema "canely-lint-1":
+/// Machine-readable report.  Per-file runs keep schema "canely-lint-1":
 /// {"schema":"canely-lint-1","files":N,"suppressed":M,
 ///  "findings":[{"file":...,"line":...,"rule":...,"message":...},...]}
+/// Whole-program runs emit "canely-lint-2", which adds "functions",
+/// "edges", "baselined" and a per-finding "chain" array when a call-chain
+/// witness exists (docs/LINT.md).
 [[nodiscard]] std::string to_json(const RunResult& r);
 
 }  // namespace canely::lint

@@ -19,6 +19,9 @@ constexpr RuleInfo kRules[] = {
      "order)"},
     {"no-ptr-keyed-map", "determinism",
      "std::map/std::set keyed by a pointer (address-dependent order)"},
+    {"determinism-escape", "determinism",
+     "determinism-zone code transitively reaches a wall clock, rand, "
+     "getenv, or src/socketcan (whole-program)"},
     {"no-hot-alloc", "hot-path",
      "operator new / make_unique / make_shared in a hot-path region"},
     {"no-hot-function", "hot-path",
@@ -28,8 +31,14 @@ constexpr RuleInfo kRules[] = {
     {"no-hot-eager-trace", "hot-path",
      "trace message built eagerly (cat_str/to_string argument to emit) in "
      "a hot-path region; use the lazy lambda overload"},
+    {"hot-path-transitive", "hot-path",
+     "function reachable from a hot-path region allocates or names "
+     "std::function / unreserved push_back (whole-program)"},
     {"wire-fixed-width", "wire",
      "wire-format struct member with a non-fixed-width type"},
+    {"wire-layout", "wire",
+     "wire struct with implicit padding, a reordering hazard, or a member "
+     "without a fixed wire size (whole-program)"},
     {"no-using-namespace-header", "repo", "using namespace in a header"},
     {"include-guard", "repo",
      "header lacks #pragma once or an include guard"},
@@ -39,6 +48,8 @@ constexpr RuleInfo kRules[] = {
      "malformed canely-lint directive or suppression without a reason"},
     {"unknown-rule", "repo",
      "suppression names a rule the linter does not define"},
+    {"unused-suppression", "repo",
+     "allow() that silences zero findings under the whole-program pass"},
 };
 
 template <std::size_t N>
@@ -51,6 +62,17 @@ template <std::size_t N>
   return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
          (c >= '0' && c <= '9') || c == '_';
 }
+
+constexpr std::array<std::string_view, 7> kClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock", "utc_clock",
+    "file_clock",   "gps_clock",    "tai_clock"};
+constexpr std::array<std::string_view, 8> kClockCalls = {
+    "time",      "clock",  "gettimeofday", "clock_gettime",
+    "localtime", "gmtime", "mktime",       "timespec_get"};
+constexpr std::array<std::string_view, 7> kRandCalls = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random"};
+constexpr std::array<std::string_view, 4> kEnvCalls = {
+    "getenv", "secure_getenv", "setenv", "putenv"};
 
 /// One file's token stream plus the index of its *code* tokens (comments
 /// and preprocessor lines filtered out), which is what most rules walk.
@@ -74,7 +96,8 @@ struct Ctx {
   }
   void report(std::size_t p, std::string_view rule, std::string msg) const {
     out->push_back(Finding{std::string{path}, line(p), std::string{rule},
-                           std::move(msg)});
+                           std::move(msg),
+                           {}});
   }
 
   /// Position after the '>' matching the '<' at `open` (which must hold
@@ -119,16 +142,6 @@ struct Ctx {
 // --- determinism zone ------------------------------------------------------
 
 void check_determinism(const Ctx& c) {
-  static constexpr std::array<std::string_view, 7> kClockTypes = {
-      "system_clock", "steady_clock", "high_resolution_clock", "utc_clock",
-      "file_clock",   "gps_clock",    "tai_clock"};
-  static constexpr std::array<std::string_view, 8> kClockCalls = {
-      "time",     "clock",  "gettimeofday", "clock_gettime",
-      "localtime", "gmtime", "mktime",       "timespec_get"};
-  static constexpr std::array<std::string_view, 7> kRandCalls = {
-      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48", "random"};
-  static constexpr std::array<std::string_view, 4> kEnvCalls = {
-      "getenv", "secure_getenv", "setenv", "putenv"};
   static constexpr std::array<std::string_view, 4> kUnordered = {
       "unordered_map", "unordered_set", "unordered_multimap",
       "unordered_multiset"};
@@ -247,47 +260,10 @@ void check_determinism(const Ctx& c) {
 
 // --- hot-path zone ---------------------------------------------------------
 
-/// Hot-path regions, as [first, last] inclusive ranges over code-token
-/// positions.  A `// canely-lint: hot-path` tag placed before the first
-/// '{' of the file marks the whole file; otherwise it marks the next
-/// brace-balanced block (i.e. the function or class that follows it).
-[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> hot_regions(
-    const Ctx& c) {
-  std::vector<std::pair<std::size_t, std::size_t>> regions;
-  for (std::size_t ti = 0; ti < c.toks.size(); ++ti) {
-    const Token& tok = c.toks[ti];
-    if (tok.kind != TokKind::kComment) continue;
-    const std::size_t d = tok.text.find("canely-lint:");
-    if (d == std::string_view::npos) continue;
-    // Same anchoring as suppressions: the tag must open its comment.
-    if (tok.text.find_first_not_of("/* \t", 0) != d) continue;
-    std::size_t rest = d + 12;
-    while (rest < tok.text.size() && tok.text[rest] == ' ') ++rest;
-    if (tok.text.substr(rest, 8) != "hot-path") continue;
-    // First code position after the tag.
-    const auto it = std::upper_bound(c.code.begin(), c.code.end(), ti);
-    const auto start = static_cast<std::size_t>(it - c.code.begin());
-    bool brace_before = false;
-    for (std::size_t p = 0; p < start; ++p) {
-      if (c.at(p) == "{") {
-        brace_before = true;
-        break;
-      }
-    }
-    if (!brace_before) {
-      regions.emplace_back(0, c.code.empty() ? 0 : c.code.size() - 1);
-      continue;
-    }
-    std::size_t open = start;
-    while (open < c.code.size() && c.at(open) != "{") ++open;
-    if (open == c.code.size()) continue;  // tag with nothing after it
-    regions.emplace_back(start, c.match(open));
-  }
-  return regions;
-}
-
-void check_hot_paths(const Ctx& c) {
-  for (const auto& [a, b] : hot_regions(c)) {
+void check_hot_paths(const Ctx& c,
+                     const std::vector<std::pair<std::size_t, std::size_t>>&
+                         regions) {
+  for (const auto& [a, b] : regions) {
     // Vectors declared inside the region (locals/parameters); member
     // vectors (declared elsewhere) are exempt by construction.
     std::vector<std::string_view> vec_names;
@@ -316,6 +292,10 @@ void check_hot_paths(const Ctx& c) {
       if (c.kind(p) != TokKind::kIdent) continue;
       const std::string_view t = c.at(p);
       if (t == "new") {
+        // Placement new (`new (buf) T`) constructs into existing storage
+        // and is the sanctioned pool idiom; only allocating `new` is
+        // banned.
+        if (c.at(p + 1) == "(") continue;
         c.report(p, "no-hot-alloc",
                  "operator new in a hot-path region; use a pool, slot "
                  "vector, or caller-provided buffer");
@@ -509,7 +489,8 @@ void check_header_rules(const Ctx& c) {
   if (!guarded && !c.toks.empty()) {
     c.out->push_back(Finding{std::string{c.path}, 1, "include-guard",
                              "header lacks #pragma once or an include "
-                             "guard"});
+                             "guard",
+                             {}});
   }
 }
 
@@ -540,7 +521,8 @@ void check_todo(const Ctx& c) {
             Finding{std::string{c.path}, line, "todo-issue",
                     std::string{word} +
                         " without an issue reference; write " +
-                        std::string{word} + "(#NN) or remove it"});
+                        std::string{word} + "(#NN) or remove it",
+                    {}});
       }
     }
   }
@@ -557,8 +539,182 @@ bool known_rule(std::string_view id) {
   return false;
 }
 
+namespace sinkset {
+bool clock_type(std::string_view name) { return in_set(kClockTypes, name); }
+bool clock_call(std::string_view name) { return in_set(kClockCalls, name); }
+bool rand_call(std::string_view name) { return in_set(kRandCalls, name); }
+bool env_call(std::string_view name) { return in_set(kEnvCalls, name); }
+}  // namespace sinkset
+
+std::vector<Directive> parse_directives(std::string_view path,
+                                        const std::vector<Token>& toks,
+                                        std::vector<Finding>& out) {
+  std::vector<Directive> dirs;
+  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+    const Token& t = toks[ti];
+    if (t.kind != TokKind::kComment) continue;
+    const std::string_view text = t.text;
+    const std::size_t d = text.find("canely-lint:");
+    if (d == std::string_view::npos) continue;
+    // A directive must open its comment ("// canely-lint: ...");
+    // prose that merely *mentions* the grammar is not a directive.
+    if (text.find_first_not_of("/* \t", 0) != d) continue;
+    std::size_t i = d + 12;
+    while (i < text.size() && text[i] == ' ') ++i;
+
+    if (text.substr(i, 8) == "hot-path") {
+      dirs.push_back(Directive{Directive::Kind::kHotPath, t.line, ti, {}, {}});
+      continue;
+    }
+
+    // `nondeterministic-ok(<reason>)` — whole-program escape seam.
+    if (text.substr(i, 17) == "nondeterministic-") {
+      constexpr std::string_view kWord = "nondeterministic-ok";
+      if (text.substr(i, kWord.size()) != kWord) {
+        out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                              "unrecognized canely-lint directive; expected "
+                              "'allow(<rules>) — <reason>', 'hot-path' or "
+                              "'nondeterministic-ok(<reason>)'",
+                              {}});
+        continue;
+      }
+      i += kWord.size();
+      while (i < text.size() && text[i] == ' ') ++i;
+      const std::size_t close = i < text.size() && text[i] == '('
+                                    ? text.find(')', i)
+                                    : std::string_view::npos;
+      std::string_view reason = close == std::string_view::npos
+                                    ? std::string_view{}
+                                    : text.substr(i + 1, close - i - 1);
+      while (!reason.empty() && reason.front() == ' ') reason.remove_prefix(1);
+      while (!reason.empty() && reason.back() == ' ') reason.remove_suffix(1);
+      if (reason.size() < 3) {
+        out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                              "nondeterministic-ok without a reason; write "
+                              "'nondeterministic-ok(<why this seam is "
+                              "safe>)'",
+                              {}});
+        continue;
+      }
+      dirs.push_back(Directive{Directive::Kind::kNondetOk, t.line, ti, {},
+                               std::string{reason}});
+      continue;
+    }
+
+    if (text.substr(i, 5) != "allow") {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "unrecognized canely-lint directive; expected "
+                            "'allow(<rules>) — <reason>', 'hot-path' or "
+                            "'nondeterministic-ok(<reason>)'",
+                            {}});
+      continue;
+    }
+    i += 5;
+    while (i < text.size() && text[i] == ' ') ++i;
+    if (i >= text.size() || text[i] != '(') {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "allow must list rules in parentheses: "
+                            "allow(rule-a, rule-b)",
+                            {}});
+      continue;
+    }
+    const std::size_t close = text.find(')', i);
+    if (close == std::string_view::npos) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "unterminated allow(...) rule list",
+                            {}});
+      continue;
+    }
+    // Split the rule list.
+    Directive s{Directive::Kind::kAllow, t.line, ti, {}, {}};
+    bool ok = true;
+    std::size_t start = i + 1;
+    for (std::size_t j = i + 1; j <= close; ++j) {
+      if (j == close || text[j] == ',') {
+        std::string_view rule = text.substr(start, j - start);
+        while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+        while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+        start = j + 1;
+        if (rule.empty()) continue;
+        if (!known_rule(rule)) {
+          out.push_back(Finding{std::string{path}, t.line, "unknown-rule",
+                                "allow() names unknown rule '" +
+                                    std::string{rule} +
+                                    "'; see canely_lint --list-rules",
+                                {}});
+          ok = false;
+          continue;
+        }
+        s.rules.emplace_back(rule);
+      }
+    }
+    if (s.rules.empty()) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "allow() lists no valid rule",
+                            {}});
+      continue;
+    }
+    // Reason: everything after the ')' minus separator punctuation
+    // (' — ', ' - ', ': ').  It must carry actual words.
+    std::size_t r = close + 1;
+    while (r < text.size() &&
+           (text[r] == ' ' || text[r] == '-' || text[r] == ':' ||
+            static_cast<unsigned char>(text[r]) >= 0x80)) {
+      ++r;  // the >=0x80 arm eats UTF-8 dashes (em/en)
+    }
+    std::string_view reason = text.substr(r);
+    const std::size_t tail = reason.find("*/");
+    if (tail != std::string_view::npos) reason = reason.substr(0, tail);
+    while (!reason.empty() && reason.back() == ' ') reason.remove_suffix(1);
+    if (reason.size() < 3) {
+      out.push_back(Finding{std::string{path}, t.line, "bad-suppression",
+                            "suppression without a reason; write "
+                            "'allow(" + s.rules.front() +
+                                ") — <why this is safe>'",
+                            {}});
+      continue;
+    }
+    if (ok) {
+      s.reason = std::string{reason};
+      dirs.push_back(std::move(s));
+    }
+  }
+  return dirs;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> hot_path_regions(
+    const std::vector<Directive>& dirs, const std::vector<Token>& toks,
+    const std::vector<std::size_t>& code) {
+  Ctx c{{}, toks, code, nullptr};
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (const Directive& dir : dirs) {
+    if (dir.kind != Directive::Kind::kHotPath) continue;
+    // First code position after the tag.
+    const auto it = std::upper_bound(code.begin(), code.end(), dir.tok);
+    const auto start = static_cast<std::size_t>(it - code.begin());
+    bool brace_before = false;
+    for (std::size_t p = 0; p < start; ++p) {
+      if (c.at(p) == "{") {
+        brace_before = true;
+        break;
+      }
+    }
+    if (!brace_before) {
+      regions.emplace_back(0, code.empty() ? 0 : code.size() - 1);
+      continue;
+    }
+    std::size_t open = start;
+    while (open < code.size() && c.at(open) != "{") ++open;
+    if (open == code.size()) continue;  // tag with nothing after it
+    regions.emplace_back(start, c.match(open));
+  }
+  return regions;
+}
+
 void run_rules(std::string_view path, ZoneFlags zones,
-               const std::vector<Token>& toks, std::vector<Finding>& out) {
+               const std::vector<Token>& toks,
+               const std::vector<Directive>& dirs,
+               std::vector<Finding>& out) {
   Ctx c{path, toks, {}, &out};
   c.code.reserve(toks.size());
   for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -568,7 +724,8 @@ void run_rules(std::string_view path, ZoneFlags zones,
     }
   }
   if (zones.determinism) check_determinism(c);
-  check_hot_paths(c);  // scoped by in-source tags, not by path
+  // Hot-path rules are scoped by in-source tags, not by path.
+  check_hot_paths(c, hot_path_regions(dirs, toks, c.code));
   if (zones.wire) check_wire(c);
   if (zones.header) check_header_rules(c);
   check_todo(c);

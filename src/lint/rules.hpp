@@ -7,6 +7,12 @@
 // zone-applicable check over one file's token stream and appends raw
 // findings; suppression filtering happens in lint.cpp, after the
 // suppression comments themselves have been validated.
+//
+// Two layers share this header: the per-file checks below (one token
+// stream at a time) and the whole-program analyses in callgraph.hpp,
+// which consume the per-TU indexes of index.hpp.  The directive grammar
+// (`canely-lint: allow/hot-path/nondeterministic-ok`) is parsed once,
+// here, and both layers key off the parsed form.
 
 #include <span>
 #include <string>
@@ -22,6 +28,10 @@ struct Finding {
   int line{1};
   std::string rule;   ///< rule id, e.g. "no-wall-clock"
   std::string message;
+  /// Whole-program findings carry a call-chain witness, innermost frame
+  /// last, each element `basename:Function` (no line numbers, so the
+  /// --diff baseline stays stable under unrelated edits).
+  std::vector<std::string> chain;
 };
 
 /// Which zone-scoped rule sets apply to a file (derived from its path;
@@ -43,9 +53,56 @@ struct RuleInfo {
 [[nodiscard]] std::span<const RuleInfo> rule_table();
 [[nodiscard]] bool known_rule(std::string_view id);
 
-/// Run all applicable rules over `toks`; append raw (pre-suppression)
-/// findings to `out`.
+/// A parsed, *valid* `// canely-lint:` directive.  Malformed directives
+/// never reach this type — parse_directives reports them as findings
+/// (`bad-suppression` / `unknown-rule`) instead.
+struct Directive {
+  enum class Kind : std::uint8_t {
+    kHotPath,   ///< `hot-path` zone tag
+    kAllow,     ///< `allow(<rules>) — <reason>` suppression
+    kNondetOk,  ///< `nondeterministic-ok(<reason>)` escape seam
+  };
+  Kind kind{Kind::kHotPath};
+  int line{1};
+  std::size_t tok{0};              ///< index of the comment in the stream
+  std::vector<std::string> rules;  ///< kAllow: rules silenced
+  std::string reason;              ///< kAllow / kNondetOk (non-empty)
+};
+
+/// Parse every `canely-lint:` directive in the comment stream.  Valid
+/// directives are returned; malformed ones and unknown rule names become
+/// findings.  A directive must *open* its comment — prose that merely
+/// mentions the grammar is ignored.
+[[nodiscard]] std::vector<Directive> parse_directives(
+    std::string_view path, const std::vector<Token>& toks,
+    std::vector<Finding>& out);
+
+/// Hot-path regions as [first, last] inclusive ranges over positions in
+/// `code` (the comment/preproc-filtered token order shared by the rule
+/// engine and the extractor).  A tag before the file's first code `{`
+/// marks the whole file; otherwise it marks the next brace-balanced
+/// block.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+hot_path_regions(const std::vector<Directive>& dirs,
+                 const std::vector<Token>& toks,
+                 const std::vector<std::size_t>& code);
+
+/// Run all applicable per-file rules over `toks`; append raw
+/// (pre-suppression) findings to `out`.  `dirs` is the parsed directive
+/// list for the same stream (hot-path tags scope the hot-path rules).
 void run_rules(std::string_view path, ZoneFlags zones,
-               const std::vector<Token>& toks, std::vector<Finding>& out);
+               const std::vector<Token>& toks,
+               const std::vector<Directive>& dirs,
+               std::vector<Finding>& out);
+
+/// Name sets shared with the whole-program extractor (index.cpp): the
+/// nondeterministic primitives the determinism rules ban directly and
+/// the escape analysis traces transitively.
+namespace sinkset {
+[[nodiscard]] bool clock_type(std::string_view name);
+[[nodiscard]] bool clock_call(std::string_view name);
+[[nodiscard]] bool rand_call(std::string_view name);  ///< excl. random_device
+[[nodiscard]] bool env_call(std::string_view name);
+}  // namespace sinkset
 
 }  // namespace canely::lint

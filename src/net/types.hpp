@@ -29,6 +29,7 @@ struct Message {
   NodeId from{0};
   NodeId to{0};
   std::uint32_t kind{0};
+  // canely-lint: allow(wire-layout) — variable-length payload; codecs length-prefix it explicitly and bandwidth accounting charges bytes.size()
   std::vector<std::uint8_t> bytes;
 };
 
@@ -38,7 +39,8 @@ struct Message {
 class Members {
  public:
   Members() = default;
-  explicit Members(std::size_t n) : n_{n}, words_((n + 63) / 64, 0) {}
+  explicit Members(std::size_t n)
+      : n_{static_cast<std::uint32_t>(n)}, words_((n + 63) / 64, 0) {}
 
   /// The full set {0, ..., n-1}.
   [[nodiscard]] static Members all(std::size_t n) {
@@ -81,7 +83,8 @@ class Members {
     }
     return c;
   }
-  std::size_t n_{0};
+  std::uint32_t n_{0};
+  // canely-lint: allow(wire-layout) — in-memory membership bitmap; codecs serialize the words explicitly via put_u64
   std::vector<std::uint64_t> words_;
 };
 

@@ -54,6 +54,7 @@ class Callback {
       ops_ = &kInlineOps<D>;
     } else {
       ++heap_constructions_;
+      // canely-lint: allow(hot-path-transitive) — heap fallback is the cold branch; hot-path callables fit the inline buffer (tests/test_sim_alloc.cpp)
       *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
       ops_ = &kHeapOps<D>;
     }

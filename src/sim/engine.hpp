@@ -289,6 +289,7 @@ class Engine {
       return s;
     }
     if ((slot_count_ & (kChunkSize - 1)) == 0) {
+      // canely-lint: allow(hot-path-transitive) — chunk growth is amortized (every 256th slot); steady-state scheduling reuses freed slots allocation-free
       chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
       if (slot_count_ == 0) chunk0_ = chunks_.front().get();
     }

@@ -1,0 +1,8 @@
+// Whole-program fixture, bad twin: determinism-zone code (lint under a
+// src/sim/ pretend path) calling a helper that touches rand() in a
+// non-zone TU (wp_escape_util.cpp).  Per-file rules see nothing wrong in
+// either file; only the cross-TU escape analysis can convict.
+namespace esc {
+int entropy_word();
+int sample() { return entropy_word(); }
+}  // namespace esc

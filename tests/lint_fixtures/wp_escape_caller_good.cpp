@@ -1,0 +1,9 @@
+// Whole-program fixture, good twin: the same cross-TU call, annotated as
+// a deliberate nondeterminism seam — no finding.
+namespace esc {
+int entropy_word();
+int sample() {
+  // canely-lint: nondeterministic-ok(fixture: entropy is injected only on the non-replay path)
+  return entropy_word();
+}
+}  // namespace esc

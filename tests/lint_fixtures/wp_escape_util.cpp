@@ -1,0 +1,9 @@
+// Whole-program fixture: the nondeterministic sink.  Lives outside every
+// determinism directory (pretend path tools/...), so the per-file
+// no-rand rule stays silent — but the extractor records the rand() fact,
+// seeding the escape analysis.
+#include <cstdlib>
+
+namespace esc {
+int entropy_word() { return std::rand(); }
+}  // namespace esc

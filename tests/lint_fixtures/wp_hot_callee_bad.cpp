@@ -1,0 +1,13 @@
+// Whole-program fixture, bad twin: dispatch() is reached from the
+// hot-path region in wp_hot_caller.cpp and grows an unreserved vector —
+// hot-path-transitive must fire here with a pump → dispatch witness.
+#include <vector>
+
+namespace wp {
+void sink(int v);
+void dispatch(int n) {
+  std::vector<int> batch;
+  for (int i = 0; i < n; ++i) batch.push_back(i);
+  sink(static_cast<int>(batch.size()));
+}
+}  // namespace wp

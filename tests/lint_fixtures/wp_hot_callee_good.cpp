@@ -1,0 +1,14 @@
+// Whole-program fixture, good twin: the same dispatch() reserves before
+// pushing, so reaching it from a hot-path region is fine.
+#include <cstddef>
+#include <vector>
+
+namespace wp {
+void sink(int v);
+void dispatch(int n) {
+  std::vector<int> batch;
+  batch.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) batch.push_back(i);
+  sink(static_cast<int>(batch.size()));
+}
+}  // namespace wp

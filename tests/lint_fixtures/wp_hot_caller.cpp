@@ -1,0 +1,8 @@
+// Whole-program fixture: a tagged hot-path region whose only sin is
+// calling dispatch(), defined in another TU (wp_hot_callee_bad.cpp /
+// wp_hot_callee_good.cpp).  The finding, if any, lands on the callee.
+namespace wp {
+void dispatch(int n);
+// canely-lint: hot-path
+void pump(int n) { dispatch(n); }
+}  // namespace wp

@@ -1,0 +1,7 @@
+// Whole-program fixture: a well-formed allow() that silences nothing.
+// The per-file pass tolerates it; the whole-program pass flags it as
+// unused-suppression so stale suppressions cannot accumulate.
+namespace wp {
+// canely-lint: allow(no-rand) — fixture: there is nothing to silence here
+int five() { return 5; }
+}  // namespace wp

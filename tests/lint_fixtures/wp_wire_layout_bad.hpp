@@ -1,0 +1,16 @@
+#pragma once
+// Whole-program fixture, bad twin: natural alignment inserts padding
+// after tag (u16 follows u8) and after seq (u64 array follows), and the
+// tail pads to 8 — the audit must report the computed layout and the
+// reorder hint.  SeqNo and kWords resolve via wp_wire_types.hpp.
+#include <cstdint>
+
+namespace fix {
+struct Packet {
+  std::uint8_t tag{0};
+  SeqNo seq{0};
+  std::uint64_t body[kWords]{};
+  std::uint32_t crc{0};
+  std::uint8_t flag{0};
+};
+}  // namespace fix

@@ -1,0 +1,14 @@
+#pragma once
+// Whole-program fixture, good twin: same members sorted by decreasing
+// alignment — offsets tile exactly, zero padding, no finding.
+#include <cstdint>
+
+namespace fix {
+struct Packet {
+  std::uint64_t body[kWords]{};
+  std::uint32_t crc{0};
+  SeqNo seq{0};
+  std::uint8_t tag{0};
+  std::uint8_t flag{0};
+};
+}  // namespace fix

@@ -1,0 +1,11 @@
+#pragma once
+// Whole-program fixture: alias + extent providers for the wire-layout
+// pair.  Linted under a different pretend path than the struct file, so
+// resolving SeqNo / kWords proves the type tables merge across TUs.
+#include <cstddef>
+#include <cstdint>
+
+namespace fix {
+using SeqNo = std::uint16_t;
+inline constexpr std::size_t kWords = 3;
+}  // namespace fix

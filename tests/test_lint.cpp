@@ -9,11 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
 
 namespace canely::lint {
@@ -36,14 +38,16 @@ FileResult lint_fixture(const std::string& name,
   return lint_source(pretend_path, read_fixture(name));
 }
 
-std::vector<std::string> rules_of(const FileResult& r) {
+template <typename Result>
+std::vector<std::string> rules_of(const Result& r) {
   std::vector<std::string> out;
   out.reserve(r.findings.size());
   for (const Finding& f : r.findings) out.push_back(f.rule);
   return out;
 }
 
-std::string dump(const FileResult& r) {
+template <typename Result>
+std::string dump(const Result& r) {
   std::string out;
   for (const Finding& f : r.findings) {
     out += f.file + ":" + std::to_string(f.line) + ":" + f.rule + ": " +
@@ -54,11 +58,16 @@ std::string dump(const FileResult& r) {
 
 // --- rule table ------------------------------------------------------------
 
-TEST(LintRules, TableListsFifteenRules) {
-  EXPECT_EQ(rule_table().size(), 15U);
+TEST(LintRules, TableListsNineteenRules) {
+  EXPECT_EQ(rule_table().size(), 19U);
   EXPECT_TRUE(known_rule("no-wall-clock"));
   EXPECT_TRUE(known_rule("wire-fixed-width"));
   EXPECT_TRUE(known_rule("bad-suppression"));
+  // The whole-program rules are real rules: suppressible, listable.
+  EXPECT_TRUE(known_rule("hot-path-transitive"));
+  EXPECT_TRUE(known_rule("determinism-escape"));
+  EXPECT_TRUE(known_rule("wire-layout"));
+  EXPECT_TRUE(known_rule("unused-suppression"));
   EXPECT_FALSE(known_rule("no-teleportation"));
 }
 
@@ -74,7 +83,12 @@ TEST(LintClassify, DeterminismDirsWireFilesAndSkips) {
 
   EXPECT_TRUE(classify("src/can/types.hpp").flags.wire);
   EXPECT_TRUE(classify("src/canely/mid.hpp").flags.wire);
+  EXPECT_TRUE(classify("src/net/types.hpp").flags.wire);
   EXPECT_FALSE(classify("src/can/bus.hpp").flags.wire);
+
+  // The zone tables the docs and this suite are written against.
+  EXPECT_EQ(determinism_dirs().size(), 14U);
+  EXPECT_EQ(wire_files().size(), 4U);
 
   EXPECT_TRUE(classify("src/lint/lint.hpp").flags.header);
   EXPECT_FALSE(classify("src/lint/lint.cpp").flags.header);
@@ -391,6 +405,184 @@ TEST(LintOutput, JsonCarriesSchemaAndEscapes) {
             "\"rule\":\"no-rand\",\"message\":\"say \\\"no\\\"\"}]}\n");
 }
 
+TEST(LintOutput, WholeProgramFormatsCarryChainAndGraphStats) {
+  RunResult r;
+  r.whole_program = true;
+  r.findings.push_back(Finding{"src/sim/a.cpp", 7, "hot-path-transitive",
+                               "reached from hot region",
+                               {"a.cpp:f", "b.cpp:g"}});
+  r.files = 2;
+  r.functions = 5;
+  r.edges = 4;
+  r.baselined = 1;
+  EXPECT_EQ(to_text(r),
+            "src/sim/a.cpp:7:hot-path-transitive: reached from hot region\n"
+            "    call chain: a.cpp:f → b.cpp:g\n"
+            "canely_lint: 1 finding (0 suppressed, 1 baselined) in 2 files; "
+            "call graph: 5 functions, 4 edges\n");
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"schema\":\"canely-lint-2\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"functions\":5"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"chain\":[\"a.cpp:f\",\"b.cpp:g\"]"), std::string::npos)
+      << j;
+}
+
+// --- whole-program analyses ------------------------------------------------
+
+Options wp_opts() {
+  Options o;
+  o.whole_program = true;
+  return o;
+}
+
+std::vector<SourceFile> hot_pair(const std::string& callee_fixture) {
+  return {{"src/fix/pump.cpp", read_fixture("wp_hot_caller.cpp")},
+          {"src/fix/dispatch.cpp", read_fixture(callee_fixture)}};
+}
+
+std::vector<SourceFile> escape_pair(const std::string& caller_fixture) {
+  return {{"src/sim/sample.cpp", read_fixture(caller_fixture)},
+          {"tools/esc_util.cpp", read_fixture("wp_escape_util.cpp")}};
+}
+
+TEST(LintWholeProgram, HotPathPropagatesAcrossFiles) {
+  const RunResult bad = lint_sources(hot_pair("wp_hot_callee_bad.cpp"),
+                                     wp_opts());
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"hot-path-transitive"}))
+      << dump(bad);
+  // The finding lands on the callee TU, with a caller → callee witness.
+  EXPECT_EQ(bad.findings[0].file, "src/fix/dispatch.cpp");
+  ASSERT_EQ(bad.findings[0].chain.size(), 2U);
+  EXPECT_EQ(bad.findings[0].chain[0], "pump.cpp:wp::pump");
+  EXPECT_EQ(bad.findings[0].chain[1], "dispatch.cpp:wp::dispatch");
+  EXPECT_NE(bad.findings[0].message.find("push_back"), std::string::npos);
+
+  const RunResult good = lint_sources(hot_pair("wp_hot_callee_good.cpp"),
+                                      wp_opts());
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+  EXPECT_GE(good.functions, 2U);
+  EXPECT_GE(good.edges, 1U);
+}
+
+TEST(LintWholeProgram, DeterminismEscapeConvictsAndAnnotationSilences) {
+  const RunResult bad = lint_sources(escape_pair("wp_escape_caller_bad.cpp"),
+                                     wp_opts());
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"determinism-escape"}))
+      << dump(bad);
+  // The finding lands on the determinism-zone caller and names the sink.
+  EXPECT_EQ(bad.findings[0].file, "src/sim/sample.cpp");
+  EXPECT_NE(bad.findings[0].message.find("rand"), std::string::npos);
+  ASSERT_EQ(bad.findings[0].chain.size(), 2U);
+  EXPECT_EQ(bad.findings[0].chain[0], "sample.cpp:esc::sample");
+  EXPECT_EQ(bad.findings[0].chain[1], "esc_util.cpp:esc::entropy_word");
+
+  const RunResult good = lint_sources(
+      escape_pair("wp_escape_caller_good.cpp"), wp_opts());
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintWholeProgram, WireLayoutResolvesAliasesAcrossFiles) {
+  // SeqNo / kWords live in a different TU than the struct: only the
+  // merged type tables can size Packet.
+  const RunResult bad = lint_sources(
+      {{"src/can/types.hpp", read_fixture("wp_wire_types.hpp")},
+       {"src/canely/mid.hpp", read_fixture("wp_wire_layout_bad.hpp")}},
+      wp_opts());
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"wire-layout"}))
+      << dump(bad);
+  EXPECT_EQ(bad.findings[0].file, "src/canely/mid.hpp");
+  EXPECT_NE(bad.findings[0].message.find("implicit padding"),
+            std::string::npos);
+  EXPECT_NE(bad.findings[0].message.find("would save"), std::string::npos);
+
+  const RunResult good = lint_sources(
+      {{"src/can/types.hpp", read_fixture("wp_wire_types.hpp")},
+       {"src/canely/mid.hpp", read_fixture("wp_wire_layout_good.hpp")}},
+      wp_opts());
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
+TEST(LintWholeProgram, UnusedSuppressionFiresOnlyUnderWholeProgram) {
+  const std::string content = read_fixture("wp_unused_suppression.cpp");
+  const RunResult wp =
+      lint_sources({{"src/fix/unused.cpp", content}}, wp_opts());
+  ASSERT_EQ(rules_of(wp), (std::vector<std::string>{"unused-suppression"}))
+      << dump(wp);
+
+  // The per-file pass tolerates the same stale allow().
+  const FileResult pf = lint_source("src/fix/unused.cpp", content);
+  EXPECT_TRUE(pf.findings.empty()) << dump(pf);
+}
+
+// --- --diff baseline mode --------------------------------------------------
+
+TEST(LintDiff, BaselineHidesOldFindingsAndReportsNewOnes) {
+  const std::vector<SourceFile> base =
+      escape_pair("wp_escape_caller_bad.cpp");
+  const RunResult first = lint_sources(base, wp_opts());
+  ASSERT_EQ(rules_of(first),
+            (std::vector<std::string>{"determinism-escape"}))
+      << dump(first);
+
+  const std::string baseline_path =
+      (std::filesystem::temp_directory_path() /
+       "canely_lint_test_baseline.json")
+          .string();
+  {
+    std::ofstream out(baseline_path, std::ios::binary);
+    out << to_json(first);
+  }
+
+  Options diff = wp_opts();
+  diff.diff_baseline = baseline_path;
+  // Same tree against its own baseline: nothing new.
+  const RunResult same = lint_sources(base, diff);
+  EXPECT_TRUE(same.findings.empty()) << dump(same);
+  EXPECT_EQ(same.baselined, 1U);
+
+  // A freshly introduced violation is the only thing reported.
+  std::vector<SourceFile> grown = base;
+  for (SourceFile& sf : hot_pair("wp_hot_callee_bad.cpp")) {
+    grown.push_back(std::move(sf));
+  }
+  const RunResult next = lint_sources(grown, diff);
+  EXPECT_EQ(rules_of(next),
+            (std::vector<std::string>{"hot-path-transitive"}))
+      << dump(next);
+  EXPECT_EQ(next.baselined, 1U);
+  std::filesystem::remove(baseline_path);
+}
+
+TEST(LintDiff, MissingBaselineSurfacesAsError) {
+  Options diff = wp_opts();
+  diff.diff_baseline = "no/such/baseline.json";
+  const RunResult r =
+      lint_sources(escape_pair("wp_escape_caller_bad.cpp"), diff);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_EQ(r.findings[0].rule, "bad-suppression");
+}
+
+// --- index artifact --------------------------------------------------------
+
+TEST(LintIndex, JsonRoundTripIsByteStable) {
+  const FileIndex fi =
+      build_index("src/fix/pump.cpp", read_fixture("wp_hot_caller.cpp"));
+  // pump is defined (dispatch is only declared) and sits in the tagged
+  // hot region with one recorded call site.
+  ASSERT_EQ(fi.functions.size(), 1U);
+  EXPECT_EQ(fi.functions[0].name, "wp::pump");
+  EXPECT_TRUE(fi.functions[0].hot);
+  ASSERT_EQ(fi.functions[0].calls.size(), 1U);
+  EXPECT_EQ(fi.functions[0].calls[0].name, "dispatch");
+
+  const std::string j1 = index_to_json(fi);
+  EXPECT_NE(j1.find("canely-lint-index-1"), std::string::npos);
+  FileIndex back;
+  std::string err;
+  ASSERT_TRUE(index_from_json(j1, back, err)) << err;
+  EXPECT_EQ(index_to_json(back), j1);
+}
+
 // --- tree walking ----------------------------------------------------------
 
 TEST(LintPaths, MissingPathIsAnError) {
@@ -411,6 +603,39 @@ TEST(LintMeta, RepositoryLintsClean) {
   ASSERT_TRUE(ok) << err;
   EXPECT_GT(r.files, 100U);  // sanity: the walk actually found the tree
   EXPECT_TRUE(r.findings.empty()) << to_text(r);
+}
+
+// And under the whole-program pass: every transitive conviction either
+// fixed or suppressed/annotated with a reason, no stale suppressions.
+TEST(LintMeta, RepositoryLintsCleanWholeProgram) {
+  RunResult r;
+  std::string err;
+  const bool ok =
+      lint_paths(CANELY_SOURCE_DIR, {"src", "tests", "bench", "examples"},
+                 wp_opts(), r, err);
+  ASSERT_TRUE(ok) << err;
+  EXPECT_GT(r.files, 100U);
+  // The graph must actually cover the tree: every function definition is
+  // a node (the determinism zone alone defines several hundred).
+  EXPECT_GT(r.functions, 500U);
+  EXPECT_GT(r.edges, 1000U);
+  EXPECT_TRUE(r.findings.empty()) << to_text(r);
+}
+
+// Byte-stability contract: the report is identical run-to-run and at any
+// --threads count (sorted file order fixes node ids and finding order).
+TEST(LintMeta, WholeProgramReportByteStableAcrossThreads) {
+  Options one = wp_opts();
+  Options four = wp_opts();
+  four.threads = 4;
+  RunResult r1;
+  RunResult r4;
+  std::string e1;
+  std::string e4;
+  ASSERT_TRUE(lint_paths(CANELY_SOURCE_DIR, {"src"}, one, r1, e1)) << e1;
+  ASSERT_TRUE(lint_paths(CANELY_SOURCE_DIR, {"src"}, four, r4, e4)) << e4;
+  EXPECT_EQ(to_json(r1), to_json(r4));
+  EXPECT_EQ(to_text(r1), to_text(r4));
 }
 
 }  // namespace

@@ -1,18 +1,28 @@
 // canely_lint — project-specific static analysis for the CANELy repro
-// (DESIGN.md §10).  Enforces the invariants the test suite can only
-// check after the fact: determinism zones stay free of nondeterministic
-// sources, tagged hot paths stay allocation-free, wire structs stay
-// fixed-width.
+// (DESIGN.md §10, docs/LINT.md).  Enforces the invariants the test suite
+// can only check after the fact: determinism zones stay free of
+// nondeterministic sources, tagged hot paths stay allocation-free, wire
+// structs stay fixed-width and padding-free.
 //
-//   canely_lint [--root DIR] [--json] PATH...   lint files/trees
+//   canely_lint [--root DIR] [--json] PATH...   per-file rules
+//   canely_lint --whole-program [opts] PATH...  + call-graph analyses
+//     --threads N          parallel per-file indexing (same bytes out)
+//     --index-cache DIR    cache per-TU indexes keyed on content hash
+//     --diff BASELINE      report only findings not in BASELINE (a saved
+//                          --json report); exit 0 if none are new
+//   canely_lint --index FILE                    dump one TU's index JSON
 //   canely_lint --list-rules                    print the rule table
 //
 // Exit status: 0 = clean, 1 = unsuppressed findings, 2 = usage/IO error.
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/index.hpp"
 #include "lint/lint.hpp"
 
 namespace {
@@ -29,10 +39,27 @@ int list_rules() {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--root DIR] [--json] PATH...\n"
+               "usage: %s [--root DIR] [--json] [--whole-program] "
+               "[--threads N] [--index-cache DIR] [--diff BASELINE] "
+               "PATH...\n"
+               "       %s --index FILE\n"
                "       %s --list-rules\n",
-               argv0, argv0);
+               argv0, argv0, argv0);
   return 2;
+}
+
+int dump_index(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "canely_lint: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const canely::lint::FileIndex fi =
+      canely::lint::build_index(path, buf.str());
+  std::fputs(canely::lint::index_to_json(fi).c_str(), stdout);
+  return 0;
 }
 
 }  // namespace
@@ -40,16 +67,33 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  canely::lint::Options opts;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") return list_rules();
+    if (arg == "--index") {
+      if (++i >= argc) return usage(argv[0]);
+      return dump_index(argv[i]);
+    }
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--whole-program") {
+      opts.whole_program = true;
     } else if (arg == "--root") {
       if (++i >= argc) return usage(argv[0]);
       root = argv[i];
+    } else if (arg == "--threads") {
+      if (++i >= argc) return usage(argv[0]);
+      opts.threads = std::atoi(argv[i]);
+      if (opts.threads < 1) return usage(argv[0]);
+    } else if (arg == "--index-cache") {
+      if (++i >= argc) return usage(argv[0]);
+      opts.index_cache = argv[i];
+    } else if (arg == "--diff") {
+      if (++i >= argc) return usage(argv[0]);
+      opts.diff_baseline = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
     } else {
@@ -57,10 +101,18 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage(argv[0]);
+  if ((!opts.index_cache.empty() || !opts.diff_baseline.empty() ||
+       opts.threads > 1) &&
+      !opts.whole_program) {
+    std::fprintf(stderr,
+                 "canely_lint: --threads/--index-cache/--diff require "
+                 "--whole-program\n");
+    return 2;
+  }
 
   canely::lint::RunResult result;
   std::string error;
-  if (!canely::lint::lint_paths(root, paths, result, error)) {
+  if (!canely::lint::lint_paths(root, paths, opts, result, error)) {
     std::fprintf(stderr, "canely_lint: %s\n", error.c_str());
     return 2;
   }

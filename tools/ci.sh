@@ -122,8 +122,8 @@ fresh, baseline = rates(sys.argv[1]), rates(sys.argv[2])
 tolerance = float(os.environ["CANELY_PERF_TOLERANCE"])
 
 expected = ["engine_churn", "engine_fifo", "bus_load:8", "bus_load:32",
-            "bus_load:64", "membership_cycle:8", "net_medium:64",
-            "swim_steady:128", "trace_overhead:obs0",
+            "bus_load:64", "membership_cycle:8", "lint_full_tree",
+            "net_medium:64", "swim_steady:128", "trace_overhead:obs0",
             "trace_overhead:obs1", "check_explore:8",
             "check_explore_naive:8"]
 missing = [k for k in expected if k not in fresh]
@@ -322,12 +322,37 @@ EOF
 }
 
 stage_lint() {
-  echo "=== lint: canely_lint + clang-tidy (when available) ==="
+  echo "=== lint: canely_lint whole-program + clang-tidy (when available) ==="
   local dir=build-ci/lint
   cmake -S "$ROOT" -B "$dir" -DCANELY_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build "$dir" -j "$JOBS" --target canely_lint_tool
-  "$dir/tools/canely_lint" --root "$ROOT" src tests bench examples tools
+  # Whole-program pass with a per-file index cache (keyed on content
+  # hash).  Two runs — the second entirely cache-served — must produce
+  # byte-identical reports; exit codes are checked by the diff gate
+  # below, not here.
+  local cache="$dir/lint-index-cache"
+  mkdir -p "$cache"
+  local r1="$dir/lint_run1.json" r2="$dir/lint_run2.json"
+  "$dir/tools/canely_lint" --root "$ROOT" --whole-program \
+    --threads "$JOBS" --index-cache "$cache" --json \
+    src tests bench examples tools >"$r1" || true
+  "$dir/tools/canely_lint" --root "$ROOT" --whole-program \
+    --threads "$JOBS" --index-cache "$cache" --json \
+    src tests bench examples tools >"$r2" || true
+  if ! cmp -s "$r1" "$r2"; then
+    echo "lint: report not byte-stable across cached re-run" >&2
+    exit 1
+  fi
+  # Diff gate: only findings NOT in the committed baseline fail the
+  # stage.  The baseline is regenerated with
+  #   canely_lint --whole-program --json src tests bench examples tools \
+  #     > tools/lint_baseline.json
+  # and reviewed like any other diff.
+  "$dir/tools/canely_lint" --root "$ROOT" --whole-program \
+    --threads "$JOBS" --index-cache "$cache" \
+    --diff "$ROOT/tools/lint_baseline.json" \
+    src tests bench examples tools
   # clang-tidy runs the generic AST-level checks (.clang-tidy at the repo
   # root) against the compile database the configure step exported.  The
   # default toolchain here is GCC-only, so absence is a skip, not a failure.
