@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "campaign/cli.hpp"
 #include "check/artifact.hpp"
 #include "check/explore.hpp"
@@ -38,6 +40,7 @@
 #include "check/shrink.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -63,6 +66,12 @@ void usage(std::ostream& os) {
         "  --shard i/N         run slice i of an N-way unit partition\n"
         "  --frontier FILE     checkpoint/resume frontier file\n"
         "  --checkpoint N      units per frontier checkpoint (default 16)\n"
+        "  --checkpoint-secs S also checkpoint every S seconds of wall\n"
+        "                      time (slow cells; default off)\n"
+        "  --telemetry FILE    append live canely-telemetry-1 JSONL\n"
+        "                      snapshots (watch with tools/canely_top)\n"
+        "  --telemetry-period MS  snapshot period (default 500, 0 = one\n"
+        "                      final snapshot only)\n"
         "  --stop-after N      stop after N units (frontier test hook)\n"
         "  --cache-cells N     prefix-replay cache capacity (default 64)\n"
         "  --verify-every N    re-execute every N-th dedup skip (tripwire)\n"
@@ -72,7 +81,9 @@ void usage(std::ostream& os) {
         "(default check_counterexample.json)\n"
         "  --replay FILE       replay an artifact and verify it\n"
         "  --trace-out FILE    Perfetto timeline of the final checked run\n"
-        "                      (counterexample if found, else fault-free)\n";
+        "                      (counterexample if found, else fault-free);\n"
+        "                      with --replay: re-export the artifact's\n"
+        "                      embedded flight recording\n";
 }
 
 /// Re-run `script` under an observability recorder and write the Perfetto
@@ -107,7 +118,39 @@ std::string hex(std::uint64_t v) {
   return buf;
 }
 
-int replay(const std::string& path) {
+/// Re-export the artifact's embedded flight recording as Perfetto JSON —
+/// no re-run: the archived ring is replayed through the same
+/// build/validate/render pipeline a live run uses, with the original
+/// capacity and drop count standing in for the live ring.
+bool export_flight(const check::FlightRecording& flight,
+                   const std::string& path) {
+  obs::EventRing ring{flight.ring_capacity};
+  for (const obs::Event& ev : flight.events) ring.push(ev);
+  const auto events = obs::build_trace_events(ring);
+  const auto check_result = obs::validate_trace_events(events);
+  if (!check_result.ok) {
+    std::cerr << "flight trace validation failed: " << check_result.error
+              << "\n";
+    return false;
+  }
+  obs::RingStats stats;
+  stats.capacity = flight.ring_capacity;
+  stats.recorded = flight.events.size();
+  stats.dropped = flight.dropped;
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "trace: cannot write " << path << "\n";
+    return false;
+  }
+  out << obs::render_trace_json(
+      events, flight.has_metrics ? &flight.metrics : nullptr, stats);
+  std::cout << "flight trace written: " << path << " ("
+            << flight.events.size() << " archived events, "
+            << flight.dropped << " dropped at record time)\n";
+  return true;
+}
+
+int replay(const std::string& path, const std::string& trace_path) {
   check::Artifact artifact;
   try {
     artifact = check::load_artifact(path);
@@ -131,6 +174,17 @@ int replay(const std::string& path) {
   for (const check::Violation& v : run.violations) {
     std::cout << "  violation [" << v.monitor << "] at " << v.when << ": "
               << v.detail << "\n";
+  }
+  if (!trace_path.empty()) {
+    if (artifact.flight.present) {
+      if (!export_flight(artifact.flight, trace_path)) return 2;
+    } else {
+      std::cout << "no flight recording in artifact (canely-check-1?); "
+                   "tracing a fresh replay run\n";
+      if (!write_trace(artifact.scenario, artifact.script, trace_path)) {
+        return 2;
+      }
+    }
   }
   if (monitor_fired && hash_ok) {
     std::cout << "replay: reproduced\n";
@@ -181,6 +235,8 @@ int main(int argc, char** argv) {
   std::string artifact_path = "check_counterexample.json";
   std::string replay_path;
   std::string trace_path;
+  std::string telemetry_path;
+  std::uint64_t telemetry_period_ms = 500;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -241,6 +297,12 @@ int main(int argc, char** argv) {
       cfg.frontier_path = next("--frontier");
     } else if (arg == "--checkpoint") {
       cfg.checkpoint_every = std::stoul(next("--checkpoint"));
+    } else if (arg == "--checkpoint-secs") {
+      cfg.checkpoint_secs = std::stod(next("--checkpoint-secs"));
+    } else if (arg == "--telemetry") {
+      telemetry_path = next("--telemetry");
+    } else if (arg == "--telemetry-period") {
+      telemetry_period_ms = std::stoull(next("--telemetry-period"));
     } else if (arg == "--stop-after") {
       cfg.stop_after_units = std::stoul(next("--stop-after"));
     } else if (arg == "--cache-cells") {
@@ -274,11 +336,31 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay(replay_path);
+  if (!replay_path.empty()) return replay(replay_path, trace_path);
 
   cfg.scenario = check::ScenarioConfig::membership(nodes, fda_on);
   if (duration_ms > 0) cfg.scenario.duration = sim::Time::ms(duration_ms);
   if (!fda_on && !depth_set) cfg.depth = 2;
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (!telemetry_path.empty()) {
+    obs::TelemetryConfig tcfg;
+    tcfg.path = telemetry_path;
+    tcfg.sample_period_ms = telemetry_period_ms;
+    tcfg.label = "explore";
+    tcfg.shard_index = cfg.shard_index;
+    tcfg.shard_count = cfg.shard_count == 0 ? 1 : cfg.shard_count;
+    tcfg.frontier_path = cfg.frontier_path;
+    telemetry = std::make_unique<obs::Telemetry>(std::move(tcfg));
+    cfg.telemetry = telemetry.get();
+  }
+  // Period 0 = no sampling thread; leave exactly one line at exit.
+  struct FinalSample {
+    obs::Telemetry* t{nullptr};
+    ~FinalSample() {
+      if (t != nullptr) (void)t->sample_now();
+    }
+  } final_sample{telemetry_period_ms == 0 ? telemetry.get() : nullptr};
 
   const bool record_mode = cfg.exhaustive || cfg.dedup ||
                            cfg.shard_count > 1 || !cfg.frontier_path.empty() ||
@@ -377,16 +459,33 @@ int main(int argc, char** argv) {
               << shrunk.probes << " probes"
               << (shrunk.locally_minimal ? " (locally minimal)" : "")
               << "\n";
+    obs::telemetry_add(cfg.telemetry, obs::TelemetryCounter::kShrinkSteps,
+                       shrunk.probes);
     script = shrunk.script;
     violation = shrunk.violation;
   }
+
+  // Flight recorder: one final run of the (shrunk) counterexample under a
+  // Recorder supplies both the canonical trace hash and the event
+  // ring + metrics archived into the artifact.
+  obs::Recorder flight_recorder;
+  const check::RunResult flight_run = check::run_checked(
+      cfg.scenario, script, /*want_tx_log=*/false, &flight_recorder);
 
   check::Artifact artifact;
   artifact.scenario = cfg.scenario;
   artifact.script = script;
   artifact.monitor = violation.monitor;
-  artifact.trace_hash = check::run_checked(cfg.scenario, script).trace_hash;
+  artifact.trace_hash = flight_run.trace_hash;
   artifact.violation = violation;
+  artifact.flight.present = true;
+  artifact.flight.ring_capacity = flight_recorder.ring().capacity();
+  artifact.flight.dropped = flight_recorder.ring().dropped();
+  for (std::size_t i = 0; i < flight_recorder.ring().size(); ++i) {
+    artifact.flight.events.push_back(flight_recorder.ring().at(i));
+  }
+  artifact.flight.has_metrics = true;
+  artifact.flight.metrics = flight_recorder.metrics().snapshot_json(true);
   try {
     check::write_artifact(artifact_path, artifact);
   } catch (const std::exception& e) {

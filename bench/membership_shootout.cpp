@@ -18,7 +18,14 @@
 // run is an isolated seeded simulation on campaign::Runner: output is
 // byte-identical for any --threads.
 //
+// Observability: the n <= 32 cells run under an obs::Recorder and embed
+// the run's metrics snapshot as the cell's "obs_metrics" object;
+// `--trace-out PREFIX` additionally re-runs one representative n = 8
+// cell per protocol and writes its event ring as Chrome trace_event
+// JSON (Perfetto-loadable) to PREFIX.<proto>.json.
+//
 //   --quick       n = 8, 32 only (CI smoke)
+//   --trace-out PREFIX   per-protocol Perfetto timeline export
 //   --threads/--seed/--json/--shard: the standard campaign flags.
 
 #include <algorithm>
@@ -37,6 +44,7 @@
 #include "can/bus.hpp"
 #include "canely/node.hpp"
 #include "net/medium.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
@@ -60,6 +68,15 @@ struct RunResult {
   double measured{1};          ///< 0 = analytic model (CANELy n > 64)
 };
 
+/// What a run hands back to the campaign runner: the numeric curves
+/// plus — on the n <= 32 measured cells — the run's metrics registry
+/// snapshot, embedded verbatim in the cell JSON as "obs_metrics".
+struct ShootResult {
+  RunResult r;
+  bool has_metrics{false};
+  campaign::Json metrics;
+};
+
 /// The paper's Ttd must bound the worst-case frame transmission delay.
 /// A membership event synchronizes every node's explicit life-sign, so
 /// the lowest-priority node waits out n-1 higher-priority ELS frames
@@ -75,8 +92,11 @@ constexpr Time kCrashAt = Time::sec(8);       // 5 s bandwidth window
 constexpr Time kConvergeBy = Time::sec(60);
 constexpr Time kPollStep = Time::ms(100);
 
-/// SWIM / gossip / Rapid on the lossy medium.
-RunResult measure_baseline(Proto proto, std::size_t n, std::uint64_t seed) {
+/// SWIM / gossip / Rapid on the lossy medium.  `trace_rec`, when set,
+/// replaces the cell-local recorder (the --trace-out path needs the
+/// event ring to outlive the run).
+ShootResult measure_baseline(Proto proto, std::size_t n, std::uint64_t seed,
+                             obs::Recorder* trace_rec = nullptr) {
   sim::Engine engine;
   net::MediumConfig cfg;
   cfg.n = n;
@@ -88,7 +108,8 @@ RunResult measure_baseline(Proto proto, std::size_t n, std::uint64_t seed) {
   // Structured observability on the small cells; at n = 512+ the
   // per-message counter lookups would dominate the run.
   obs::Recorder recorder;
-  obs::Recorder* rec = n <= 32 ? &recorder : nullptr;
+  obs::Recorder* rec =
+      trace_rec != nullptr ? trace_rec : (n <= 32 ? &recorder : nullptr);
   if (rec != nullptr) medium.set_recorder(rec);
 
   std::unique_ptr<baselines::MembershipBaseline> cluster;
@@ -154,17 +175,31 @@ RunResult measure_baseline(Proto proto, std::size_t n, std::uint64_t seed) {
   r.view_changes = static_cast<double>(cluster->view_changes() - vc0);
   r.detect_first_ms = first == Time::max() ? -1 : first.to_ms_f();
   r.detect_last_ms = last == Time::zero() ? -1 : last.to_ms_f();
-  return r;
+
+  ShootResult out;
+  out.r = r;
+  if (rec != nullptr) {
+    out.has_metrics = true;
+    out.metrics = rec->metrics().snapshot_json();
+  }
+  return out;
 }
 
 /// CANELy measured on its native CAN bus (n <= 64 by protocol design).
-RunResult measure_canely(std::size_t n) {
+ShootResult measure_canely(std::size_t n, obs::Recorder* trace_rec = nullptr) {
   sim::Engine engine;
   can::Bus bus{engine};
   Params params;
   params.n = n;
   params.heartbeat_period = Time::ms(10);
   params.tx_delay_bound = scaled_tx_delay_bound(n);
+
+  // Same recorder policy as the baselines: structured observability on
+  // the small cells, embedded in the cell JSON.
+  obs::Recorder recorder;
+  obs::Recorder* obs_rec =
+      trace_rec != nullptr ? trace_rec : (n <= 32 ? &recorder : nullptr);
+  if (obs_rec != nullptr) bus.set_recorder(obs_rec);
 
   std::uint64_t steady_bits = 0;
   bool counting = false;
@@ -174,8 +209,8 @@ RunResult measure_canely(std::size_t n) {
 
   std::vector<std::unique_ptr<Node>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
-    nodes.push_back(
-        std::make_unique<Node>(bus, static_cast<can::NodeId>(i), params));
+    nodes.push_back(std::make_unique<Node>(bus, static_cast<can::NodeId>(i),
+                                           params, nullptr, obs_rec));
   }
   for (auto& node : nodes) node->join();
   // Joins are serialized by the membership cycle; wait until every node
@@ -241,13 +276,20 @@ RunResult measure_canely(std::size_t n) {
   r.view_changes = static_cast<double>(view_changes);
   r.detect_first_ms = first == Time::max() ? -1 : first.to_ms_f();
   r.detect_last_ms = last == Time::zero() ? -1 : last.to_ms_f();
-  return r;
+
+  ShootResult out;
+  out.r = r;
+  if (obs_rec != nullptr) {
+    out.has_metrics = true;
+    out.metrics = obs_rec->metrics().snapshot_json();
+  }
+  return out;
 }
 
 /// CANELy analytic worst case beyond the 64-node CAN bitmap: the
 /// latency_bounds model plus the fixed per-node life-sign cost (one
 /// frame per heartbeat period; receive side is free on a broadcast bus).
-RunResult canely_model(std::size_t n) {
+ShootResult canely_model(std::size_t n) {
   Params params;
   params.n = can::kMaxNodes;  // model inputs; n itself exceeds the cap
   params.heartbeat_period = Time::ms(10);
@@ -269,22 +311,56 @@ RunResult canely_model(std::size_t n) {
   r.false_positives = 0;
   r.converged = 1;
   r.measured = 0;
-  return r;
+  return ShootResult{r, false, campaign::Json{}};
 }
 
-RunResult measure(Proto proto, std::size_t n, std::uint64_t seed) {
-  if (proto != Proto::kCanely) return measure_baseline(proto, n, seed);
-  return n <= can::kMaxNodes ? measure_canely(n) : canely_model(n);
+ShootResult measure(Proto proto, std::size_t n, std::uint64_t seed,
+                    obs::Recorder* trace_rec = nullptr) {
+  if (proto != Proto::kCanely)
+    return measure_baseline(proto, n, seed, trace_rec);
+  return n <= can::kMaxNodes ? measure_canely(n, trace_rec) : canely_model(n);
+}
+
+/// --trace-out: re-run the n = 8 cell of each protocol under a fresh
+/// recorder and write the event ring as validated Chrome trace_event
+/// JSON to `PREFIX.<proto>.json`.  Returns false on validation or IO
+/// failure.
+bool export_traces(const std::string& prefix, std::uint64_t master_seed) {
+  for (std::size_t p = 0; p < kProtoNames.size(); ++p) {
+    obs::Recorder rec;
+    (void)measure(static_cast<Proto>(p), 8, master_seed ^ (0xBEEF + p), &rec);
+    const auto events = obs::build_trace_events(rec.ring());
+    const auto check = obs::validate_trace_events(events);
+    if (!check.ok) {
+      std::cerr << "error: " << kProtoNames[p] << " trace invalid: "
+                << check.error << "\n";
+      return false;
+    }
+    const std::string path = prefix + "." + kProtoNames[p] + ".json";
+    try {
+      campaign::write_file(
+          path, obs::render_trace_json(events, &rec.metrics(), rec.ring()));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return false;
+    }
+    std::cout << "  trace (" << events.size() << " events) written to "
+              << path << "\n";
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string trace_prefix;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string_view{argv[i]} == "--quick") {
       quick = true;
+    } else if (std::string_view{argv[i]} == "--trace-out" && i + 1 < argc) {
+      trace_prefix = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -294,7 +370,9 @@ int main(int argc, char** argv) {
                           "BENCH_membership_shootout.json");
   if (opts.help) {
     campaign::print_cli_usage(argv[0]);
-    std::cerr << "  --quick       n = 8, 32 only (CI smoke)\n";
+    std::cerr << "  --quick       n = 8, 32 only (CI smoke)\n"
+                 "  --trace-out PREFIX  write PREFIX.<proto>.json Perfetto "
+                 "timelines (n = 8)\n";
     return 2;
   }
 
@@ -305,7 +383,7 @@ int main(int argc, char** argv) {
       .master_seed(opts.seed);
   campaign::Runner runner{opts.threads};
   const auto outcome =
-      runner.run<RunResult>(grid, [](const campaign::RunSpec& s) {
+      runner.run<ShootResult>(grid, [](const campaign::RunSpec& s) {
         return measure(static_cast<Proto>(static_cast<int>(s.param("protocol"))),
                        static_cast<std::size_t>(s.param("nodes")), s.seed);
       });
@@ -324,7 +402,8 @@ int main(int argc, char** argv) {
     const auto params = grid.cell_params(cell);
     const auto proto = static_cast<std::size_t>(params[0].second);
     const auto n = static_cast<std::size_t>(params[1].second);
-    const RunResult& r = *outcome.cell(grid, cell).at(0);
+    const ShootResult& res = *outcome.cell(grid, cell).at(0);
+    const RunResult& r = res.r;
     all_converged = all_converged && r.converged == 1;
 
     std::cout << "  " << std::left << std::setw(7) << kProtoNames[proto]
@@ -348,6 +427,7 @@ int main(int argc, char** argv) {
     campaign::Json cell_json = campaign::Json::object();
     cell_json.set("params", campaign::params_json(params));
     cell_json.set("metrics", std::move(metrics));
+    if (res.has_metrics) cell_json.set("obs_metrics", res.metrics);
     cells.push(std::move(cell_json));
   }
 
@@ -356,6 +436,10 @@ int main(int argc, char** argv) {
         campaign::trajectory_header("membership_shootout", grid);
     root.set("cells", std::move(cells));
     if (!campaign::emit_trajectory(root, opts)) return 1;
+  }
+
+  if (!trace_prefix.empty() && !export_traces(trace_prefix, opts.seed)) {
+    return 1;
   }
 
   std::cout << "\nReading: CANELy detects in tens of ms at a fixed "

@@ -19,6 +19,10 @@
 //   * trace_overhead — the bus_load workload with the obs recorder off
 //     vs on: the structured-observability emit path (typed event into the
 //     ring + counter adds) must cost <= 5% of hot-path throughput.
+//   * telemetry_overhead — the check_explore workload with campaign
+//     telemetry off vs on (live sampler thread, scratch JSONL sink): the
+//     per-worker counter adds and stage timers must cost <= 2% of
+//     explorer throughput.
 //
 // Unlike the protocol benches the measured values are wall-clock rates,
 // so BENCH_core.json is a perf *trajectory* — comparable across commits
@@ -30,6 +34,7 @@
 // --quick divides every workload size by 10 (CI smoke).
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
@@ -46,6 +51,7 @@
 #include "lint/lint.hpp"
 #include "net/medium.hpp"
 #include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -285,7 +291,8 @@ double swim_steady_rate(std::size_t n, std::uint64_t target_deliveries,
 /// construction, so the sample keeps the cell affordable).  The ratio
 /// between the two committed cells is the scale engine's speedup.
 double check_explore_rate(bool naive, std::size_t threads,
-                          std::uint64_t scale) {
+                          std::uint64_t scale,
+                          obs::Telemetry* telemetry = nullptr) {
   check::ExploreConfig cfg;
   cfg.scenario = check::ScenarioConfig::membership(8, /*fda_on=*/true);
   cfg.threads = threads;
@@ -297,6 +304,7 @@ double check_explore_rate(bool naive, std::size_t threads,
   cfg.depth2_targets = scale > 1 ? 8 : 0;
   cfg.dedup = !naive;
   cfg.naive_rerun = naive;
+  cfg.telemetry = telemetry;
   if (naive) {
     cfg.shard_index = 0;
     cfg.shard_count = 12;
@@ -496,6 +504,46 @@ int main(int argc, char** argv) {
     cells.push(cell(naive != 0 ? "check_explore_naive" : "check_explore",
                     std::move(params), "placements_per_sec",
                     naive != 0 ? explore_naive_s : explore_on_s));
+  }
+  // Campaign-telemetry overhead on the same explorer workload.  Same
+  // back-to-back alternating-order protocol as trace_overhead; the "on"
+  // side runs a real service (live sampler thread, JSONL sink) so the
+  // cell prices the whole feature, not just the counter adds.
+  const char* tel_scratch = "BENCH_core.telemetry_scratch.jsonl";
+  std::vector<double> tel_off, tel_on;
+  const auto tel_on_rate = [&] {
+    obs::TelemetryConfig tcfg;
+    tcfg.path = tel_scratch;
+    tcfg.sample_period_ms = 250;
+    obs::Telemetry telemetry{std::move(tcfg)};
+    return check_explore_rate(/*naive=*/false, opts.threads, scale,
+                              &telemetry);
+  };
+  for (std::size_t r = 0; r < explore_reps; ++r) {
+    if (r % 2 == 0) {
+      tel_off.push_back(check_explore_rate(/*naive=*/false, opts.threads,
+                                           scale));
+      tel_on.push_back(tel_on_rate());
+    } else {
+      tel_on.push_back(tel_on_rate());
+      tel_off.push_back(check_explore_rate(/*naive=*/false, opts.threads,
+                                           scale));
+    }
+  }
+  std::remove(tel_scratch);
+  const auto tel_off_s = campaign::summarize(tel_off);
+  const auto tel_on_s = campaign::summarize(tel_on);
+  report("telemetry_overhead tel=0", tel_off_s, "placements/s");
+  report("telemetry_overhead tel=1", tel_on_s, "placements/s");
+  std::cout << "  telemetry_overhead: telemetry costs "
+            << std::setprecision(1)
+            << 100.0 * (1.0 - tel_on_s.max / tel_off_s.max)
+            << "% of check_explore throughput (target <= 2%)\n";
+  for (int tel = 0; tel <= 1; ++tel) {
+    campaign::Json params = campaign::Json::object();
+    params.set("tel", campaign::Json::integer(tel));
+    cells.push(cell("telemetry_overhead", std::move(params),
+                    "placements_per_sec", tel != 0 ? tel_on_s : tel_off_s));
   }
   const auto trace_off_s = campaign::summarize(trace_off);
   const auto trace_on_s = campaign::summarize(trace_on);

@@ -33,7 +33,7 @@ void GossipCluster::start() {
   }
 }
 
-void GossipCluster::crash(NodeId node) { crashed_[node] = true; }
+void GossipCluster::crash(NodeId node) { note_crash(node); }
 
 std::vector<std::uint8_t> GossipCluster::encode_own(NodeId self) const {
   std::vector<std::uint8_t> bytes;

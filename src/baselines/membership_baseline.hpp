@@ -75,17 +75,47 @@ class MembershipBaseline {
         views_(n, Members::all(n)),
         crashed_(n, false) {}
 
-  /// One view installation at `node` (counter + obs wiring).
+  /// One view installation at `node` (counter + obs wiring).  The ring
+  /// event reuses CANELy's kViewInstall vocabulary so the Perfetto
+  /// writer renders baseline timelines on the same tracks; the payload
+  /// bitmap carries word 0 of the view (the whole view for n <= 64 —
+  /// the only sizes the shootout records rings for).
   void note_view_change(NodeId node) {
-    (void)node;
     ++view_changes_;
     if (recorder_ != nullptr) {
       recorder_->metrics().counter("msh.view_changes").add();
+      obs::Event e;
+      e.when = net_.engine().now();
+      e.kind = obs::EventKind::kViewInstall;
+      e.node = static_cast<std::uint8_t>(node);
+      e.u.view.members =
+          views_[node].words().empty() ? 0 : views_[node].words().front();
+      recorder_->emit(e);
     }
   }
 
   void notify_failure(NodeId observer, NodeId failed) {
+    if (recorder_ != nullptr) {
+      obs::Event e;
+      e.when = net_.engine().now();
+      e.kind = obs::EventKind::kFdSuspect;
+      e.node = static_cast<std::uint8_t>(observer);
+      e.u.peer.peer = static_cast<std::uint8_t>(failed);
+      recorder_->emit(e);
+    }
     if (on_failure_) on_failure_(observer, failed);
+  }
+
+  /// Fail-stop bookkeeping shared by every subclass's crash().
+  void note_crash(NodeId node) {
+    crashed_[node] = true;
+    if (recorder_ != nullptr) {
+      obs::Event e;
+      e.when = net_.engine().now();
+      e.kind = obs::EventKind::kNodeCrash;
+      e.node = static_cast<std::uint8_t>(node);
+      recorder_->emit(e);
+    }
   }
 
   Transport& net_;

@@ -62,7 +62,7 @@ void RapidCluster::start() {
   }
 }
 
-void RapidCluster::crash(NodeId node) { crashed_[node] = true; }
+void RapidCluster::crash(NodeId node) { note_crash(node); }
 
 std::size_t RapidCluster::high_watermark_for(const NodeState& st,
                                              NodeId subject) const {

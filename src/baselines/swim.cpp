@@ -58,7 +58,7 @@ void SwimCluster::start() {
   }
 }
 
-void SwimCluster::crash(NodeId node) { crashed_[node] = true; }
+void SwimCluster::crash(NodeId node) { note_crash(node); }
 
 NodeId SwimCluster::next_probe_target(NodeState& st, NodeId self) {
   for (std::size_t tries = 0; tries < st.probe_order.size(); ++tries) {

@@ -9,7 +9,8 @@
 namespace canely::check {
 namespace {
 
-constexpr const char* kSchema = "canely-check-1";
+constexpr const char* kSchema = "canely-check-2";
+constexpr const char* kSchemaV1 = "canely-check-1";
 
 // ------------------------------------------------------------- writing
 
@@ -23,6 +24,91 @@ campaign::Json nodeset_json(can::NodeSet set) {
 
 campaign::Json time_ns(sim::Time t) {
   return campaign::Json::integer(t.to_ns());
+}
+
+/// Payload shape of an event kind.  kFrameTx carries the 16-byte frame
+/// record (wider than the union's `raw` view), kViewInstall a 64-bit
+/// membership bitmap, the detector/FDA kinds a single peer id, and the
+/// lifecycle/RHA kinds nothing — so serialization is per kind, the only
+/// lossless option.
+enum class PayloadShape : std::uint8_t { kNone, kFrame, kPeer, kView };
+
+PayloadShape shape_of(obs::EventKind kind) {
+  switch (kind) {
+    case obs::EventKind::kFrameTx:
+      return PayloadShape::kFrame;
+    case obs::EventKind::kFdTimerArm:
+    case obs::EventKind::kFdTimerExpire:
+    case obs::EventKind::kFdSuspect:
+    case obs::EventKind::kFdaRoundStart:
+    case obs::EventKind::kFdaNty:
+      return PayloadShape::kPeer;
+    case obs::EventKind::kViewInstall:
+      return PayloadShape::kView;
+    case obs::EventKind::kBusOff:
+    case obs::EventKind::kElsSent:
+    case obs::EventKind::kRhaRoundStart:
+    case obs::EventKind::kRhaRoundEnd:
+    case obs::EventKind::kNodeJoin:
+    case obs::EventKind::kNodeLeave:
+    case obs::EventKind::kNodeCrash:
+      break;
+  }
+  return PayloadShape::kNone;
+}
+
+constexpr obs::EventKind kAllKinds[] = {
+    obs::EventKind::kFrameTx,       obs::EventKind::kBusOff,
+    obs::EventKind::kFdTimerArm,    obs::EventKind::kFdTimerExpire,
+    obs::EventKind::kElsSent,       obs::EventKind::kFdSuspect,
+    obs::EventKind::kFdaRoundStart, obs::EventKind::kFdaNty,
+    obs::EventKind::kRhaRoundStart, obs::EventKind::kRhaRoundEnd,
+    obs::EventKind::kViewInstall,   obs::EventKind::kNodeJoin,
+    obs::EventKind::kNodeLeave,     obs::EventKind::kNodeCrash};
+
+campaign::Json flight_json(const FlightRecording& flight) {
+  campaign::Json events = campaign::Json::array();
+  for (const obs::Event& ev : flight.events) {
+    campaign::Json e = campaign::Json::object();
+    e.set("t_ns", campaign::Json::integer(ev.when.to_ns()));
+    e.set("kind", campaign::Json::string(obs::to_string(ev.kind)));
+    e.set("node",
+          campaign::Json::integer(static_cast<std::int64_t>(ev.node)));
+    switch (shape_of(ev.kind)) {
+      case PayloadShape::kFrame:
+        e.set("id", campaign::Json::integer(ev.u.frame.id));
+        e.set("bits", campaign::Json::integer(ev.u.frame.bits));
+        e.set("dur_ns", campaign::Json::integer(ev.u.frame.dur_ns));
+        e.set("outcome", campaign::Json::integer(ev.u.frame.outcome));
+        e.set("attempt", campaign::Json::integer(ev.u.frame.attempt));
+        e.set("remote", campaign::Json::integer(ev.u.frame.remote));
+        e.set("orphaned", campaign::Json::integer(ev.u.frame.orphaned));
+        break;
+      case PayloadShape::kPeer:
+        e.set("peer",
+              campaign::Json::integer(static_cast<std::int64_t>(
+                  ev.u.peer.peer)));
+        break;
+      case PayloadShape::kView:
+        // 64-bit bitmap: serialized as a decimal string like trace_hash,
+        // out of int64 range paranoia.
+        e.set("members", campaign::Json::string(
+                             std::to_string(ev.u.view.members)));
+        break;
+      case PayloadShape::kNone:
+        break;
+    }
+    events.push(std::move(e));
+  }
+  campaign::Json root = campaign::Json::object();
+  root.set("ring_capacity",
+           campaign::Json::integer(
+               static_cast<std::int64_t>(flight.ring_capacity)));
+  root.set("dropped", campaign::Json::integer(
+                          static_cast<std::int64_t>(flight.dropped)));
+  root.set("events", std::move(events));
+  if (flight.has_metrics) root.set("metrics", flight.metrics);
+  return root;
 }
 
 }  // namespace
@@ -75,6 +161,9 @@ campaign::Json artifact_json(const Artifact& artifact) {
   root.set("scenario", std::move(scenario));
   root.set("script", std::move(script));
   root.set("violation", std::move(violation));
+  if (artifact.flight.present) {
+    root.set("flight", flight_json(artifact.flight));
+  }
   return root;
 }
 
@@ -110,7 +199,8 @@ Artifact load_artifact(const std::string& path) {
   if (root.kind != Value::Kind::kObject) {
     throw std::runtime_error("artifact JSON: root is not an object");
   }
-  if (require(root, "schema", Value::Kind::kString).s != kSchema) {
+  const std::string& schema = require(root, "schema", Value::Kind::kString).s;
+  if (schema != kSchema && schema != kSchemaV1) {
     throw std::runtime_error("artifact JSON: unknown schema");
   }
 
@@ -172,6 +262,72 @@ Artifact load_artifact(const std::string& path) {
       require(vio, "monitor", Value::Kind::kString).s;
   artifact.violation.when = sim::Time::ns(get_int(vio, "when_ns"));
   artifact.violation.detail = require(vio, "detail", Value::Kind::kString).s;
+
+  // Flight recorder: optional (v1 artifacts, or v2 written without a
+  // recorder attached).
+  const Value* fl = root.find("flight");
+  if (fl != nullptr && fl->kind == Value::Kind::kObject) {
+    FlightRecording& flight = artifact.flight;
+    flight.present = true;
+    flight.ring_capacity =
+        static_cast<std::size_t>(get_int(*fl, "ring_capacity"));
+    flight.dropped = static_cast<std::uint64_t>(get_int(*fl, "dropped"));
+    for (const Value& e :
+         require(*fl, "events", Value::Kind::kArray).array) {
+      if (e.kind != Value::Kind::kObject) {
+        throw std::runtime_error(
+            "artifact JSON: flight event is not an object");
+      }
+      obs::Event ev;
+      ev.when = sim::Time::ns(get_int(e, "t_ns"));
+      const std::string& kind = require(e, "kind", Value::Kind::kString).s;
+      bool known = false;
+      for (const obs::EventKind k : kAllKinds) {
+        if (kind == obs::to_string(k)) {
+          ev.kind = k;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        throw std::runtime_error("artifact JSON: unknown event kind '" +
+                                 kind + "'");
+      }
+      ev.node = static_cast<std::uint8_t>(get_int(e, "node"));
+      switch (shape_of(ev.kind)) {
+        case PayloadShape::kFrame:
+          ev.u.frame.id = static_cast<std::uint32_t>(get_int(e, "id"));
+          ev.u.frame.bits = static_cast<std::uint32_t>(get_int(e, "bits"));
+          ev.u.frame.dur_ns =
+              static_cast<std::uint32_t>(get_int(e, "dur_ns"));
+          ev.u.frame.outcome =
+              static_cast<std::uint8_t>(get_int(e, "outcome"));
+          ev.u.frame.attempt =
+              static_cast<std::uint8_t>(get_int(e, "attempt"));
+          ev.u.frame.remote =
+              static_cast<std::uint8_t>(get_int(e, "remote"));
+          ev.u.frame.orphaned =
+              static_cast<std::uint8_t>(get_int(e, "orphaned"));
+          break;
+        case PayloadShape::kPeer:
+          ev.u.peer.peer = static_cast<std::uint8_t>(get_int(e, "peer"));
+          break;
+        case PayloadShape::kView:
+          ev.u.view.members = std::strtoull(
+              require(e, "members", Value::Kind::kString).s.c_str(),
+              nullptr, 10);
+          break;
+        case PayloadShape::kNone:
+          break;
+      }
+      flight.events.push_back(ev);
+    }
+    const Value* metrics = fl->find("metrics");
+    if (metrics != nullptr && metrics->kind == Value::Kind::kObject) {
+      flight.has_metrics = true;
+      flight.metrics = jsonin::to_json(*metrics);
+    }
+  }
   return artifact;
 }
 

@@ -13,15 +13,37 @@
 // Writing goes through campaign::Json (insertion-ordered, deterministic
 // bytes).  Reading uses the checker's shared minimal JSON reader
 // (check/json_reader.hpp).
+//
+// Schema history: "canely-check-1" carried scenario + script + violation
+// only; "canely-check-2" adds the optional flight-recorder payload (the
+// violating run's obs::EventRing and metrics snapshot) so a
+// counterexample ships with its own timeline — `check_explorer --replay
+// --trace-out` re-exports it as Perfetto JSON without re-running
+// anything.  Writing always emits v2; loading accepts both.
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "campaign/json.hpp"
 #include "check/fault_script.hpp"
 #include "check/harness.hpp"
+#include "obs/event.hpp"
 
 namespace canely::check {
+
+/// The violating run's observability state, archived inside the
+/// artifact.  `events` is the ring contents oldest-first; the original
+/// capacity and drop count come along because a ring reconstructed from
+/// the surviving events cannot know how many fell out.
+struct FlightRecording {
+  bool present{false};
+  std::size_t ring_capacity{0};
+  std::uint64_t dropped{0};
+  std::vector<obs::Event> events;
+  bool has_metrics{false};
+  campaign::Json metrics;  ///< MetricsRegistry::snapshot_json(true)
+};
 
 struct Artifact {
   ScenarioConfig scenario;
@@ -29,6 +51,7 @@ struct Artifact {
   std::string monitor;          ///< the invariant the script violates
   std::uint64_t trace_hash{0};  ///< wire-trace hash of the violating run
   Violation violation;          ///< as recorded when the artifact was made
+  FlightRecording flight;       ///< absent when loaded from a v1 artifact
 };
 
 /// Serialize (deterministic bytes).

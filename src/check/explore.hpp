@@ -67,6 +67,10 @@
 #include "check/fault_script.hpp"
 #include "check/harness.hpp"
 
+namespace canely::obs {
+class Telemetry;
+}  // namespace canely::obs
+
 namespace canely::check {
 
 struct ExploreConfig {
@@ -102,6 +106,16 @@ struct ExploreConfig {
   std::string frontier_path{};
   /// Units per processing chunk (= frontier checkpoint interval).
   std::size_t checkpoint_every{16};
+  /// Also checkpoint the frontier once this much wall time has elapsed
+  /// since the last write, so slow cells (deep scenarios, few units per
+  /// second) still leave resumable state behind.  0 = unit-count trigger
+  /// only.  Wall time comes from the telemetry handle's clock when one is
+  /// attached, else obs::default_wall_clock(); frontier *content* stays a
+  /// pure function of the records either way.
+  double checkpoint_secs{0};
+  /// Live campaign telemetry (non-owning, may be null).  Purely
+  /// observational — campaign output is byte-identical with it on or off.
+  obs::Telemetry* telemetry{nullptr};
   /// Test hook: stop (checkpoint, complete=false) once this many units
   /// are done.  0 = run to completion.
   std::size_t stop_after_units{0};

@@ -179,13 +179,39 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       fail("bad number");
     }
-    if (pos_ < text_.size() &&
-        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      fail("non-integer number (checker schemas use integers only)");
+    bool real = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      real = true;
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      if (pos_ == frac) fail("bad number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      real = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+      }
+      if (pos_ == exp) fail("bad number");
     }
     Value v;
-    v.kind = Value::Kind::kInt;
-    v.i = std::strtoll(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
+    const std::string token = text_.substr(start, pos_ - start);
+    if (real) {
+      v.kind = Value::Kind::kNumber;
+      v.d = std::strtod(token.c_str(), nullptr);
+    } else {
+      v.kind = Value::Kind::kInt;
+      v.i = std::strtoll(token.c_str(), nullptr, 10);
+    }
     return v;
   }
 
@@ -218,6 +244,32 @@ std::int64_t get_int(const Value& obj, const std::string& key,
 bool get_bool(const Value& obj, const std::string& key,
               const std::string& what) {
   return require(obj, key, Value::Kind::kBool, what).b;
+}
+
+campaign::Json to_json(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kNull:
+      return campaign::Json{};
+    case Value::Kind::kBool:
+      return campaign::Json::boolean(v.b);
+    case Value::Kind::kInt:
+      return campaign::Json::integer(v.i);
+    case Value::Kind::kNumber:
+      return campaign::Json::number(v.d);
+    case Value::Kind::kString:
+      return campaign::Json::string(v.s);
+    case Value::Kind::kArray: {
+      campaign::Json arr = campaign::Json::array();
+      for (const Value& e : v.array) arr.push(to_json(e));
+      return arr;
+    }
+    case Value::Kind::kObject: {
+      campaign::Json obj = campaign::Json::object();
+      for (const auto& [key, val] : v.object) obj.set(key, to_json(val));
+      return obj;
+    }
+  }
+  return campaign::Json{};
 }
 
 std::string read_file(const std::string& path, const std::string& what) {

@@ -1,0 +1,328 @@
+#include "check/telemetry_view.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+
+#include "check/frontier.hpp"
+#include "check/json_reader.hpp"
+
+namespace canely::check {
+namespace {
+
+using jsonin::Value;
+constexpr const char* kWhat = "telemetry JSONL";
+
+}  // namespace
+
+std::uint64_t TelemetrySnapshot::units_done() const {
+  return counter(obs::TelemetryCounter::kUnitsJudged) +
+         counter(obs::TelemetryCounter::kDedupSkips) +
+         counter(obs::TelemetryCounter::kUnitsResumed);
+}
+
+TelemetrySnapshot parse_telemetry_line(const std::string& line) {
+  const Value root = jsonin::parse(line, kWhat);
+  if (root.kind != Value::Kind::kObject) {
+    throw std::runtime_error("telemetry JSONL: line is not an object");
+  }
+  if (jsonin::require(root, "schema", Value::Kind::kString, kWhat).s !=
+      "canely-telemetry-1") {
+    throw std::runtime_error("telemetry JSONL: unknown schema");
+  }
+  TelemetrySnapshot snap;
+  snap.seq = static_cast<std::uint64_t>(jsonin::get_int(root, "seq", kWhat));
+  snap.t_ms =
+      static_cast<std::uint64_t>(jsonin::get_int(root, "t_ms", kWhat));
+  snap.label = jsonin::require(root, "label", Value::Kind::kString, kWhat).s;
+  snap.shard =
+      static_cast<std::size_t>(jsonin::get_int(root, "shard", kWhat));
+  snap.shards =
+      static_cast<std::size_t>(jsonin::get_int(root, "shards", kWhat));
+  snap.total_units = static_cast<std::uint64_t>(
+      jsonin::get_int(root, "total_units", kWhat));
+  if (const Value* frontier = root.find("frontier");
+      frontier != nullptr && frontier->kind == Value::Kind::kString) {
+    snap.frontier = frontier->s;
+  }
+
+  const Value& counters =
+      jsonin::require(root, "counters", Value::Kind::kObject, kWhat);
+  for (std::size_t c = 0; c < obs::kTelemetryCounters; ++c) {
+    snap.counters[c] = static_cast<std::uint64_t>(jsonin::get_int(
+        counters, obs::to_string(static_cast<obs::TelemetryCounter>(c)),
+        kWhat));
+  }
+  const Value& stages =
+      jsonin::require(root, "stages", Value::Kind::kObject, kWhat);
+  for (std::size_t s = 0; s < obs::kTelemetryStages; ++s) {
+    const Value& stage = jsonin::require(
+        stages, obs::to_string(static_cast<obs::TelemetryStage>(s)),
+        Value::Kind::kObject, kWhat);
+    snap.stage_count[s] =
+        static_cast<std::uint64_t>(jsonin::get_int(stage, "count", kWhat));
+    snap.stage_sum_us[s] =
+        static_cast<std::uint64_t>(jsonin::get_int(stage, "sum_us", kWhat));
+  }
+  snap.dropped_lines = static_cast<std::uint64_t>(
+      jsonin::get_int(root, "dropped_lines", kWhat));
+  return snap;
+}
+
+std::vector<TelemetrySnapshot> load_telemetry(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("telemetry JSONL: cannot open " + path);
+  }
+  std::vector<TelemetrySnapshot> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(parse_telemetry_line(line));
+  }
+  return out;
+}
+
+double ShardStatus::rate() const {
+  if (have_prev && last.t_ms > prev.t_ms) {
+    const std::uint64_t du = last.units_done() - prev.units_done();
+    return static_cast<double>(du) * 1000.0 /
+           static_cast<double>(last.t_ms - prev.t_ms);
+  }
+  if (last.t_ms > 0) {
+    return static_cast<double>(last.units_done()) * 1000.0 /
+           static_cast<double>(last.t_ms);
+  }
+  return 0;
+}
+
+ShardStatus load_shard_status(const std::string& path) {
+  const std::vector<TelemetrySnapshot> lines = load_telemetry(path);
+  if (lines.empty()) {
+    throw std::runtime_error("telemetry JSONL: " + path + " has no lines");
+  }
+  ShardStatus status;
+  status.path = path;
+  status.last = lines.back();
+  if (lines.size() >= 2) {
+    status.have_prev = true;
+    status.prev = lines[lines.size() - 2];
+  }
+  if (!status.last.frontier.empty()) {
+    try {
+      const FrontierFile f = load_frontier(status.last.frontier);
+      status.frontier_loaded = true;
+      status.frontier_complete = f.complete;
+      status.frontier_partial = f.partial;
+      status.frontier_records = f.records.size();
+    } catch (const std::exception&) {
+      // A frontier mid-rename or not yet written is normal while live.
+    }
+  }
+  return status;
+}
+
+StatusSummary summarize(const std::vector<ShardStatus>& shards) {
+  StatusSummary sum;
+  std::uint64_t dedup_skips = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const ShardStatus& sh : shards) {
+    const TelemetrySnapshot& last = sh.last;
+    sum.done += last.units_done();
+    sum.total += last.total_units;
+    sum.rate += sh.rate();
+    sum.runs += last.counter(obs::TelemetryCounter::kRuns);
+    sum.violations += last.counter(obs::TelemetryCounter::kViolations);
+    sum.dropped_lines += last.dropped_lines;
+    dedup_skips += last.counter(obs::TelemetryCounter::kDedupSkips);
+    hits += last.counter(obs::TelemetryCounter::kPrefixHits);
+    misses += last.counter(obs::TelemetryCounter::kPrefixMisses);
+    if (sh.frontier_complete) ++sum.shards_complete;
+  }
+  if (sum.done > 0) {
+    sum.dedup_pct =
+        100.0 * static_cast<double>(dedup_skips) /
+        static_cast<double>(sum.done);
+  }
+  if (hits + misses > 0) {
+    sum.cache_pct = 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses);
+  }
+  if (sum.total > sum.done && sum.rate > 0) {
+    sum.eta_sec =
+        static_cast<double>(sum.total - sum.done) / sum.rate;
+  } else if (sum.total != 0 && sum.done >= sum.total) {
+    sum.eta_sec = 0;
+  }
+  return sum;
+}
+
+namespace {
+
+campaign::Json shard_json(const ShardStatus& sh) {
+  const TelemetrySnapshot& last = sh.last;
+  campaign::Json j = campaign::Json::object();
+  j.set("file", campaign::Json::string(sh.path));
+  j.set("label", campaign::Json::string(last.label));
+  j.set("shard",
+        campaign::Json::integer(static_cast<std::int64_t>(last.shard)));
+  j.set("shards",
+        campaign::Json::integer(static_cast<std::int64_t>(last.shards)));
+  j.set("seq", campaign::Json::integer(static_cast<std::int64_t>(last.seq)));
+  j.set("t_ms",
+        campaign::Json::integer(static_cast<std::int64_t>(last.t_ms)));
+  j.set("done", campaign::Json::integer(
+                    static_cast<std::int64_t>(last.units_done())));
+  j.set("total_units", campaign::Json::integer(
+                           static_cast<std::int64_t>(last.total_units)));
+  j.set("rate", campaign::Json::number(sh.rate()));
+  campaign::Json counters = campaign::Json::object();
+  for (std::size_t c = 0; c < obs::kTelemetryCounters; ++c) {
+    counters.set(obs::to_string(static_cast<obs::TelemetryCounter>(c)),
+                 campaign::Json::integer(
+                     static_cast<std::int64_t>(last.counters[c])));
+  }
+  j.set("counters", std::move(counters));
+  j.set("dropped_lines", campaign::Json::integer(static_cast<std::int64_t>(
+                             last.dropped_lines)));
+  if (!last.frontier.empty()) {
+    campaign::Json f = campaign::Json::object();
+    f.set("file", campaign::Json::string(last.frontier));
+    f.set("loaded", campaign::Json::boolean(sh.frontier_loaded));
+    if (sh.frontier_loaded) {
+      f.set("records", campaign::Json::integer(static_cast<std::int64_t>(
+                           sh.frontier_records)));
+      f.set("complete", campaign::Json::boolean(sh.frontier_complete));
+      f.set("partial", campaign::Json::boolean(sh.frontier_partial));
+    }
+    j.set("frontier", std::move(f));
+  }
+  return j;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v);
+  return buf;
+}
+
+std::string eta_text(double eta_sec) {
+  if (eta_sec < 0) return "?";
+  char buf[32];
+  if (eta_sec >= 3600) {
+    std::snprintf(buf, sizeof buf, "%.1fh", eta_sec / 3600.0);
+  } else if (eta_sec >= 60) {
+    std::snprintf(buf, sizeof buf, "%.1fm", eta_sec / 60.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fs", eta_sec);
+  }
+  return buf;
+}
+
+}  // namespace
+
+campaign::Json status_json(const std::vector<ShardStatus>& shards) {
+  campaign::Json root = campaign::Json::object();
+  root.set("schema", campaign::Json::string("canely-top-1"));
+  campaign::Json arr = campaign::Json::array();
+  for (const ShardStatus& sh : shards) arr.push(shard_json(sh));
+  root.set("shards", std::move(arr));
+
+  const StatusSummary sum = summarize(shards);
+  campaign::Json total = campaign::Json::object();
+  total.set("done",
+            campaign::Json::integer(static_cast<std::int64_t>(sum.done)));
+  total.set("total",
+            campaign::Json::integer(static_cast<std::int64_t>(sum.total)));
+  total.set("rate", campaign::Json::number(sum.rate));
+  total.set("dedup_pct", campaign::Json::number(sum.dedup_pct));
+  total.set("cache_pct", campaign::Json::number(sum.cache_pct));
+  total.set("eta_sec", campaign::Json::number(sum.eta_sec));
+  total.set("runs",
+            campaign::Json::integer(static_cast<std::int64_t>(sum.runs)));
+  total.set("violations", campaign::Json::integer(
+                              static_cast<std::int64_t>(sum.violations)));
+  total.set("dropped_lines", campaign::Json::integer(static_cast<std::int64_t>(
+                                 sum.dropped_lines)));
+  total.set("shards_complete",
+            campaign::Json::integer(
+                static_cast<std::int64_t>(sum.shards_complete)));
+  root.set("total", std::move(total));
+  return root;
+}
+
+std::string render_status_text(const std::vector<ShardStatus>& shards) {
+  std::string out;
+  char buf[256];
+  for (const ShardStatus& sh : shards) {
+    const TelemetrySnapshot& last = sh.last;
+    const std::uint64_t done = last.units_done();
+    std::snprintf(
+        buf, sizeof buf, "%-10s shard %zu/%zu  %10llu", last.label.c_str(),
+        last.shard, last.shards,
+        static_cast<unsigned long long>(done));
+    out += buf;
+    if (last.total_units != 0) {
+      std::snprintf(
+          buf, sizeof buf, "/%llu (%s)",
+          static_cast<unsigned long long>(last.total_units),
+          pct(100.0 * static_cast<double>(done) /
+              static_cast<double>(last.total_units))
+              .c_str());
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "  %8.1f u/s", sh.rate());
+    out += buf;
+    const std::uint64_t skips =
+        last.counter(obs::TelemetryCounter::kDedupSkips);
+    if (done > 0) {
+      out += "  dedup " + pct(100.0 * static_cast<double>(skips) /
+                              static_cast<double>(done));
+    }
+    const std::uint64_t hits =
+        last.counter(obs::TelemetryCounter::kPrefixHits);
+    const std::uint64_t misses =
+        last.counter(obs::TelemetryCounter::kPrefixMisses);
+    if (hits + misses > 0) {
+      out += "  cache " + pct(100.0 * static_cast<double>(hits) /
+                              static_cast<double>(hits + misses));
+    }
+    const std::uint64_t violations =
+        last.counter(obs::TelemetryCounter::kViolations);
+    if (violations != 0) {
+      out += "  VIOLATIONS " + std::to_string(violations);
+    }
+    if (last.dropped_lines != 0) {
+      out += "  dropped_lines " + std::to_string(last.dropped_lines);
+    }
+    if (sh.frontier_loaded) {
+      out += sh.frontier_complete ? "  [frontier complete]"
+                                  : "  [frontier ckpt " +
+                                        std::to_string(sh.frontier_records) +
+                                        "]";
+    }
+    out += "\n";
+  }
+  const StatusSummary sum = summarize(shards);
+  std::snprintf(buf, sizeof buf, "%-10s %zu shard(s)   %10llu", "TOTAL",
+                shards.size(), static_cast<unsigned long long>(sum.done));
+  out += buf;
+  if (sum.total != 0) {
+    // Appended in two steps: `"/" + std::to_string(...)` trips a GCC 12
+    // -Wrestrict false positive in the libstdc++ operator+ under -O2.
+    out += '/';
+    out += std::to_string(sum.total);
+  }
+  std::snprintf(buf, sizeof buf, "  %8.1f u/s  eta %s", sum.rate,
+                eta_text(sum.eta_sec).c_str());
+  out += buf;
+  if (sum.violations != 0) {
+    out += "  VIOLATIONS " + std::to_string(sum.violations);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace canely::check

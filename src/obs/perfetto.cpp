@@ -299,6 +299,17 @@ TraceValidation validate_trace_events(const std::vector<TraceEvent>& events) {
 std::string render_trace_json(const std::vector<TraceEvent>& events,
                               const MetricsRegistry* metrics,
                               const EventRing& ring) {
+  const campaign::Json snapshot =
+      metrics != nullptr ? metrics->snapshot_json(/*per_node=*/true)
+                         : campaign::Json{};
+  return render_trace_json(
+      events, metrics != nullptr ? &snapshot : nullptr,
+      RingStats{ring.capacity(), ring.size(), ring.dropped()});
+}
+
+std::string render_trace_json(const std::vector<TraceEvent>& events,
+                              const campaign::Json* metrics_json,
+                              const RingStats& stats) {
   campaign::Json trace_events = campaign::Json::array();
   for (const TraceEvent& t : events) {
     campaign::Json o = campaign::Json::object();
@@ -325,17 +336,17 @@ std::string render_trace_json(const std::vector<TraceEvent>& events,
   campaign::Json other = campaign::Json::object();
   other.set("schema", campaign::Json::string("canely-trace-1"));
   other.set("ring_capacity", campaign::Json::integer(
-                                 static_cast<std::int64_t>(ring.capacity())));
+                                 static_cast<std::int64_t>(stats.capacity)));
   other.set("events_recorded", campaign::Json::integer(
-                                   static_cast<std::int64_t>(ring.size())));
+                                   static_cast<std::int64_t>(stats.recorded)));
   other.set("dropped_events", campaign::Json::integer(
-                                  static_cast<std::int64_t>(ring.dropped())));
+                                  static_cast<std::int64_t>(stats.dropped)));
 
   campaign::Json root = campaign::Json::object();
   root.set("displayTimeUnit", campaign::Json::string("ms"));
   root.set("otherData", std::move(other));
-  if (metrics != nullptr) {
-    root.set("metrics", metrics->snapshot_json(/*per_node=*/true));
+  if (metrics_json != nullptr) {
+    root.set("metrics", *metrics_json);
   }
   root.set("traceEvents", std::move(trace_events));
   return root.dump(1) + "\n";

@@ -62,11 +62,30 @@ struct TraceValidation {
 [[nodiscard]] TraceValidation validate_trace_events(
     const std::vector<TraceEvent>& events);
 
+/// Ring bookkeeping for "otherData", decoupled from a live EventRing so
+/// a trace can be re-rendered from archived data (the flight recorder
+/// embedded in canely-check-2 artifacts records the original drop count,
+/// which a ring reconstructed from the surviving events cannot know).
+struct RingStats {
+  std::size_t capacity{0};
+  std::size_t recorded{0};
+  std::uint64_t dropped{0};
+};
+
 /// Serialize to Chrome trace_event JSON.  `metrics`, when non-null, is
 /// embedded as a top-level "metrics" object (Perfetto ignores unknown
 /// keys); ring bookkeeping lands in "otherData".
 [[nodiscard]] std::string render_trace_json(
     const std::vector<TraceEvent>& events, const MetricsRegistry* metrics,
     const EventRing& ring);
+
+/// Same serialization from pre-serialized parts: `metrics_json` (may be
+/// null) is embedded verbatim as the "metrics" object and `stats` stands
+/// in for the live ring.  Rendering a live run through this overload
+/// with `metrics->snapshot_json(true)` yields byte-identical output to
+/// the overload above.
+[[nodiscard]] std::string render_trace_json(
+    const std::vector<TraceEvent>& events,
+    const campaign::Json* metrics_json, const RingStats& stats);
 
 }  // namespace canely::obs

@@ -1,0 +1,11 @@
+// Whole-program fixture: the wall-clock sink for the src/obs seam test.
+// Lives outside every determinism directory (pretend path tools/...), so
+// the per-file no-wall-clock rule stays silent — but the extractor
+// records the steady_clock fact, seeding the escape analysis.
+#include <chrono>
+
+namespace obsclock {
+long long wall_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace obsclock

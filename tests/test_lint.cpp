@@ -481,6 +481,31 @@ TEST(LintWholeProgram, DeterminismEscapeConvictsAndAnnotationSilences) {
   EXPECT_TRUE(good.findings.empty()) << dump(good);
 }
 
+TEST(LintWholeProgram, ObsClockEscapeConvictsAndSeamAnnotationSilences) {
+  // src/obs is a determinism zone; the telemetry sampler's wall-clock
+  // use is legal only through an annotated seam.  The bad twin models an
+  // unannotated sampler calling a clock helper in a non-zone TU.
+  const auto pair = [](const std::string& caller_fixture) {
+    return std::vector<SourceFile>{
+        {"src/obs/sampler.cpp", read_fixture(caller_fixture)},
+        {"tools/obs_clock_util.cpp", read_fixture("wp_obs_clock_util.cpp")}};
+  };
+  const RunResult bad = lint_sources(pair("wp_obs_clock_bad.cpp"), wp_opts());
+  ASSERT_EQ(rules_of(bad), (std::vector<std::string>{"determinism-escape"}))
+      << dump(bad);
+  EXPECT_EQ(bad.findings[0].file, "src/obs/sampler.cpp");
+  EXPECT_NE(bad.findings[0].message.find("steady_clock"), std::string::npos)
+      << bad.findings[0].message;
+  ASSERT_EQ(bad.findings[0].chain.size(), 2U);
+  EXPECT_EQ(bad.findings[0].chain[0], "sampler.cpp:obsclock::sample_stamp");
+  EXPECT_EQ(bad.findings[0].chain[1],
+            "obs_clock_util.cpp:obsclock::wall_ns");
+
+  const RunResult good =
+      lint_sources(pair("wp_obs_clock_good.cpp"), wp_opts());
+  EXPECT_TRUE(good.findings.empty()) << dump(good);
+}
+
 TEST(LintWholeProgram, WireLayoutResolvesAliasesAcrossFiles) {
   // SeqNo / kWords live in a different TU than the struct: only the
   // merged type tables can size Packet.

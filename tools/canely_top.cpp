@@ -1,0 +1,107 @@
+// canely_top — live status for sharded exploration campaigns.
+//
+// Tails one or many canely-telemetry-1 JSONL files (one per shard,
+// written by `check_explorer --telemetry` or any obs::Telemetry user)
+// plus the frontier checkpoints they advertise, and renders per-shard
+// progress, placements/s, dedup %, prefix-cache hit %, dropped-line
+// counts and an ETA.  All parsing and reduction lives in
+// src/check/telemetry_view.hpp; this file owns only the loop, the clock
+// and the screen.
+//
+//   canely_top telemetry0.jsonl telemetry1.jsonl      # live, 1s refresh
+//   canely_top --once --json telemetry.jsonl          # scripting / CI
+//
+// Exit codes: 0 = ok (with --once: status rendered), 2 = usage/IO error.
+// Live mode tolerates files that are briefly unreadable (mid-create):
+// the shard shows as "waiting" and the loop keeps going.
+
+#include <chrono>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/telemetry_view.hpp"
+
+namespace {
+
+using namespace canely;
+
+void usage(std::ostream& os) {
+  os << "usage: canely_top [options] FILE...\n"
+        "  FILE                canely-telemetry-1 JSONL file(s), one per "
+        "shard\n"
+        "  --once              render one status block and exit\n"
+        "  --json              machine-readable output (implies stable "
+        "bytes\n"
+        "                      for identical inputs)\n"
+        "  --refresh MS        live refresh period (default 1000)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  bool json = false;
+  std::uint64_t refresh_ms = 1000;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--refresh") {
+      if (i + 1 >= argc) {
+        std::cerr << "--refresh needs a value\n";
+        return 2;
+      }
+      refresh_ms = std::stoull(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "canely_top: no telemetry files given\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  for (;;) {
+    std::vector<check::ShardStatus> shards;
+    std::vector<std::string> waiting;
+    for (const std::string& file : files) {
+      try {
+        shards.push_back(check::load_shard_status(file));
+      } catch (const std::exception& e) {
+        if (once) {
+          std::cerr << "canely_top: " << e.what() << "\n";
+          return 2;
+        }
+        waiting.push_back(file);
+      }
+    }
+
+    if (json) {
+      std::cout << check::status_json(shards).dump(once ? 0 : 2) << "\n";
+    } else {
+      if (!once) std::cout << "\033[2J\033[H";  // clear, home
+      std::cout << check::render_status_text(shards);
+      for (const std::string& file : waiting) {
+        std::cout << "waiting for " << file << "\n";
+      }
+      std::cout.flush();
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds{refresh_ms});
+  }
+}
